@@ -1,0 +1,177 @@
+// Command dice runs one DiCE online-testing round against the paper's
+// Figure 2 topology: it brings up Customer/Provider/Internet, loads a
+// routing table into the DiCE-enabled provider, explores the provider's
+// behavior under synthesized customer announcements, and reports any
+// route leaks / prefix hijacks the misconfigured policy admits.
+//
+// Usage:
+//
+//	dice -filter broken -table 20000 -runs 2000
+//	dice -filter correct                 # expect no findings
+//	dice -filter-file my_filter.conf     # custom customer_in filter
+//	dice -trace trace.mrtl               # load a tracegen file instead
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dice/internal/concolic"
+	"dice/internal/core"
+	"dice/internal/filter"
+	"dice/internal/netaddr"
+	"dice/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dice: ")
+
+	var (
+		filterKind = flag.String("filter", "broken", "customer filter: broken|correct|missing")
+		filterFile = flag.String("filter-file", "", "file with a custom 'filter customer_in { ... }'")
+		traceFile  = flag.String("trace", "", "MRT-lite trace to load (default: synthetic)")
+		tableSize  = flag.Int("table", 20000, "synthetic table size when no -trace given")
+		runs       = flag.Int("runs", 2000, "concolic run budget")
+		workers    = flag.Int("workers", 1, "parallel exploration workers")
+		strategy   = flag.String("strategy", "generational", "search strategy: generational|dfs|bfs")
+		anycastStr = flag.String("anycast", "", "comma-free anycast prefix to suppress as FP (repeat not supported; use config for more)")
+		verbose    = flag.Bool("v", false, "print every explored path")
+		audit      = flag.Bool("audit", false, "audit the filter for dead clauses instead of exploring the router")
+		openFSM    = flag.Bool("open", false, "also explore OPEN-message (session FSM) handling")
+	)
+	flag.Parse()
+
+	filterSrc := ""
+	switch {
+	case *filterFile != "":
+		b, err := os.ReadFile(*filterFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		filterSrc = string(b)
+	case *filterKind == "broken":
+		filterSrc = core.BrokenCustomerFilter
+	case *filterKind == "correct":
+		filterSrc = core.CorrectCustomerFilter
+	case *filterKind == "missing":
+		filterSrc = core.MissingCustomerFilter
+	default:
+		log.Fatalf("unknown -filter %q", *filterKind)
+	}
+
+	if *audit {
+		f, err := filter.Parse(filterSrc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := core.AuditFilter(f, *runs)
+		fmt.Print(rep)
+		if len(rep.DeadTrue)+len(rep.DeadFalse) == 0 {
+			fmt.Println("no dead clauses or redundant guards found")
+		}
+		return
+	}
+
+	var anycast []netaddr.Prefix
+	if *anycastStr != "" {
+		p, err := netaddr.ParsePrefix(*anycastStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		anycast = append(anycast, p)
+	}
+
+	fig, err := core.NewFig2(core.Fig2Options{CustomerFilter: filterSrc, Anycast: anycast})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var records []trace.Record
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		records, err = trace.Read(bufio.NewReaderSize(f, 1<<20))
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg := trace.DefaultGenConfig()
+		cfg.TableSize = *tableSize
+		cfg.UpdateCount = 0
+		records = trace.Generate(cfg)
+	}
+	records = append(records, core.Victims()...)
+
+	start := time.Now()
+	n, err := fig.LoadTable(records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d prefixes into the provider in %v (RIB: %d prefixes)\n",
+		n, time.Since(start).Round(time.Millisecond), fig.Provider.RIB().Prefixes())
+
+	var strat concolic.Strategy
+	switch *strategy {
+	case "generational":
+		strat = concolic.Generational
+	case "dfs":
+		strat = concolic.DFS
+	case "bfs":
+		strat = concolic.BFS
+	default:
+		log.Fatalf("unknown -strategy %q", *strategy)
+	}
+
+	d := core.New(fig.Provider, core.Options{
+		Engine: concolic.Options{
+			MaxRuns:  *runs,
+			Workers:  *workers,
+			Strategy: strat,
+		},
+	})
+	res, err := d.ExplorePeer(core.NodeCustomer)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := res.Report
+	fmt.Printf("\nexploration: %d runs, %d distinct paths, %d branches seen, %v\n",
+		rep.Runs, len(rep.Paths), rep.BranchesSeen, rep.Elapsed.Round(time.Millisecond))
+	fmt.Printf("solver: %d queries (%d sat, %d unsat)\n", rep.SolverCalls, rep.SolverSat, rep.SolverUnsat)
+	fmt.Printf("isolation: %d messages produced by clones, all intercepted\n", res.CapturedMessages)
+
+	if *verbose {
+		for _, p := range rep.Paths {
+			fmt.Printf("  path %d: env=%v\n", p.Seq, p.Env)
+		}
+	}
+
+	if len(res.Findings) == 0 {
+		fmt.Println("\nno potential hijacks found")
+	} else {
+		fmt.Printf("\n%d potential hijack(s):\n", len(res.Findings))
+		for _, fd := range res.Findings {
+			fmt.Printf("  %s\n", fd)
+		}
+	}
+	if res.FalsePositivesFiltered > 0 {
+		fmt.Printf("%d anycast false positive(s) suppressed\n", res.FalsePositivesFiltered)
+	}
+
+	if *openFSM {
+		fmt.Println()
+		openRes, err := d.ExploreOpen(core.NodeCustomer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(openRes)
+	}
+}

@@ -1,0 +1,200 @@
+// Command experiments regenerates every number in the paper's evaluation
+// (§4.1 memory and CPU, §4.2 route-leak detection) plus the two ablations
+// from DESIGN.md, and prints paper-vs-measured tables.
+//
+// Usage:
+//
+//	experiments                  # run everything at default scale
+//	experiments -exp memory      # just E1
+//	experiments -table 319355    # paper-scale table (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"dice/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		exp     = flag.String("exp", "all", "experiment: all|memory|cpu-full|cpu-steady|routeleak|ablation-symbolic|ablation-checkpoint|topology")
+		table   = flag.Int("table", 20000, "routing table size (paper: 319,355)")
+		updates = flag.Int("updates", 250, "incremental updates in the trace (paper rate: ~0.28/s x 15 min)")
+		runs    = flag.Int("runs", 2000, "concolic run budget per round")
+		window  = flag.Duration("window", 2*time.Second, "wall-clock window for the steady-state replay")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	s := core.Scale{TableSize: *table, UpdateCount: *updates, ExploreRuns: *runs, Seed: *seed}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("\n================ %s ================\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("topology", func() error { return topology() })
+	run("memory", func() error { return memory(s) })
+	run("cpu-full", func() error { return cpuFull(s) })
+	run("cpu-steady", func() error { return cpuSteady(s, *window) })
+	run("routeleak", func() error { return routeleak(s) })
+	run("ablation-symbolic", func() error { return ablationSymbolic(s) })
+	run("ablation-checkpoint", func() error { return ablationCheckpoint(s) })
+}
+
+// topology instantiates and prints Figure 2 (used by every experiment).
+func topology() error {
+	f, err := core.NewFig2(core.Fig2Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("F2 — the experimental topology (paper Figure 2):")
+	fmt.Println()
+	fmt.Println("    [customer AS65001] --customer-provider link-- [provider AS65002, DiCE] -- [rest-of-internet AS65003]")
+	fmt.Println()
+	for _, r := range []struct {
+		name string
+		rib  int
+	}{
+		{core.NodeCustomer, f.Customer.RIB().Prefixes()},
+		{core.NodeProvider, f.Provider.RIB().Prefixes()},
+		{core.NodeInternet, f.Internet.RIB().Prefixes()},
+	} {
+		fmt.Printf("  %-10s converged, %d prefixes\n", r.name, r.rib)
+	}
+	return nil
+}
+
+func memory(s core.Scale) error {
+	fmt.Printf("E1 — §4.1 memory overhead (table %d, %d updates of divergence)\n\n", s.TableSize, s.UpdateCount)
+	res, err := core.RunE1Memory(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-44s %12s %12s\n", "metric", "paper", "measured")
+	fmt.Printf("  %-44s %12s %12s\n", "checkpoint unique pages (vs live, after replay)", "3.45%",
+		fmt.Sprintf("%.2f%%", 100*res.UniqueFraction))
+	fmt.Printf("  %-44s %12s %12s\n", "exploration clone extra pages (mean)", "36.93%",
+		fmt.Sprintf("%.2f%%", 100*res.CloneOverheadMean))
+	fmt.Printf("  %-44s %12s %12s\n", "exploration clone extra pages (max)", "39%",
+		fmt.Sprintf("%.2f%%", 100*res.CloneOverheadMax))
+	fmt.Printf("\n  checkpoint: %d pages (%d KiB); %d clones measured\n",
+		res.CheckpointPages, res.CheckpointBytes/1024, res.ClonesMeasured)
+	fmt.Println("  shape check: checkpoint shares the vast majority of pages; clones cost a")
+	fmt.Println("  small fraction of a full copy (our clones are tighter than the paper's")
+	fmt.Println("  because only touched RIB buckets diverge — no instrumentation runtime heap).")
+	return nil
+}
+
+func cpuFull(s core.Scale) error {
+	fmt.Printf("E2 — §4.1 CPU impact under full load (table %d)\n\n", s.TableSize)
+	res, err := core.RunE2FullLoad(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-40s %12s %12s\n", "metric", "paper", "measured")
+	fmt.Printf("  %-40s %12s %12.1f\n", "updates/s with exploration", "13.9", res.UpdatesPerSecWith)
+	fmt.Printf("  %-40s %12s %12.1f\n", "updates/s without exploration", "15.1", res.UpdatesPerSecWithout)
+	fmt.Printf("  %-40s %12s %11.1f%%\n", "throughput impact", "8%", res.ImpactPercent)
+	fmt.Printf("\n  %d updates processed; %d exploration rounds ran alongside\n",
+		res.UpdatesProcessed, res.ExplorationRounds)
+	fmt.Println("  shape check: impact is small (the paper's 8%); absolute rates differ —")
+	fmt.Println("  our substrate is an in-memory simulator, not BIRD on a 48-core testbed.")
+	return nil
+}
+
+func cpuSteady(s core.Scale, window time.Duration) error {
+	fmt.Printf("E3 — §4.1 CPU impact at steady state (%d updates paced over %v)\n\n", s.UpdateCount, window)
+	res, err := core.RunE3Steady(s, window)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-40s %12s %12s\n", "metric", "paper", "measured")
+	fmt.Printf("  %-40s %12s %12.3f\n", "updates/s with exploration", "0.272", res.UpdatesPerSecWith)
+	fmt.Printf("  %-40s %12s %12.3f\n", "updates/s without exploration", "0.287", res.UpdatesPerSecWithout)
+	fmt.Printf("  %-40s %12s %11.1f%%\n", "throughput impact", "~5% (negligible)", res.ImpactPercent)
+	fmt.Println("\n  shape check: when the trace rate (not the CPU) is the bottleneck, running")
+	fmt.Println("  exploration alongside makes a negligible difference.")
+	return nil
+}
+
+func routeleak(s core.Scale) error {
+	fmt.Printf("E4 — §4.2 detecting route leaks (table %d + 3 installed victims)\n\n", s.TableSize)
+
+	fmt.Println("  -- broken customer filter (the misconfiguration) --")
+	res, err := core.RunE4RouteLeak(s, core.BrokenCustomerFilter, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  exploration: %d runs, %d paths, %v\n", res.Runs, res.Paths, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  potential hijacks found: %d (victims installed: %d)\n", len(res.Findings), res.VictimsInstalled)
+	for _, fd := range res.Findings {
+		fmt.Printf("    %s\n", fd)
+	}
+	if res.YouTubeDetected {
+		fmt.Println("  ✓ the YouTube-analogue /22 (origin AS36561) is detected as hijackable")
+	} else {
+		fmt.Println("  ✗ YouTube-analogue victim NOT detected")
+	}
+
+	fmt.Println("\n  -- correct customer filter (control) --")
+	clean, err := core.RunE4RouteLeak(s, core.CorrectCustomerFilter, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  potential hijacks found: %d (expected 0)\n", len(clean.Findings))
+
+	fmt.Println("\n  paper: \"DiCE clearly states which prefix ranges can be leaked\"; each")
+	fmt.Println("  finding above carries the leakable range and a concrete witness input.")
+	return nil
+}
+
+func ablationSymbolic(s core.Scale) error {
+	fmt.Printf("A1 — §3.2 ablation: field-granular vs raw-byte symbolic marking\n\n")
+	res, err := core.RunA1SymbolicMarking(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-34s %14s %14s\n", "metric", "field-granular", "raw-bytes")
+	fmt.Printf("  %-34s %14d %14d\n", "handler runs", res.FieldRuns, res.RawRuns)
+	fmt.Printf("  %-34s %13.1f%% %13.1f%%\n", "valid generated messages", 100*res.FieldValidRatio, 100*res.RawValidRatio)
+	fmt.Printf("  %-34s %14d %14d\n", "distinct policy-code outcomes", res.FieldPolicyPaths, res.RawPolicyPaths)
+	fmt.Println("\n  shape check: raw marking wastes its budget on invalid messages that only")
+	fmt.Println("  exercise parsing code (§3.2); field marking keeps every message valid and")
+	fmt.Println("  goes deep into policy code.")
+	return nil
+}
+
+func ablationCheckpoint(s core.Scale) error {
+	fmt.Printf("A2 — §2.3 ablation: explore-from-checkpoint vs replay-from-initial-state\n\n")
+	fmt.Printf("  %-14s %16s %16s %10s\n", "history (msgs)", "checkpoint", "replay", "speedup")
+	for _, h := range []int{1000, 5000, 20000} {
+		if h > s.TableSize*2 && s.TableSize > 0 {
+			// keep runtime sane at small scales
+		}
+		res, err := core.RunA2CheckpointVsReplay(h, s.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-14d %16v %16v %9.1fx\n", res.HistoryLen,
+			res.CheckpointTime.Round(time.Microsecond),
+			res.ReplayTime.Round(time.Microsecond),
+			res.SpeedupFactor)
+	}
+	fmt.Println("\n  shape check: checkpointing cost is (near) independent of history length;")
+	fmt.Println("  replay cost grows with it — \"prohibitively time-consuming\" at scale (§2.3).")
+	return nil
+}

@@ -1,0 +1,288 @@
+package bgp
+
+import (
+	"testing"
+	"time"
+
+	"dice/internal/netaddr"
+)
+
+// pipePair wires two sessions back-to-back through in-memory buffers,
+// simulating the netsim transport.
+type pipePair struct {
+	a, b     *Session
+	aOut     [][]byte
+	bOut     [][]byte
+	now      time.Time
+	aUpdates []*Update
+	bUpdates []*Update
+	aEstab   bool
+	bEstab   bool
+	aDown    []string
+	bDown    []string
+}
+
+func newPipePair(t *testing.T) *pipePair {
+	t.Helper()
+	p := &pipePair{now: time.Unix(1e9, 0)}
+	p.a = NewSession(SessionConfig{
+		LocalAS: 65001, PeerAS: 65002, RouterID: addr("10.0.0.1"), HoldTime: 90 * time.Second,
+	}, SessionHooks{
+		Send:          func(w []byte) { p.aOut = append(p.aOut, w) },
+		OnEstablished: func() { p.aEstab = true },
+		OnUpdate:      func(u *Update) { p.aUpdates = append(p.aUpdates, u) },
+		OnDown:        func(r string) { p.aDown = append(p.aDown, r) },
+	})
+	p.b = NewSession(SessionConfig{
+		LocalAS: 65002, PeerAS: 65001, RouterID: addr("10.0.0.2"), HoldTime: 30 * time.Second,
+	}, SessionHooks{
+		Send:          func(w []byte) { p.bOut = append(p.bOut, w) },
+		OnEstablished: func() { p.bEstab = true },
+		OnUpdate:      func(u *Update) { p.bUpdates = append(p.bUpdates, u) },
+		OnDown:        func(r string) { p.bDown = append(p.bDown, r) },
+	})
+	return p
+}
+
+// pump delivers queued bytes in both directions until quiescent.
+func (p *pipePair) pump(t *testing.T) {
+	t.Helper()
+	for len(p.aOut) > 0 || len(p.bOut) > 0 {
+		out := p.aOut
+		p.aOut = nil
+		for _, w := range out {
+			if err := p.b.Recv(p.now, w); err != nil {
+				t.Fatalf("b.Recv: %v", err)
+			}
+		}
+		out = p.bOut
+		p.bOut = nil
+		for _, w := range out {
+			if err := p.a.Recv(p.now, w); err != nil {
+				t.Fatalf("a.Recv: %v", err)
+			}
+		}
+	}
+}
+
+func (p *pipePair) establish(t *testing.T) {
+	t.Helper()
+	p.a.Start(p.now)
+	p.b.Start(p.now)
+	if err := p.a.ConnUp(p.now); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.b.ConnUp(p.now); err != nil {
+		t.Fatal(err)
+	}
+	p.pump(t)
+	if p.a.State() != StateEstablished || p.b.State() != StateEstablished {
+		t.Fatalf("states: a=%v b=%v", p.a.State(), p.b.State())
+	}
+	if !p.aEstab || !p.bEstab {
+		t.Fatal("OnEstablished not fired")
+	}
+}
+
+func TestSessionEstablishment(t *testing.T) {
+	p := newPipePair(t)
+	p.establish(t)
+	// Negotiated hold time is min(90, 30) = 30s on both ends.
+	if p.a.holdTime != 30*time.Second || p.b.holdTime != 30*time.Second {
+		t.Fatalf("hold times: a=%v b=%v", p.a.holdTime, p.b.holdTime)
+	}
+	if p.a.PeerAS() != 65002 || p.b.PeerAS() != 65001 {
+		t.Fatal("peer AS wrong")
+	}
+}
+
+func TestUpdateDelivery(t *testing.T) {
+	p := newPipePair(t)
+	p.establish(t)
+	u := &Update{Attrs: baseAttrs(), NLRI: []netaddr.Prefix{pfx("203.0.113.0/24")}}
+	if err := p.a.SendUpdate(u); err != nil {
+		t.Fatal(err)
+	}
+	p.pump(t)
+	if len(p.bUpdates) != 1 || p.bUpdates[0].NLRI[0].String() != "203.0.113.0/24" {
+		t.Fatalf("updates at b: %+v", p.bUpdates)
+	}
+	if p.a.UpdatesOut != 1 || p.b.UpdatesIn != 1 {
+		t.Fatal("counters wrong")
+	}
+}
+
+func TestWrongPeerASRejected(t *testing.T) {
+	p := newPipePair(t)
+	// Reconfigure b to expect AS 64999.
+	p.b.cfg.PeerAS = 64999
+	p.a.Start(p.now)
+	p.b.Start(p.now)
+	_ = p.a.ConnUp(p.now)
+	// a's OPEN arrives at b with AS 65001; b must reject and notify.
+	out := p.aOut
+	p.aOut = nil
+	for _, w := range out {
+		_ = p.b.Recv(p.now, w) // error expected internally
+	}
+	if p.b.State() != StateIdle {
+		t.Fatalf("b state = %v, want Idle", p.b.State())
+	}
+	// b sent a NOTIFICATION.
+	if len(p.bOut) == 0 {
+		t.Fatal("no notification sent")
+	}
+	m, err := Decode(p.bOut[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m.(*Notification); n.Code != ErrCodeOpenMessage {
+		t.Fatalf("notification code %d", n.Code)
+	}
+}
+
+func TestUpdateBeforeEstablishedIsFSMError(t *testing.T) {
+	p := newPipePair(t)
+	p.a.Start(p.now)
+	_ = p.a.ConnUp(p.now)
+	p.aOut = nil
+	wire, _ := Encode(&Update{})
+	if err := p.a.Recv(p.now, wire); err == nil {
+		t.Fatal("UPDATE in OpenSent accepted")
+	}
+	if p.a.State() != StateIdle {
+		t.Fatalf("state = %v", p.a.State())
+	}
+}
+
+func TestHoldTimerExpiry(t *testing.T) {
+	p := newPipePair(t)
+	p.establish(t)
+	p.a.Tick(p.now.Add(31 * time.Second))
+	if p.a.State() != StateIdle {
+		t.Fatalf("state after hold expiry = %v", p.a.State())
+	}
+	if len(p.aDown) == 0 {
+		t.Fatal("OnDown not fired")
+	}
+	// The hold-timer NOTIFICATION was emitted.
+	found := false
+	for _, w := range p.aOut {
+		if m, err := Decode(w); err == nil {
+			if n, ok := m.(*Notification); ok && n.Code == ErrCodeHoldTimer {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("hold timer notification not sent")
+	}
+}
+
+func TestKeepaliveRefreshesHold(t *testing.T) {
+	p := newPipePair(t)
+	p.establish(t)
+	// Keepalives exchanged at 10s (30/3) keep the session alive past 30s.
+	for i := 1; i <= 5; i++ {
+		p.now = p.now.Add(10 * time.Second)
+		p.a.Tick(p.now)
+		p.b.Tick(p.now)
+		p.pump(t)
+	}
+	if p.a.State() != StateEstablished || p.b.State() != StateEstablished {
+		t.Fatalf("session died despite keepalives: a=%v b=%v", p.a.State(), p.b.State())
+	}
+}
+
+func TestNotificationDropsSession(t *testing.T) {
+	p := newPipePair(t)
+	p.establish(t)
+	wire, _ := Encode(&Notification{Code: ErrCodeCease})
+	if err := p.a.Recv(p.now, wire); err != nil {
+		t.Fatal(err)
+	}
+	if p.a.State() != StateIdle {
+		t.Fatalf("state = %v", p.a.State())
+	}
+	if len(p.aDown) != 1 {
+		t.Fatalf("down events: %v", p.aDown)
+	}
+}
+
+func TestConnDown(t *testing.T) {
+	p := newPipePair(t)
+	p.establish(t)
+	p.a.ConnDown("link cut")
+	if p.a.State() != StateIdle || len(p.aDown) != 1 {
+		t.Fatalf("state=%v downs=%v", p.a.State(), p.aDown)
+	}
+	// ConnDown in Idle is a no-op.
+	p.a.ConnDown("again")
+	if len(p.aDown) != 1 {
+		t.Fatal("duplicate down event")
+	}
+}
+
+func TestPartialRecv(t *testing.T) {
+	p := newPipePair(t)
+	p.establish(t)
+	u := &Update{Attrs: baseAttrs(), NLRI: []netaddr.Prefix{pfx("203.0.113.0/24")}}
+	wire, _ := Encode(u)
+	// Deliver byte by byte.
+	for i := range wire {
+		if err := p.b.Recv(p.now, wire[i:i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(p.bUpdates) != 1 {
+		t.Fatalf("updates: %d", len(p.bUpdates))
+	}
+}
+
+func TestSendUpdateRequiresEstablished(t *testing.T) {
+	s := NewSession(SessionConfig{LocalAS: 1, RouterID: addr("1.1.1.1")}, SessionHooks{})
+	if err := s.SendUpdate(&Update{}); err == nil {
+		t.Fatal("SendUpdate in Idle accepted")
+	}
+}
+
+// TestPassiveOpen: a session that has not sent its OPEN yet (Connect
+// state) must respond to a peer's OPEN with its own OPEN + KEEPALIVE and
+// reach Established (the FSM's passive path).
+func TestPassiveOpen(t *testing.T) {
+	p := newPipePair(t)
+	p.a.Start(p.now)
+	p.b.Start(p.now)
+	// Only a initiates; b stays passive in Connect.
+	if err := p.a.ConnUp(p.now); err != nil {
+		t.Fatal(err)
+	}
+	p.pump(t)
+	if p.a.State() != StateEstablished || p.b.State() != StateEstablished {
+		t.Fatalf("passive establishment failed: a=%v b=%v", p.a.State(), p.b.State())
+	}
+}
+
+// TestSessionRestartAfterDown: after a session drops, Start/ConnUp must
+// bring it back up cleanly (Idle → ... → Established again).
+func TestSessionRestartAfterDown(t *testing.T) {
+	p := newPipePair(t)
+	p.establish(t)
+	p.a.ConnDown("flap")
+	p.b.ConnDown("flap")
+	if p.a.State() != StateIdle {
+		t.Fatal("not idle after down")
+	}
+	p.a.Start(p.now)
+	p.b.Start(p.now)
+	if err := p.a.ConnUp(p.now); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.b.ConnUp(p.now); err != nil {
+		t.Fatal(err)
+	}
+	p.pump(t)
+	if p.a.State() != StateEstablished || p.b.State() != StateEstablished {
+		t.Fatalf("restart failed: a=%v b=%v", p.a.State(), p.b.State())
+	}
+}

@@ -1,0 +1,477 @@
+package concolic
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dice/internal/solver"
+	"dice/internal/sym"
+)
+
+// RunContext is handed to the instrumented handler for one concrete
+// execution. It resolves symbolic inputs to their concrete values for this
+// run and records the path condition at every branch.
+type RunContext struct {
+	env     sym.Env
+	vars    map[string]*sym.Var
+	path    []sym.Expr // oriented: each conjunct is true on this run
+	assumes []sym.Expr // non-negatable well-formedness constraints
+	dropped int        // constraints suppressed via ConcretizeOpaque
+	notes   []string
+}
+
+// Input returns the concolic value of the named symbolic input. It panics
+// on unknown names: that is an instrumentation bug, not an input error.
+func (rc *RunContext) Input(name string) Value {
+	v, ok := rc.vars[name]
+	if !ok {
+		panic(fmt.Sprintf("concolic: unknown symbolic input %q", name))
+	}
+	return Value{C: rc.env[v.ID] & widthMask(v.W), S: v, W: v.W}
+}
+
+// Env exposes the concrete assignment driving this run.
+func (rc *RunContext) Env() sym.Env { return rc.env }
+
+// Branch evaluates cond concretely, records the oriented path constraint
+// when cond is symbolic, and returns the concrete outcome. Instrumented
+// code uses it for every conditional: `if rc.Branch(Lt(x, y)) { ... }`.
+func (rc *RunContext) Branch(cond Value) bool {
+	taken := cond.C != 0
+	if cond.S != nil {
+		e := boolExpr(cond)
+		if !taken {
+			e = sym.NewNot(e)
+		}
+		// Skip constraints that folded to constants; they carry no choice.
+		if _, isConst := e.(sym.BoolConst); !isConst {
+			rc.path = append(rc.path, e)
+		}
+	}
+	return taken
+}
+
+// Assume records a constraint that must hold on this path without
+// representing a negatable branch (e.g. well-formedness the caller
+// guarantees). It is conjoined to every solver query for this path but is
+// never itself negated, so all generated inputs satisfy it.
+func (rc *RunContext) Assume(cond Value) {
+	if cond.S == nil {
+		return
+	}
+	e := boolExpr(cond)
+	if cond.C == 0 {
+		e = sym.NewNot(e)
+	}
+	if _, isConst := e.(sym.BoolConst); !isConst {
+		rc.assumes = append(rc.assumes, e)
+	}
+}
+
+// ConcretizeOpaque returns the concrete value of v and drops its symbolic
+// part without recording a constraint. This is the paper's hash-function
+// escape hatch: constraints through irreversible functions are suppressed
+// rather than recorded.
+func (rc *RunContext) ConcretizeOpaque(v Value) uint64 {
+	if v.S != nil {
+		rc.dropped++
+	}
+	return v.C
+}
+
+// Note attaches a free-form annotation to the run (visible in the path
+// result), used by oracles for explanation strings.
+func (rc *RunContext) Note(format string, args ...any) {
+	rc.notes = append(rc.notes, fmt.Sprintf(format, args...))
+}
+
+// PathSig is a canonical signature of an execution path (the rendered
+// conjunction of its oriented constraints).
+type PathSig string
+
+func signature(path []sym.Expr) PathSig {
+	return PathSig(sym.FormatPath(path))
+}
+
+// PathResult describes one explored execution.
+type PathResult struct {
+	Seq     int        // run sequence number (0 = seed run)
+	Env     sym.Env    // concrete input assignment for the run
+	Path    []sym.Expr // oriented branch constraints, in execution order
+	Assumes []sym.Expr // non-negatable well-formedness constraints
+	Output  any        // handler return value
+	Notes   []string   // handler annotations
+}
+
+// Constraints returns the full path condition (assumptions ∧ branches).
+func (p *PathResult) Constraints() []sym.Expr {
+	out := make([]sym.Expr, 0, len(p.Assumes)+len(p.Path))
+	out = append(out, p.Assumes...)
+	return append(out, p.Path...)
+}
+
+// Strategy selects the order in which branch negations are attempted.
+type Strategy int
+
+// Exploration strategies.
+const (
+	// Generational negates every suffix predicate of each new path (the
+	// CREST/SAGE default the paper uses: attempt full coverage of paths
+	// reachable from the controlled inputs).
+	Generational Strategy = iota
+	// DFS negates the deepest predicate first.
+	DFS
+	// BFS negates the shallowest predicate first.
+	BFS
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Generational:
+		return "generational"
+	case DFS:
+		return "dfs"
+	case BFS:
+		return "bfs"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Options configures an exploration.
+type Options struct {
+	Strategy Strategy
+	// MaxRuns bounds the number of handler executions (0 = 10000).
+	MaxRuns int
+	// MaxDepth bounds how deep in the path condition predicates are
+	// negated (0 = unlimited).
+	MaxDepth int
+	// Workers is the number of parallel exploration goroutines (0 = 1).
+	// The paper's Oasis "can execute multiple explorations in parallel".
+	Workers int
+	// SolverNodes is the per-query solver budget (0 = solver default).
+	SolverNodes int
+	// TimeBudget stops exploration after this duration (0 = unlimited).
+	TimeBudget time.Duration
+	// Cancel, when non-nil, stops exploration as soon as it is closed
+	// (checked between runs). DiCE uses it to halt online exploration
+	// when the operator or an experiment ends the testing window.
+	Cancel <-chan struct{}
+}
+
+// Handler is the instrumented message-handler body: it executes one input
+// (read through rc.Input) against checkpointed state and returns an
+// arbitrary output for the oracles.
+type Handler func(rc *RunContext) any
+
+// Engine explores all execution paths of a Handler reachable by varying
+// the declared symbolic inputs, starting from a seed assignment.
+type Engine struct {
+	opts    Options
+	vars    []*sym.Var
+	byName  map[string]*sym.Var
+	seed    sym.Env
+	handler Handler
+	nextID  int
+}
+
+// NewEngine creates an engine for the given handler.
+func NewEngine(handler Handler, opts Options) *Engine {
+	if opts.MaxRuns <= 0 {
+		opts.MaxRuns = 10000
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	return &Engine{
+		opts:    opts,
+		byName:  make(map[string]*sym.Var),
+		seed:    make(sym.Env),
+		handler: handler,
+	}
+}
+
+// Var declares a symbolic input with a seed (currently observed) value.
+// The paper marks selectively chosen small fields of the UPDATE message
+// symbolic; each such field becomes one Var.
+func (e *Engine) Var(name string, width int, seed uint64) {
+	if _, dup := e.byName[name]; dup {
+		panic(fmt.Sprintf("concolic: duplicate symbolic input %q", name))
+	}
+	v := &sym.Var{ID: e.nextID, Name: name, W: width}
+	e.nextID++
+	e.vars = append(e.vars, v)
+	e.byName[name] = v
+	e.seed[v.ID] = seed & widthMask(width)
+}
+
+// Report summarizes an exploration.
+type Report struct {
+	Paths        []PathResult // distinct executed paths, in discovery order
+	Runs         int          // handler executions (including duplicates)
+	SolverCalls  int
+	SolverSat    int
+	SolverUnsat  int
+	BranchesSeen int // distinct oriented constraints observed
+	Elapsed      time.Duration
+	Budget       string // which budget stopped exploration, if any
+}
+
+// workItem is a pending negation: solve prefix ∧ ¬negated, run if sat.
+type workItem struct {
+	prefix  []sym.Expr
+	negated sym.Expr
+	depth   int // index of the negated predicate, for child bounds
+	hint    sym.Env
+}
+
+// RunOnce executes the handler under a specific concrete assignment and
+// returns the resulting path. DiCE uses it to validate oracle witnesses
+// by re-execution: a witness produced through constraint solving is only
+// reported after the instrumented handler confirms it concretely
+// (guarding against concretization imprecision in recorded constraints).
+func (e *Engine) RunOnce(env sym.Env) PathResult {
+	merged := cloneEnv(e.seed)
+	for id, v := range env {
+		merged[id] = v
+	}
+	rc := &RunContext{env: merged, vars: e.byName}
+	out := e.handler(rc)
+	return PathResult{
+		Env:     merged,
+		Path:    rc.path,
+		Assumes: rc.assumes,
+		Output:  out,
+		Notes:   rc.notes,
+	}
+}
+
+// Explore runs the concolic exploration loop and returns its report.
+func (e *Engine) Explore() *Report {
+	start := time.Now()
+	rep := &Report{}
+
+	var (
+		mu       sync.Mutex
+		seen     = map[PathSig]bool{}
+		attempts = map[string]bool{} // negation queries already issued
+		branches = map[string]bool{}
+		queue    []workItem
+		runs     int
+		seq      int
+	)
+
+	deadline := time.Time{}
+	if e.opts.TimeBudget > 0 {
+		deadline = start.Add(e.opts.TimeBudget)
+	}
+
+	// execute runs the handler under an assignment and folds the resulting
+	// path into the frontier. Returns false when the run budget is gone.
+	var execute func(env sym.Env, bound int) bool
+	cancelled := func() bool {
+		if e.opts.Cancel == nil {
+			return false
+		}
+		select {
+		case <-e.opts.Cancel:
+			return true
+		default:
+			return false
+		}
+	}
+
+	execute = func(env sym.Env, bound int) bool {
+		mu.Lock()
+		if cancelled() {
+			rep.Budget = "cancelled"
+			mu.Unlock()
+			return false
+		}
+		if runs >= e.opts.MaxRuns {
+			rep.Budget = "max-runs"
+			mu.Unlock()
+			return false
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			rep.Budget = "time"
+			mu.Unlock()
+			return false
+		}
+		runs++
+		mySeq := seq
+		seq++
+		mu.Unlock()
+
+		rc := &RunContext{env: env, vars: e.byName}
+		out := e.handler(rc)
+
+		mu.Lock()
+		defer mu.Unlock()
+		sig := signature(rc.assumes) + "//" + signature(rc.path)
+		fresh := !seen[sig]
+		if fresh {
+			seen[sig] = true
+			rep.Paths = append(rep.Paths, PathResult{
+				Seq:     mySeq,
+				Env:     cloneEnv(env),
+				Path:    rc.path,
+				Assumes: rc.assumes,
+				Output:  out,
+				Notes:   rc.notes,
+			})
+		}
+		for _, c := range rc.path {
+			branches[c.String()] = true
+		}
+		if !fresh {
+			return true
+		}
+		// Schedule negations of this path's suffix (generational bound) —
+		// "the concolic execution engine starts negating constraints one at
+		// a time, resulting in a set of inputs" (§2.3). The aggregate set
+		// grows because later runs may reach branches earlier runs missed.
+		limit := len(rc.path)
+		if e.opts.MaxDepth > 0 && limit > e.opts.MaxDepth {
+			limit = e.opts.MaxDepth
+		}
+		for i := bound; i < limit; i++ {
+			neg := sym.NewNot(rc.path[i])
+			key := signature(rc.path[:i]) + "/" + PathSig(neg.String())
+			if attempts[string(key)] {
+				continue
+			}
+			attempts[string(key)] = true
+			// Assumptions are conjoined to the prefix so solutions always
+			// satisfy them, but they are never negated themselves.
+			prefix := make([]sym.Expr, 0, len(rc.assumes)+i)
+			prefix = append(prefix, rc.assumes...)
+			prefix = append(prefix, rc.path[:i]...)
+			item := workItem{
+				prefix:  prefix,
+				negated: neg,
+				depth:   i,
+				hint:    cloneEnv(env),
+			}
+			queue = append(queue, item)
+		}
+		e.orderQueue(queue)
+		return true
+	}
+
+	// Seed run explores from the observed input.
+	if !execute(cloneEnv(e.seed), 0) {
+		rep.Elapsed = time.Since(start)
+		return rep
+	}
+
+	// Worker pool drains the negation queue. Each worker owns a solver.
+	var wg sync.WaitGroup
+	active := 0 // items being processed; guarded by mu
+	cond := sync.NewCond(&mu)
+
+	worker := func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			for len(queue) == 0 && active > 0 {
+				cond.Wait()
+			}
+			if len(queue) == 0 {
+				mu.Unlock()
+				cond.Broadcast()
+				return
+			}
+			item := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			active++
+			stop := runs >= e.opts.MaxRuns ||
+				(!deadline.IsZero() && time.Now().After(deadline)) ||
+				cancelled()
+			mu.Unlock()
+
+			if stop {
+				mu.Lock()
+				active--
+				queue = nil
+				if rep.Budget == "" {
+					switch {
+					case cancelled():
+						rep.Budget = "cancelled"
+					case runs >= e.opts.MaxRuns:
+						rep.Budget = "max-runs"
+					default:
+						rep.Budget = "time"
+					}
+				}
+				mu.Unlock()
+				cond.Broadcast()
+				return
+			}
+
+			cs := append(append([]sym.Expr(nil), item.prefix...), item.negated)
+			env, res := solver.New(solver.Options{
+				MaxNodes: e.opts.SolverNodes,
+				Hint:     item.hint,
+			}).Solve(cs)
+
+			mu.Lock()
+			rep.SolverCalls++
+			switch res {
+			case solver.Sat:
+				rep.SolverSat++
+			case solver.Unsat:
+				rep.SolverUnsat++
+			}
+			mu.Unlock()
+
+			if res == solver.Sat {
+				// Unconstrained inputs keep their observed (hinted) value.
+				merged := cloneEnv(item.hint)
+				for id, v := range env {
+					merged[id] = v
+				}
+				execute(merged, item.depth+1)
+			}
+
+			mu.Lock()
+			active--
+			mu.Unlock()
+			cond.Broadcast()
+		}
+	}
+
+	wg.Add(e.opts.Workers)
+	for i := 0; i < e.opts.Workers; i++ {
+		go worker()
+	}
+	wg.Wait()
+
+	rep.Runs = runs
+	rep.BranchesSeen = len(branches)
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// orderQueue arranges pending work according to the strategy. The queue is
+// drained from the back, so DFS wants deepest-last, BFS shallowest-last.
+func (e *Engine) orderQueue(queue []workItem) {
+	switch e.opts.Strategy {
+	case DFS:
+		sort.SliceStable(queue, func(i, j int) bool { return queue[i].depth < queue[j].depth })
+	case BFS:
+		sort.SliceStable(queue, func(i, j int) bool { return queue[i].depth > queue[j].depth })
+	case Generational:
+		// FIFO-ish: keep insertion order, drain oldest last for breadth
+		// across generations while still finishing each generation.
+	}
+}
+
+func cloneEnv(e sym.Env) sym.Env {
+	c := make(sym.Env, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}

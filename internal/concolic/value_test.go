@@ -1,0 +1,170 @@
+package concolic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dice/internal/sym"
+)
+
+func symInput(id int, name string, w int, c uint64) Value {
+	v := &sym.Var{ID: id, Name: name, W: w}
+	return Value{C: c & widthMask(w), S: v, W: w}
+}
+
+func TestConcreteOps(t *testing.T) {
+	a, b := Concrete(10, 32), Concrete(3, 32)
+	cases := []struct {
+		name string
+		got  Value
+		want uint64
+	}{
+		{"add", Add(a, b), 13},
+		{"sub", Sub(a, b), 7},
+		{"mul", Mul(a, b), 30},
+		{"div", Div(a, b), 3},
+		{"mod", Mod(a, b), 1},
+		{"and", And(a, b), 2},
+		{"or", Or(a, b), 11},
+		{"xor", Xor(a, b), 9},
+		{"shl", Shl(a, b), 80},
+		{"shr", Shr(a, b), 1},
+	}
+	for _, c := range cases {
+		if c.got.C != c.want {
+			t.Errorf("%s: got %d want %d", c.name, c.got.C, c.want)
+		}
+		if c.got.IsSymbolic() {
+			t.Errorf("%s: concrete op produced symbolic value", c.name)
+		}
+	}
+}
+
+func TestSymbolicPropagation(t *testing.T) {
+	x := symInput(1, "x", 32, 10)
+	r := Add(x, Concrete(5, 32))
+	if r.C != 15 || !r.IsSymbolic() {
+		t.Fatalf("add: %v", r)
+	}
+	// The symbolic expression must evaluate consistently with the
+	// concrete computation for any input value (the concolic invariant).
+	if got := sym.Eval(r.S, sym.Env{1: 10}); got != 15 {
+		t.Fatalf("expr eval = %d, want 15", got)
+	}
+	if got := sym.Eval(r.S, sym.Env{1: 100}); got != 105 {
+		t.Fatalf("expr eval at 100 = %d, want 105", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	x := symInput(1, "x", 32, 10)
+	c := Lt(x, Concrete(20, 32))
+	if c.C != 1 || !c.IsSymbolic() || c.W != 1 {
+		t.Fatalf("lt: %v", c)
+	}
+	if !c.S.IsBool() {
+		t.Fatal("comparison should produce a boolean expression")
+	}
+	d := Gt(x, Concrete(20, 32))
+	if d.C != 0 {
+		t.Fatalf("gt: %v", d)
+	}
+}
+
+func TestBoolOps(t *testing.T) {
+	x := symInput(1, "x", 32, 10)
+	a := Lt(x, Concrete(20, 32)) // true
+	b := Gt(x, Concrete(50, 32)) // false
+	if BoolAnd(a, b).C != 0 {
+		t.Error("true && false should be false")
+	}
+	if BoolOr(a, b).C != 1 {
+		t.Error("true || false should be true")
+	}
+	if BoolNot(a).C != 0 || BoolNot(b).C != 1 {
+		t.Error("negation wrong")
+	}
+	// Concrete-only bool ops stay concrete.
+	if BoolAnd(Bool(true), Bool(true)).IsSymbolic() {
+		t.Error("concrete bool op should stay concrete")
+	}
+}
+
+func TestTruncateExtend(t *testing.T) {
+	x := symInput(1, "x", 32, 0x12345678)
+	tr := Truncate(x, 8)
+	if tr.C != 0x78 || tr.W != 8 {
+		t.Fatalf("truncate: %v", tr)
+	}
+	if got := sym.Eval(tr.S, sym.Env{1: 0x12345678}); got != 0x78 {
+		t.Fatalf("truncate expr = %#x", got)
+	}
+	ex := Extend(Concrete(0xff, 8), 32)
+	if ex.C != 0xff || ex.W != 32 {
+		t.Fatalf("extend: %v", ex)
+	}
+	// No-op cases.
+	if got := Truncate(x, 32); got.W != 32 {
+		t.Fatal("truncate to same width should be a no-op")
+	}
+	if got := Extend(x, 16); got.W != 32 {
+		t.Fatal("extend to narrower width should be a no-op")
+	}
+}
+
+func TestWidthMixing(t *testing.T) {
+	a := Concrete(0xff, 8)
+	b := Concrete(0x100, 16)
+	r := Add(a, b)
+	if r.W != 16 || r.C != 0x1ff {
+		t.Fatalf("width mixing: %v", r)
+	}
+}
+
+func TestBoolValue(t *testing.T) {
+	if Bool(true).C != 1 || Bool(false).C != 0 {
+		t.Fatal("Bool constructor wrong")
+	}
+	if !Bool(true).NonZero() || Bool(false).NonZero() {
+		t.Fatal("NonZero wrong")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if Concrete(5, 32).String() == "" {
+		t.Fatal("empty string")
+	}
+	x := symInput(1, "x", 32, 5)
+	if Add(x, Concrete(1, 32)).String() == Concrete(6, 32).String() {
+		t.Fatal("symbolic string should differ from concrete")
+	}
+}
+
+// Property: the concolic invariant — for every operation, the concrete
+// part equals the symbolic expression evaluated at the input assignment.
+func TestConcolicInvariant(t *testing.T) {
+	ops := []func(a, b Value) Value{Add, Sub, Mul, Div, Mod, And, Or, Xor, Shl, Shr, Eq, Ne, Lt, Le, Gt, Ge}
+	f := func(xv, yv uint32, opIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		x := symInput(1, "x", 32, uint64(xv))
+		y := symInput(2, "y", 32, uint64(yv))
+		r := op(x, y)
+		env := sym.Env{1: uint64(xv), 2: uint64(yv)}
+		return r.C == sym.Eval(r.S, env)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: zero-width Values behave as 64-bit.
+func TestZeroWidthDefaults(t *testing.T) {
+	v := Value{C: 5}
+	if v.width() != 64 {
+		t.Fatal("zero width should default to 64")
+	}
+	r := Add(v, Value{C: 3})
+	if r.C != 8 {
+		t.Fatalf("add on zero-width: %v", r)
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dice/internal/concolic"
+	"dice/internal/filter"
+)
+
+// FilterAudit is the result of exploring a policy filter in isolation:
+// per-clause coverage and the clauses exploration proved problematic.
+type FilterAudit struct {
+	Filter string
+	Paths  int
+	Runs   int
+	Sites  []filter.SiteCount
+	// DeadTrue lists conditions that were never true on any feasible
+	// path — their guarded statements are unreachable (dead config).
+	DeadTrue []filter.SiteCount
+	// DeadFalse lists conditions that were never false — redundant
+	// guards (the clause fires on every path that reaches it).
+	DeadFalse []filter.SiteCount
+}
+
+// String renders an operator-facing audit report.
+func (a *FilterAudit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "filter %s: %d if-sites, %d paths explored in %d runs\n",
+		a.Filter, len(a.Sites), a.Paths, a.Runs)
+	for _, sc := range a.Sites {
+		fmt.Fprintf(&b, "  site %-12s true=%-5d false=%-5d  %s\n", sc.Site, sc.True, sc.False, sc.Cond)
+	}
+	for _, sc := range a.DeadTrue {
+		fmt.Fprintf(&b, "  DEAD CLAUSE: site %s condition can never hold: %s\n", sc.Site, sc.Cond)
+	}
+	for _, sc := range a.DeadFalse {
+		fmt.Fprintf(&b, "  REDUNDANT GUARD: site %s condition always holds: %s\n", sc.Site, sc.Cond)
+	}
+	return b.String()
+}
+
+// AuditFilter concolically explores a single policy filter with every
+// subject field symbolic, and reports clause coverage: a configuration
+// lint built from the paper's observation that exploration covers the
+// interpreted configuration like code. Conditions that never evaluate
+// true across the *entire feasible input space* guard dead clauses —
+// typos like `net.len > 32` or ranges shadowed by earlier clauses.
+func AuditFilter(f *filter.Filter, maxRuns int) *FilterAudit {
+	if maxRuns <= 0 {
+		maxRuns = 5000
+	}
+	cov := filter.NewCoverage()
+	handler := func(rc *concolic.RunContext) any {
+		subj := &filter.Subject{
+			NetAddr:   rc.Input("addr"),
+			NetLen:    rc.Input("len"),
+			PathLen:   rc.Input("pathlen"),
+			OriginAS:  rc.Input("originas"),
+			FirstAS:   rc.Input("firstas"),
+			Origin:    rc.Input("origin"),
+			LocalPref: rc.Input("localpref"),
+			MED:       rc.Input("med"),
+		}
+		// Wire-format invariants, so "never true" means never true for
+		// any *valid* message.
+		rc.Assume(concolic.Le(subj.NetLen, concolic.Concrete(32, 8)))
+		rc.Assume(concolic.Le(subj.Origin, concolic.Concrete(2, 8)))
+		v := filter.RunWithCoverage(f, subj, rc, cov)
+		return v.Disposition
+	}
+	eng := concolic.NewEngine(handler, concolic.Options{MaxRuns: maxRuns})
+	eng.Var("addr", 32, 0x0A070000)
+	eng.Var("len", 8, 16)
+	eng.Var("pathlen", 16, 1)
+	eng.Var("originas", 16, 65001)
+	eng.Var("firstas", 16, 65001)
+	eng.Var("origin", 8, 0)
+	eng.Var("localpref", 32, 100)
+	eng.Var("med", 32, 0)
+	rep := eng.Explore()
+
+	audit := &FilterAudit{
+		Filter: f.Name,
+		Paths:  len(rep.Paths),
+		Runs:   rep.Runs,
+		Sites:  cov.Sites(),
+	}
+	for _, sc := range cov.Dead() {
+		if sc.True == 0 {
+			audit.DeadTrue = append(audit.DeadTrue, sc)
+		} else {
+			audit.DeadFalse = append(audit.DeadFalse, sc)
+		}
+	}
+	return audit
+}

@@ -1,0 +1,244 @@
+// Package core implements DiCE itself — the paper's contribution: online
+// testing of a deployed node by concolic exploration from live state.
+//
+// One exploration round (§2.3):
+//
+//  1. Take a checkpoint of the live node (page-granular, COW-shared).
+//  2. Derive a symbolic input template from a previously observed UPDATE
+//     (selectively small fields: NLRI address/length, attribute values).
+//  3. Repeatedly: clone the checkpoint, execute the instrumented message
+//     handler with an engine-chosen input, record the path constraints,
+//     negate one predicate, solve, repeat — while intercepting every
+//     message the clones produce so the deployed system is unaffected.
+//  4. Run the fault oracles over the explored outcomes (here: the origin
+//     misconfiguration / prefix-hijack detector of §4.2, with anycast
+//     false-positive suppression).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dice/internal/bgp"
+	"dice/internal/checkpoint"
+	"dice/internal/concolic"
+	"dice/internal/netsim"
+	"dice/internal/router"
+)
+
+// Options configures one DiCE exploration round.
+type Options struct {
+	// Engine tunes the concolic engine (strategies, budgets, workers).
+	Engine concolic.Options
+	// MeasureMemory enables per-clone page accounting (the §4.1 memory
+	// experiment). It costs one state serialization per run.
+	MeasureMemory bool
+	// CloneLock, when set, is held while forking clones from the live
+	// router. Throughput experiments share it with the live update path
+	// so checkpointing serializes against message processing, as fork()
+	// serializes against the process it snapshots.
+	CloneLock sync.Locker
+	// PageSize for checkpoint accounting (0 = 4096).
+	PageSize int
+}
+
+// MemoryStats reproduces the §4.1 memory measurements.
+type MemoryStats struct {
+	CheckpointPages int
+	CheckpointBytes int
+	// CheckpointUniqueFraction is the fraction of the checkpoint's pages
+	// not shared with the live process state at measurement time (paper:
+	// 3.45%).
+	CheckpointUniqueFraction float64
+	// CloneOverheadMean/Max are extra pages consumed by exploration
+	// clones relative to the checkpoint (paper: mean 36.93%, max 39%).
+	CloneOverheadMean float64
+	CloneOverheadMax  float64
+	ClonesMeasured    int
+}
+
+// Result is the outcome of one exploration round.
+type Result struct {
+	Report   *concolic.Report
+	Findings []Finding
+	// FalsePositivesFiltered counts potential hijacks suppressed because
+	// the prefix is known anycast space.
+	FalsePositivesFiltered int
+	// CapturedMessages is the number of messages clones tried to send;
+	// all of them were intercepted (isolation invariant).
+	CapturedMessages int
+	// WitnessesRejected counts oracle findings whose witness failed
+	// validation by re-execution (dropped from Findings).
+	WitnessesRejected int
+	Memory            MemoryStats
+	Elapsed           time.Duration
+}
+
+// DiCE drives exploration for one live router.
+type DiCE struct {
+	live *router.Router
+	opts Options
+}
+
+// New creates a DiCE instance attached to a live router.
+func New(live *router.Router, opts Options) *DiCE {
+	return &DiCE{live: live, opts: opts}
+}
+
+// witnessEnv converts a finding's named input back into an engine
+// assignment (IDs follow DeclareSymbolicInputs declaration order).
+func witnessEnv(input map[string]uint64) map[int]uint64 {
+	names := []string{
+		router.StandardVars.Addr,
+		router.StandardVars.Len,
+		router.StandardVars.Origin,
+		router.StandardVars.MED,
+		router.StandardVars.LocalPref,
+	}
+	env := make(map[int]uint64, len(input))
+	for id, name := range names {
+		if v, ok := input[name]; ok {
+			env[id] = v
+		}
+	}
+	return env
+}
+
+// withLock runs fn holding the clone lock when one is configured.
+func (d *DiCE) withLock(fn func()) {
+	if d.opts.CloneLock != nil {
+		d.opts.CloneLock.Lock()
+		defer d.opts.CloneLock.Unlock()
+	}
+	fn()
+}
+
+// ExplorePeer runs one exploration round using the most recent UPDATE
+// observed from the named peer as the seed input.
+func (d *DiCE) ExplorePeer(peerName string) (*Result, error) {
+	var seed *bgp.Update
+	d.withLock(func() { seed = d.live.LastObserved(peerName) })
+	if seed == nil {
+		return nil, fmt.Errorf("dice: no observed UPDATE from peer %q to explore from", peerName)
+	}
+	return d.ExploreSeed(peerName, seed)
+}
+
+// ExploreSeed runs one exploration round from an explicitly provided seed
+// UPDATE (normally ExplorePeer supplies the last observed one).
+func (d *DiCE) ExploreSeed(peerName string, seed *bgp.Update) (*Result, error) {
+	if len(seed.NLRI) == 0 {
+		return nil, fmt.Errorf("dice: seed UPDATE for %q carries no NLRI", peerName)
+	}
+	start := time.Now()
+
+	// Step 1: checkpoint the live node. Like the paper's fork(), this is
+	// the only operation that touches the live process: one clone is
+	// taken under the state lock ("the checkpoint process"), and all
+	// exploration clones fork from it, never from the live router.
+	sink := netsim.NewCaptureSink()
+	store := checkpoint.NewStore(d.opts.PageSize)
+	var ckptRouter *router.Router
+	d.withLock(func() { ckptRouter = d.live.Clone(sink) })
+	var ckpt *checkpoint.Snapshot
+	if d.opts.MeasureMemory {
+		ckpt = store.TakeChunks("checkpoint", ckptRouter.EncodeStateChunks())
+	}
+
+	var (
+		mu             sync.Mutex
+		cloneOverheads []float64
+	)
+
+	// Step 3: the instrumented handler. Every run forks a fresh clone of
+	// the checkpoint process; its messages go to the capture sink.
+	handler := func(rc *concolic.RunContext) any {
+		// COW clone: O(1) like fork(). Memory accounting needs the full
+		// serialized state, so MeasureMemory uses eager clones instead.
+		var clone *router.Router
+		if d.opts.MeasureMemory {
+			clone = ckptRouter.Clone(sink)
+		} else {
+			clone = ckptRouter.CloneCOW(sink)
+		}
+		out := clone.HandleUpdateConcolic(rc, peerName, seed)
+		if d.opts.MeasureMemory {
+			snap := store.TakeChunks("clone", clone.EncodeStateChunks())
+			over := snap.OverheadFraction(ckpt)
+			snap.Release()
+			mu.Lock()
+			cloneOverheads = append(cloneOverheads, over)
+			mu.Unlock()
+		}
+		return out
+	}
+
+	// Step 2: symbolic input template from the observed message.
+	eng := concolic.NewEngine(handler, d.opts.Engine)
+	if err := router.DeclareSymbolicInputs(eng, seed); err != nil {
+		return nil, err
+	}
+
+	rep := eng.Explore()
+
+	res := &Result{
+		Report:           rep,
+		CapturedMessages: sink.Count(),
+		Elapsed:          time.Since(start),
+	}
+
+	// Step 4: oracles — run against the checkpoint-time routing table
+	// (the "routes already in the routing table prior to starting
+	// exploration", §4.2), which is exactly the checkpoint process's RIB.
+	res.Findings, res.FalsePositivesFiltered = DetectHijacks(d.live.Config(), rep, ckptRouter.RIB())
+
+	// Step 5: witness validation by re-execution. Each finding's witness
+	// input came out of the constraint solver; concretization (e.g. the
+	// mask computed from the run's concrete length) can make recorded
+	// constraints imprecise, so every witness is replayed through the
+	// instrumented handler on a fresh clone and must concretely reproduce
+	// the hijack before it is reported.
+	validated := res.Findings[:0]
+	for _, fd := range res.Findings {
+		pr := eng.RunOnce(witnessEnv(fd.Input))
+		out, ok := pr.Output.(router.ExplorationOutcome)
+		if ok && out.Accepted && fd.VictimPrefix.Covers(out.Prefix) && out.OriginAS != fd.VictimAS {
+			fd.Validated = true
+			fd.SpreadTo = out.SpreadTo
+			validated = append(validated, fd)
+		} else {
+			res.WitnessesRejected++
+		}
+	}
+	res.Findings = validated
+
+	// Memory accounting (only in MeasureMemory mode — serializing and
+	// hashing the full state is itself costly): compare the checkpoint
+	// against the live node's current state (it kept processing while we
+	// explored).
+	if d.opts.MeasureMemory {
+		res.Memory.CheckpointPages = ckpt.Pages()
+		res.Memory.CheckpointBytes = ckpt.Size()
+		var liveNow *checkpoint.Snapshot
+		d.withLock(func() {
+			liveNow = store.TakeChunks("live-now", d.live.EncodeStateChunks())
+		})
+		res.Memory.CheckpointUniqueFraction = ckpt.UniqueFraction(liveNow)
+		liveNow.Release()
+		if n := len(cloneOverheads); n > 0 {
+			var sum, max float64
+			for _, o := range cloneOverheads {
+				sum += o
+				if o > max {
+					max = o
+				}
+			}
+			res.Memory.CloneOverheadMean = sum / float64(n)
+			res.Memory.CloneOverheadMax = max
+			res.Memory.ClonesMeasured = n
+		}
+		ckpt.Release()
+	}
+	return res, nil
+}

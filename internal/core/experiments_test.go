@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dice/internal/filter"
+)
+
+// filterParse is a local alias to keep test call sites short.
+func filterParse(src string) (*filter.Filter, error) { return filter.Parse(src) }
+
+func tinyScale() Scale {
+	return Scale{TableSize: 500, UpdateCount: 100, ExploreRuns: 200, Seed: 1}
+}
+
+func TestRunE1Memory(t *testing.T) {
+	res, err := RunE1Memory(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckpointPages == 0 {
+		t.Fatal("no checkpoint pages")
+	}
+	// The checkpoint diverged from the live state (update replay touched
+	// some buckets) but must share most pages — the fork-COW property.
+	if res.UniqueFraction <= 0 || res.UniqueFraction > 0.6 {
+		t.Fatalf("unique fraction %v out of plausible range", res.UniqueFraction)
+	}
+	if res.ClonesMeasured == 0 {
+		t.Fatal("no clones measured")
+	}
+	// Clones must cost far less than a full copy (paper: +36.93% of
+	// checkpoint pages; ours is tighter because only the touched RIB
+	// bucket diverges).
+	if res.CloneOverheadMean >= 1.0 {
+		t.Fatalf("clone overhead %v — no sharing at all", res.CloneOverheadMean)
+	}
+	if res.CloneOverheadMax < res.CloneOverheadMean {
+		t.Fatal("max < mean")
+	}
+}
+
+func TestRunE2FullLoad(t *testing.T) {
+	res, err := RunE2FullLoad(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpdatesPerSecWith <= 0 || res.UpdatesPerSecWithout <= 0 {
+		t.Fatalf("rates: %+v", res)
+	}
+	// Shape check: exploration may slow the router, but not by an order
+	// of magnitude (paper: 8%). Allow generous slack for CI noise.
+	if res.UpdatesPerSecWith < res.UpdatesPerSecWithout*0.2 {
+		t.Fatalf("impact too large: %+v", res)
+	}
+}
+
+func TestRunE3Steady(t *testing.T) {
+	s := tinyScale()
+	s.UpdateCount = 50
+	res, err := RunE3Steady(s, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paced replay: both rates are pinned by the pacing window, so the
+	// difference must be negligible (paper: 0.272 vs 0.287).
+	if res.ImpactPercent > 25 || res.ImpactPercent < -25 {
+		t.Fatalf("steady-state impact %v%% not negligible: %+v", res.ImpactPercent, res)
+	}
+}
+
+func TestRunE4RouteLeak(t *testing.T) {
+	res, err := RunE4RouteLeak(tinyScale(), BrokenCustomerFilter, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatalf("no findings: %+v", res)
+	}
+	if !res.YouTubeDetected {
+		t.Fatalf("YouTube-analogue victim not detected among %d findings", len(res.Findings))
+	}
+	// The correct filter must stay silent.
+	clean, err := RunE4RouteLeak(tinyScale(), CorrectCustomerFilter, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Findings) != 0 {
+		t.Fatalf("correct filter produced findings: %v", clean.Findings)
+	}
+}
+
+func TestRunA1SymbolicMarking(t *testing.T) {
+	res, err := RunA1SymbolicMarking(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FieldValidRatio != 1.0 {
+		t.Fatalf("field marking should always generate valid messages: %v", res.FieldValidRatio)
+	}
+	// Raw-byte marking wastes most of its budget on invalid messages —
+	// the §3.2 claim the design rests on.
+	if res.RawValidRatio >= 0.9 {
+		t.Fatalf("raw marking valid ratio %v suspiciously high", res.RawValidRatio)
+	}
+	if res.FieldPolicyPaths < 2 {
+		t.Fatalf("field marking reached too few policy paths: %d", res.FieldPolicyPaths)
+	}
+}
+
+func TestRunA2CheckpointVsReplay(t *testing.T) {
+	res, err := RunA2CheckpointVsReplay(2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckpointTime <= 0 || res.ReplayTime <= 0 {
+		t.Fatalf("times: %+v", res)
+	}
+	// Checkpointing must beat replaying the history (the whole point of
+	// exploring from live state, §2.3).
+	if res.SpeedupFactor < 2 {
+		t.Fatalf("checkpoint speedup only %.1fx over replay", res.SpeedupFactor)
+	}
+}
+
+func TestAuditFilterFindsDeadClause(t *testing.T) {
+	// Clause 2 is shadowed: anything matching 10.7.0.0/24 already matched
+	// 10.7.0.0/16 in clause 1, so its condition can never be reached-true.
+	// Clause 3 is impossible for valid messages (len > 32).
+	f, err := filterParse(`
+		filter audit_me {
+			if net ~ 10.7.0.0/16 then accept;
+			if net ~ 10.7.0.0/24 then accept;
+			if net.len > 32 then accept;
+			reject;
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit := AuditFilter(f, 3000)
+	if audit.Paths < 2 {
+		t.Fatalf("audit explored too little: %+v", audit)
+	}
+	deadConds := map[string]bool{}
+	for _, sc := range audit.DeadTrue {
+		deadConds[sc.Cond] = true
+	}
+	foundShadowed, foundImpossible := false, false
+	for cond := range deadConds {
+		if cond == "net ~ 10.7.0.0/24{24,32}" {
+			foundShadowed = true
+		}
+		if cond == "net.len > 32" {
+			foundImpossible = true
+		}
+	}
+	if !foundImpossible {
+		t.Errorf("impossible clause not flagged; dead=%v", deadConds)
+	}
+	if !foundShadowed {
+		t.Errorf("shadowed clause not flagged; dead=%v", deadConds)
+	}
+	// The healthy first clause must not be flagged.
+	for _, sc := range audit.DeadTrue {
+		if sc.Site == "0" {
+			t.Errorf("live clause flagged dead: %+v", sc)
+		}
+	}
+	if audit.String() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestAuditFilterCleanConfig(t *testing.T) {
+	f, err := filterParse(CorrectCustomerFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit := AuditFilter(f, 2000)
+	if len(audit.DeadTrue) != 0 {
+		t.Fatalf("clean filter flagged: %+v", audit.DeadTrue)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dice/internal/bgp"
+	"dice/internal/concolic"
+	"dice/internal/router"
+)
+
+// OpenExploration is the result of concolically exploring a peering's
+// OPEN-message handling — the paper's §3.2 future work ("the other state
+// changing messages ... we leave them for future work") implemented.
+type OpenExploration struct {
+	Peer     string
+	Paths    int
+	Runs     int
+	Outcomes []router.OpenOutcome // one per distinct FSM outcome
+}
+
+// String renders the outcome matrix.
+func (o *OpenExploration) String() string {
+	s := fmt.Sprintf("OPEN exploration for peer %s: %d paths in %d runs\n", o.Peer, o.Paths, o.Runs)
+	for _, out := range o.Outcomes {
+		if out.Established {
+			s += "  outcome: session Established\n"
+		} else {
+			s += fmt.Sprintf("  outcome: rejected with NOTIFICATION code %d subcode %d\n",
+				out.NotifyCode, out.NotifySubcode)
+		}
+	}
+	return s
+}
+
+// ExploreOpen explores the live router's OPEN handling for one peer: a
+// well-formed OPEN the peer would send seeds the symbolic fields, and
+// predicate negation enumerates every acceptance/rejection path of the
+// session FSM. Exploration uses throwaway sessions only; the live peering
+// is untouched.
+func (d *DiCE) ExploreOpen(peerName string) (*OpenExploration, error) {
+	sess := d.live.Session(peerName)
+	if sess == nil {
+		return nil, fmt.Errorf("dice: unknown peer %q", peerName)
+	}
+	peerCfg := d.live.Config().FindPeer(peerName)
+	if peerCfg == nil {
+		return nil, fmt.Errorf("dice: peer %q not in config", peerName)
+	}
+	seed := &bgp.Open{
+		Version:  4,
+		AS:       peerCfg.AS,
+		HoldTime: 90,
+		RouterID: peerCfg.Addr,
+	}
+	handler := func(rc *concolic.RunContext) any {
+		return d.live.HandleOpenConcolic(rc, peerName)
+	}
+	eng := concolic.NewEngine(handler, d.opts.Engine)
+	router.DeclareOpenInputs(eng, seed)
+	rep := eng.Explore()
+
+	res := &OpenExploration{Peer: peerName, Paths: len(rep.Paths), Runs: rep.Runs}
+	seen := map[string]bool{}
+	for _, p := range rep.Paths {
+		out, ok := p.Output.(router.OpenOutcome)
+		if !ok {
+			continue
+		}
+		key := fmt.Sprintf("%v/%d/%d", out.Established, out.NotifyCode, out.NotifySubcode)
+		if !seen[key] {
+			seen[key] = true
+			res.Outcomes = append(res.Outcomes, out)
+		}
+	}
+	sort.Slice(res.Outcomes, func(i, j int) bool {
+		a, b := res.Outcomes[i], res.Outcomes[j]
+		if a.Established != b.Established {
+			return a.Established
+		}
+		if a.NotifyCode != b.NotifyCode {
+			return a.NotifyCode < b.NotifyCode
+		}
+		return a.NotifySubcode < b.NotifySubcode
+	})
+	return res, nil
+}

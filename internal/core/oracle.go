@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dice/internal/concolic"
+	"dice/internal/config"
+	"dice/internal/netaddr"
+	"dice/internal/rib"
+	"dice/internal/router"
+	"dice/internal/solver"
+	"dice/internal/sym"
+)
+
+// Finding is one potential fault detected by an oracle.
+type Finding struct {
+	Kind string // "prefix-hijack" or "route-leak"
+	Peer string
+	// Prefix is a concrete witness prefix the peer could announce and
+	// have accepted.
+	Prefix netaddr.Prefix
+	// LeakRange describes the whole leaked region the path condition
+	// admits ("DiCE clearly states which prefix ranges can be leaked",
+	// §4.2) as an address interval and length bounds.
+	LeakRange RangeDesc
+	// OriginAS is the origin the exploratory route would install.
+	OriginAS uint16
+	// VictimAS is the legitimate origin being overridden.
+	VictimAS uint16
+	// VictimPrefix is the existing route whose traffic is diverted.
+	VictimPrefix netaddr.Prefix
+	// Seq is the exploration run that discovered the accepting path.
+	Seq int
+	// Input is the concrete witness assignment.
+	Input map[string]uint64
+	// Validated reports that the witness was confirmed by re-executing it
+	// through the instrumented handler on a fresh clone.
+	Validated bool
+	// SpreadTo lists peers the validated witness would be re-announced
+	// to: a hijack that spreads beyond the provider is Internet-affecting
+	// (the YouTube incident required PCCW to propagate it).
+	SpreadTo []string
+}
+
+// RangeDesc is an over-approximated description of an input region.
+type RangeDesc struct {
+	AddrLo, AddrHi netaddr.Addr
+	LenLo, LenHi   int
+}
+
+func (r RangeDesc) String() string {
+	return fmt.Sprintf("[%s..%s]/{%d..%d}", r.AddrLo, r.AddrHi, r.LenLo, r.LenHi)
+}
+
+// String renders a finding the way an operator report would.
+func (f Finding) String() string {
+	if f.Kind == "prefix-hijack" {
+		return fmt.Sprintf("%s: peer %s can announce %s (origin AS%d), overriding %s (origin AS%d); leakable range %s",
+			f.Kind, f.Peer, f.Prefix, f.OriginAS, f.VictimPrefix, f.VictimAS, f.LeakRange)
+	}
+	return fmt.Sprintf("%s: peer %s can announce %s (origin AS%d); leakable range %s",
+		f.Kind, f.Peer, f.Prefix, f.OriginAS, f.LeakRange)
+}
+
+// addrVarID / lenVarID are the variable IDs DeclareSymbolicInputs assigns
+// (declaration order).
+const (
+	addrVarID = 0
+	lenVarID  = 1
+)
+
+// DetectHijacks implements the §4.2 origin-misconfiguration oracle.
+//
+// For every explored path whose route was accepted, the path condition
+// describes the *set* of announcements the peer could make down that code
+// path. The oracle intersects that region with the checkpoint-time
+// routing table: for each existing best route, it asks the constraint
+// solver whether the accepted region contains an announcement that is
+// equal to or more specific than the route's prefix — i.e. one that would
+// override ("hijack") its traffic with a different origin AS. Prefixes in
+// configured anycast space are hijackable by nature and filtered as false
+// positives.
+func DetectHijacks(cfg *config.Config, rep *concolic.Report, table rib.RouteTable) (findings []Finding, filtered int) {
+	// Collect victims once: current best routes (the routes whose traffic
+	// can be stolen).
+	victims := table.Dump()
+
+	seen := map[string]bool{}
+	for pi := range rep.Paths {
+		p := &rep.Paths[pi]
+		out, ok := p.Output.(router.ExplorationOutcome)
+		if !ok || !out.Accepted {
+			continue
+		}
+		cs := p.Constraints()
+		info, feasible := solver.Analyze(cs)
+		if !feasible {
+			continue
+		}
+		region := regionFrom(info)
+
+		for _, v := range victims {
+			if v.OriginAS() == out.OriginAS {
+				continue // same origin: re-announcement, not a hijack
+			}
+			// Cheap pre-filter: the victim's address range must intersect
+			// the region's address interval, and the region must admit a
+			// length >= the victim's.
+			vLo := uint64(uint32(v.Prefix.Addr()))
+			vHi := uint64(uint32(v.Prefix.Addr() | ^netaddr.Mask(v.Prefix.Bits())))
+			if vHi < uint64(uint32(region.AddrLo)) || vLo > uint64(uint32(region.AddrHi)) {
+				continue
+			}
+			if region.LenHi < v.Prefix.Bits() {
+				continue
+			}
+
+			// Exact check: path condition ∧ (announcement ⊆ victim).
+			addrVar := &sym.Var{ID: addrVarID, Name: router.StandardVars.Addr, W: 32}
+			lenVar := &sym.Var{ID: lenVarID, Name: router.StandardVars.Len, W: 8}
+			contain := []sym.Expr{
+				sym.NewCmp(sym.OpEq,
+					sym.NewBin(sym.OpAnd, addrVar, sym.NewConst(uint64(uint32(netaddr.Mask(v.Prefix.Bits()))), 32)),
+					sym.NewConst(uint64(uint32(v.Prefix.Addr())), 32)),
+				sym.NewCmp(sym.OpGe, lenVar, sym.NewConst(uint64(v.Prefix.Bits()), 8)),
+			}
+			query := append(append([]sym.Expr(nil), cs...), contain...)
+			env, res := solver.New(solver.Options{Hint: p.Env}).Solve(query)
+			if res != solver.Sat {
+				continue
+			}
+			witness := netaddr.PrefixFrom(netaddr.Addr(uint32(env[addrVarID])), int(env[lenVarID]))
+
+			if cfg.IsAnycast(v.Prefix) || cfg.IsAnycast(witness) {
+				filtered++
+				continue
+			}
+			key := fmt.Sprintf("%s|%d|%d", v.Prefix, v.OriginAS(), out.OriginAS)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			findings = append(findings, Finding{
+				Kind:         "prefix-hijack",
+				Peer:         out.Peer,
+				Prefix:       witness,
+				LeakRange:    region,
+				OriginAS:     out.OriginAS,
+				VictimAS:     v.OriginAS(),
+				VictimPrefix: v.Prefix,
+				Seq:          p.Seq,
+				Input:        namedInput(env),
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if c := findings[i].VictimPrefix.Compare(findings[j].VictimPrefix); c != 0 {
+			return c < 0
+		}
+		return findings[i].Prefix.Compare(findings[j].Prefix) < 0
+	})
+	return findings, filtered
+}
+
+// regionFrom extracts the announcement region from analyzed variables.
+func regionFrom(info map[int]solver.VarInfo) RangeDesc {
+	r := RangeDesc{AddrHi: netaddr.Addr(0xffffffff), LenHi: 32}
+	if ai, ok := info[addrVarID]; ok {
+		lo := ai.Lo
+		hi := ai.Hi
+		// Tighten with known bits.
+		lo |= ai.One
+		hi &^= ai.Zero
+		if lo <= hi {
+			r.AddrLo, r.AddrHi = netaddr.Addr(uint32(lo)), netaddr.Addr(uint32(hi))
+		} else {
+			r.AddrLo, r.AddrHi = netaddr.Addr(uint32(ai.Lo)), netaddr.Addr(uint32(ai.Hi))
+		}
+	}
+	if li, ok := info[lenVarID]; ok {
+		r.LenLo, r.LenHi = int(li.Lo), int(li.Hi)
+		if r.LenHi > 32 {
+			r.LenHi = 32
+		}
+	}
+	return r
+}
+
+// namedInput renders an input assignment with the standard variable names
+// (IDs are assigned in declaration order by DeclareSymbolicInputs).
+func namedInput(env map[int]uint64) map[string]uint64 {
+	names := []string{
+		router.StandardVars.Addr,
+		router.StandardVars.Len,
+		router.StandardVars.Origin,
+		router.StandardVars.MED,
+		router.StandardVars.LocalPref,
+	}
+	out := make(map[string]uint64, len(env))
+	for id, v := range env {
+		if id < len(names) {
+			out[names[id]] = v
+		} else {
+			out[fmt.Sprintf("var%d", id)] = v
+		}
+	}
+	return out
+}
+
+// AcceptedOutsideSpace is a helper oracle used by examples: it reports
+// accepted explored paths whose region admits announcements not covered
+// by any allowed space (a route-leak check for a known customer address
+// plan). It queries the solver for a witness outside each allowed prefix.
+func AcceptedOutsideSpace(rep *concolic.Report, allowed []netaddr.Prefix) []Finding {
+	var findings []Finding
+	seenRange := map[string]bool{}
+	for pi := range rep.Paths {
+		p := &rep.Paths[pi]
+		out, ok := p.Output.(router.ExplorationOutcome)
+		if !ok || !out.Accepted {
+			continue
+		}
+		cs := p.Constraints()
+		// Require the announcement to avoid every allowed space.
+		addrVar := &sym.Var{ID: addrVarID, Name: router.StandardVars.Addr, W: 32}
+		query := append([]sym.Expr(nil), cs...)
+		for _, a := range allowed {
+			query = append(query, sym.NewCmp(sym.OpNe,
+				sym.NewBin(sym.OpAnd, addrVar, sym.NewConst(uint64(uint32(netaddr.Mask(a.Bits()))), 32)),
+				sym.NewConst(uint64(uint32(a.Addr())), 32)))
+		}
+		env, res := solver.New(solver.Options{Hint: p.Env}).Solve(query)
+		if res != solver.Sat {
+			continue
+		}
+		info, feasible := solver.Analyze(cs)
+		if !feasible {
+			continue
+		}
+		region := regionFrom(info)
+		if seenRange[region.String()] {
+			continue
+		}
+		seenRange[region.String()] = true
+		witness := netaddr.PrefixFrom(netaddr.Addr(uint32(env[addrVarID])), int(env[lenVarID]))
+		findings = append(findings, Finding{
+			Kind:      "route-leak",
+			Peer:      out.Peer,
+			Prefix:    witness,
+			LeakRange: region,
+			OriginAS:  out.OriginAS,
+			Seq:       p.Seq,
+			Input:     namedInput(env),
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		return findings[i].Prefix.Compare(findings[j].Prefix) < 0
+	})
+	return findings
+}

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"dice/internal/bgp"
+	"dice/internal/config"
+	"dice/internal/netsim"
+	"dice/internal/router"
+)
+
+// ExploreSnapshot restores a serialized checkpoint and runs a DiCE
+// exploration round over it — the §2.4 vision made concrete: "enable
+// remote nodes to checkpoint their state and process these messages in
+// isolation over their checkpointed states". The state bytes and the
+// node's configuration never leave the node's own administrative domain;
+// this function runs wherever the domain chooses (e.g. a testing replica),
+// and the restored router's traffic goes to a capture sink, never the
+// wire.
+func ExploreSnapshot(name string, cfg *config.Config, state []byte, peerName string, seed *bgp.Update, opts Options) (*Result, error) {
+	restored, err := router.DecodeState(name, cfg, netsim.NewCaptureSink(), state)
+	if err != nil {
+		return nil, err
+	}
+	d := New(restored, opts)
+	return d.ExploreSeed(peerName, seed)
+}

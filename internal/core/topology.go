@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dice/internal/bgp"
+	"dice/internal/config"
+	"dice/internal/netaddr"
+	"dice/internal/netsim"
+	"dice/internal/router"
+	"dice/internal/trace"
+)
+
+// Figure 2 of the paper: Customer —(customer-provider link)— Provider
+// (DiCE-enabled) — Rest-of-the-Internet. Customer route filtering happens
+// at the provider.
+
+// Node names on the virtual network.
+const (
+	NodeCustomer = "customer"
+	NodeProvider = "provider"
+	NodeInternet = "internet"
+)
+
+// AS numbers and router IDs of the Fig. 2 roles.
+const (
+	CustomerAS = 65001
+	ProviderAS = 65002
+	InternetAS = 65003
+)
+
+// CustomerSpace is the customer's legitimate address plan.
+var CustomerSpace = netaddr.MustParsePrefix("10.7.0.0/16")
+
+// CorrectCustomerFilter only admits the customer's own space — the best
+// common practice the paper describes ("customer route filtering ... is
+// adopted by several large ISPs to defend against BGP prefix hijacking").
+const CorrectCustomerFilter = `
+filter customer_in {
+    if net ~ 10.7.0.0/16 then accept;
+    reject;
+}`
+
+// BrokenCustomerFilter is the §4.2 misconfiguration: the filter is
+// "partially correct" — the first clause correctly admits the customer
+// space, but the operator fat-fingered the second clause, which was meant
+// to admit another customer range and instead admits any sufficiently
+// specific prefix in 10.0.0.0/8. Exploration negates the first clause's
+// predicates and then satisfies the second one's, constructing exactly
+// the leaked prefix ranges.
+const BrokenCustomerFilter = `
+filter customer_in {
+    if net ~ 10.7.0.0/16 then accept;
+    if net ~ 10.0.0.0/8{24,32} then accept;
+    reject;
+}`
+
+// ThroughputFilter is a realistic many-clause customer policy used by the
+// §4.1 throughput experiments: a larger clause count gives the concolic
+// engine a path space comparable to a production BIRD configuration, so
+// exploration runs continuously for the whole measurement window.
+const ThroughputFilter = `
+filter customer_in {
+    if bgp_path.len > 16 then reject;
+    if origin = incomplete && med > 500 then reject;
+    if net ~ 10.7.0.0/16 then accept;
+    if net ~ 10.16.0.0/14{16,24} then accept;
+    if net ~ 10.32.0.0/13{14,24} && local_pref >= 100 then accept;
+    if net ~ 10.64.0.0/12{13,26} then accept;
+    if net ~ 10.96.0.0/11{12,28} && med < 200 then accept;
+    if net ~ 10.128.0.0/10{11,30} then accept;
+    if net ~ 10.192.0.0/11 && bgp_path.origin != 64512 then accept;
+    if net ~ 10.224.0.0/12{13,25} then accept;
+    if net ~ 10.240.0.0/13 && origin = igp then accept;
+    if net ~ 10.248.0.0/14{15,27} then accept;
+    if net ~ 10.252.0.0/15 && local_pref > 50 then accept;
+    if net ~ 10.0.0.0/8{24,32} then accept;
+    reject;
+}`
+
+// MissingCustomerFilter models PCCW's side of the incident: no filtering
+// at all.
+const MissingCustomerFilter = `
+filter customer_in {
+    accept;
+}`
+
+// Fig2 is the instantiated experimental topology.
+type Fig2 struct {
+	Net      *netsim.Network
+	Customer *router.Router
+	Provider *router.Router
+	Internet *router.Router
+}
+
+// Fig2Options parameterizes the topology.
+type Fig2Options struct {
+	// CustomerFilter is the provider's import policy for the customer
+	// (one of the *CustomerFilter constants, or custom source).
+	CustomerFilter string
+	// Anycast space configured at the provider (FP suppression).
+	Anycast []netaddr.Prefix
+	// LinkLatency between nodes (0 = 1ms).
+	LinkLatency time.Duration
+}
+
+// newFig2WithProviderConfig builds the topology with a fully custom
+// provider configuration (filters, peers, export policies); customer and
+// internet keep their standard roles. Used by tests exercising export
+// policy variations.
+func newFig2WithProviderConfig(providerSrc string) (*Fig2, error) {
+	return buildFig2(providerSrc, time.Millisecond)
+}
+
+// NewFig2 builds and converges the three-router topology.
+func NewFig2(opts Fig2Options) (*Fig2, error) {
+	if opts.CustomerFilter == "" {
+		opts.CustomerFilter = CorrectCustomerFilter
+	}
+	if opts.LinkLatency == 0 {
+		opts.LinkLatency = time.Millisecond
+	}
+
+	anycast := ""
+	for _, a := range opts.Anycast {
+		anycast += fmt.Sprintf("anycast %s;\n", a)
+	}
+
+	providerSrc := fmt.Sprintf(`
+		router id 10.0.0.2;
+		local as %d;
+		%s
+		%s
+		peer %s { remote 10.0.0.1 as %d; import filter customer_in; }
+		peer %s { remote 10.0.0.3 as %d; }
+	`, ProviderAS, opts.CustomerFilter, anycast, NodeCustomer, CustomerAS, NodeInternet, InternetAS)
+
+	return buildFig2(providerSrc, opts.LinkLatency)
+}
+
+// buildFig2 assembles the three-router topology around a provider config.
+func buildFig2(providerSrc string, latency time.Duration) (*Fig2, error) {
+	if latency == 0 {
+		latency = time.Millisecond
+	}
+	customerSrc := fmt.Sprintf(`
+		router id 10.0.0.1;
+		local as %d;
+		network %s;
+		peer %s { remote 10.0.0.2 as %d; }
+	`, CustomerAS, CustomerSpace, NodeProvider, ProviderAS)
+
+	internetSrc := fmt.Sprintf(`
+		router id 10.0.0.3;
+		local as %d;
+		peer %s { remote 10.0.0.2 as %d; }
+	`, InternetAS, NodeProvider, ProviderAS)
+
+	net := netsim.New(time.Unix(1_300_000_000, 0)) // roughly the paper's epoch
+
+	build := func(name, src string) (*router.Router, error) {
+		cfg, err := config.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("fig2: %s config: %w", name, err)
+		}
+		r := router.New(name, cfg, net)
+		if err := net.AddNode(name, r); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+
+	f := &Fig2{Net: net}
+	var err error
+	if f.Customer, err = build(NodeCustomer, customerSrc); err != nil {
+		return nil, err
+	}
+	if f.Provider, err = build(NodeProvider, providerSrc); err != nil {
+		return nil, err
+	}
+	if f.Internet, err = build(NodeInternet, internetSrc); err != nil {
+		return nil, err
+	}
+	if err := net.Connect(NodeCustomer, NodeProvider, latency); err != nil {
+		return nil, err
+	}
+	if err := net.Connect(NodeProvider, NodeInternet, latency); err != nil {
+		return nil, err
+	}
+	for _, r := range []*router.Router{f.Customer, f.Provider, f.Internet} {
+		if err := r.Start(net.Now()); err != nil {
+			return nil, err
+		}
+	}
+	net.Run(0) // converge sessions and initial announcements
+	return f, nil
+}
+
+// LoadTable replays trace dump records into the provider from the
+// Internet side ("the DiCE-enabled router loads N prefixes from the rest
+// of the Internet"). Returns the number of updates delivered.
+func (f *Fig2) LoadTable(records []trace.Record) (int, error) {
+	sess := f.Internet.Session(NodeProvider)
+	if sess == nil || sess.State() != bgp.StateEstablished {
+		return 0, fmt.Errorf("fig2: internet-provider session not established")
+	}
+	n := 0
+	for _, rec := range records {
+		if rec.Kind != trace.KindDump {
+			continue
+		}
+		if err := sess.SendUpdate(trace.ToUpdate(rec)); err != nil {
+			return n, err
+		}
+		n++
+		// Drain periodically so the netsim queue stays small.
+		if n%1024 == 0 {
+			f.Net.Run(0)
+		}
+	}
+	f.Net.Run(0)
+	return n, nil
+}
+
+// ReplayUpdates replays incremental trace records through the
+// internet→provider session, advancing virtual time to each record's
+// offset. Returns the number of updates delivered.
+func (f *Fig2) ReplayUpdates(records []trace.Record) (int, error) {
+	sess := f.Internet.Session(NodeProvider)
+	if sess == nil || sess.State() != bgp.StateEstablished {
+		return 0, fmt.Errorf("fig2: internet-provider session not established")
+	}
+	start := f.Net.Now()
+	n := 0
+	for _, rec := range records {
+		if rec.Kind == trace.KindDump {
+			continue
+		}
+		f.Net.RunUntil(start.Add(rec.At))
+		if err := sess.SendUpdate(trace.ToUpdate(rec)); err != nil {
+			return n, err
+		}
+		n++
+	}
+	f.Net.Run(0)
+	return n, nil
+}

@@ -1,0 +1,217 @@
+package filter
+
+import (
+	"dice/internal/bgp"
+	"dice/internal/concolic"
+	"dice/internal/netaddr"
+)
+
+// Brancher reports conditional outcomes during filter evaluation. The
+// concolic engine's RunContext implements it (recording a path constraint
+// per `if`); ConcreteBrancher just evaluates. This single seam is what
+// turns the configuration interpreter into explorable code.
+type Brancher interface {
+	Branch(cond concolic.Value) bool
+}
+
+// ConcreteBrancher evaluates conditions with no constraint recording —
+// the router's zero-overhead fast path while not exploring.
+type ConcreteBrancher struct{}
+
+// Branch implements Brancher.
+func (ConcreteBrancher) Branch(cond concolic.Value) bool { return cond.NonZero() }
+
+// Subject is the route being filtered, lifted to concolic values. During
+// normal operation every Value is concrete; during exploration the fields
+// DiCE marked symbolic carry expressions.
+type Subject struct {
+	NetAddr   concolic.Value // 32-bit network address
+	NetLen    concolic.Value // 8-bit prefix length
+	PathLen   concolic.Value // 16-bit AS path length
+	OriginAS  concolic.Value // 16-bit originating AS
+	FirstAS   concolic.Value // 16-bit neighbor AS
+	Origin    concolic.Value // 8-bit ORIGIN code
+	LocalPref concolic.Value // 32-bit
+	MED       concolic.Value // 32-bit
+
+	// Communities stay concrete: set membership over an unbounded list
+	// is not usefully symbolic for the DiCE input model.
+	Communities []uint32
+}
+
+// SubjectFromRoute lifts concrete route data into a Subject.
+func SubjectFromRoute(prefix netaddr.Prefix, attrs *bgp.Attrs) *Subject {
+	var lp, med uint64
+	if attrs.HasLocalPref {
+		lp = uint64(attrs.LocalPref)
+	} else {
+		lp = 100
+	}
+	if attrs.HasMED {
+		med = uint64(attrs.MED)
+	}
+	return &Subject{
+		NetAddr:     concolic.Concrete(uint64(uint32(prefix.Addr())), 32),
+		NetLen:      concolic.Concrete(uint64(prefix.Bits()), 8),
+		PathLen:     concolic.Concrete(uint64(attrs.ASPath.Length()), 16),
+		OriginAS:    concolic.Concrete(uint64(attrs.ASPath.OriginAS()), 16),
+		FirstAS:     concolic.Concrete(uint64(attrs.ASPath.FirstAS()), 16),
+		Origin:      concolic.Concrete(uint64(attrs.Origin), 8),
+		LocalPref:   concolic.Concrete(lp, 32),
+		MED:         concolic.Concrete(med, 32),
+		Communities: attrs.Communities,
+	}
+}
+
+// Verdict is the outcome of running a filter over a subject.
+type Verdict struct {
+	Disposition Disposition
+
+	// Attribute modifications (applied only on Accept).
+	SetLocalPref   *uint32
+	SetMED         *uint32
+	SetOrigin      *uint8
+	AddCommunities []uint32
+
+	// Stats for the harness.
+	BranchesTaken int
+}
+
+// Apply writes the verdict's modifications into attrs.
+func (v *Verdict) Apply(attrs *bgp.Attrs) {
+	if v.SetLocalPref != nil {
+		attrs.HasLocalPref, attrs.LocalPref = true, *v.SetLocalPref
+	}
+	if v.SetMED != nil {
+		attrs.HasMED, attrs.MED = true, *v.SetMED
+	}
+	if v.SetOrigin != nil {
+		attrs.Origin = *v.SetOrigin
+	}
+	for _, c := range v.AddCommunities {
+		if !attrs.HasCommunity(c) {
+			attrs.Communities = append(attrs.Communities, c)
+		}
+	}
+}
+
+// Run evaluates the filter over subj, reporting conditionals through br.
+// Falling off the end rejects, like BIRD.
+func Run(f *Filter, subj *Subject, br Brancher) Verdict {
+	v := Verdict{Disposition: Reject}
+	runStmts(f.Stmts, subj, br, &v)
+	return v
+}
+
+// runStmts executes statements until a terminal action; returns true when
+// a terminal action fired.
+func runStmts(stmts []Stmt, subj *Subject, br Brancher, v *Verdict) bool {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ActionStmt:
+			v.Disposition = st.Disposition
+			return true
+		case *SetStmt:
+			switch st.Field {
+			case FieldLocalPref:
+				val := uint32(st.Value)
+				v.SetLocalPref = &val
+			case FieldMED:
+				val := uint32(st.Value)
+				v.SetMED = &val
+			case FieldOrigin:
+				val := uint8(st.Value)
+				v.SetOrigin = &val
+			}
+		case *AddCommunityStmt:
+			v.AddCommunities = append(v.AddCommunities, bgp.MakeCommunity(st.AS, st.Value))
+		case *IfStmt:
+			cond := evalExpr(st.Cond, subj)
+			v.BranchesTaken++
+			if br.Branch(cond) {
+				if runStmts(st.Then, subj, br, v) {
+					return true
+				}
+			} else if len(st.Else) > 0 {
+				if runStmts(st.Else, subj, br, v) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// evalExpr computes a boolean concolic Value for an expression. The whole
+// condition of an `if` becomes one recorded branch predicate, mirroring
+// how BIRD's interpreter evaluates a parsed condition then branches once.
+func evalExpr(e Expr, subj *Subject) concolic.Value {
+	switch t := e.(type) {
+	case BoolLit:
+		return concolic.Bool(bool(t))
+	case *NotExpr:
+		return concolic.BoolNot(evalExpr(t.X, subj))
+	case *AndExpr:
+		return concolic.BoolAnd(evalExpr(t.X, subj), evalExpr(t.Y, subj))
+	case *OrExpr:
+		return concolic.BoolOr(evalExpr(t.X, subj), evalExpr(t.Y, subj))
+	case *CmpExpr:
+		lhs := fieldValue(t.Field, subj)
+		rhs := concolic.Concrete(t.Value, lhs.W)
+		switch t.Op {
+		case CmpEq:
+			return concolic.Eq(lhs, rhs)
+		case CmpNe:
+			return concolic.Ne(lhs, rhs)
+		case CmpLt:
+			return concolic.Lt(lhs, rhs)
+		case CmpLe:
+			return concolic.Le(lhs, rhs)
+		case CmpGt:
+			return concolic.Gt(lhs, rhs)
+		case CmpGe:
+			return concolic.Ge(lhs, rhs)
+		}
+	case *MatchExpr:
+		// net ~ P{lo,hi}:
+		//   (addr & mask(P.bits)) == P.addr && lo <= len && len <= hi
+		mask := concolic.Concrete(uint64(uint32(netaddr.Mask(t.Prefix.Bits()))), 32)
+		net := concolic.Concrete(uint64(uint32(t.Prefix.Addr())), 32)
+		inNet := concolic.Eq(concolic.And(subj.NetAddr, mask), net)
+		geLo := concolic.Ge(subj.NetLen, concolic.Concrete(uint64(t.LoLen), 8))
+		leHi := concolic.Le(subj.NetLen, concolic.Concrete(uint64(t.HiLen), 8))
+		return concolic.BoolAnd(inNet, concolic.BoolAnd(geLo, leHi))
+	case *CommunityExpr:
+		// Concrete set membership (communities are not symbolic inputs).
+		want := bgp.MakeCommunity(t.AS, t.Value)
+		for _, c := range subj.Communities {
+			if c == want {
+				return concolic.Bool(true)
+			}
+		}
+		return concolic.Bool(false)
+	}
+	return concolic.Bool(false)
+}
+
+func fieldValue(f Field, subj *Subject) concolic.Value {
+	switch f {
+	case FieldNetLen:
+		return subj.NetLen
+	case FieldPathLen:
+		return subj.PathLen
+	case FieldOriginAS:
+		return subj.OriginAS
+	case FieldFirstAS:
+		return subj.FirstAS
+	case FieldOrigin:
+		return subj.Origin
+	case FieldLocalPref:
+		return subj.LocalPref
+	case FieldMED:
+		return subj.MED
+	case FieldNet:
+		return subj.NetAddr
+	}
+	return concolic.Concrete(0, 32)
+}

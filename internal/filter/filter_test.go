@@ -1,0 +1,361 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+
+	"dice/internal/bgp"
+	"dice/internal/concolic"
+	"dice/internal/netaddr"
+)
+
+func mustParse(t *testing.T, src string) *Filter {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return f
+}
+
+func subj(prefix string, pathASNs ...uint16) *Subject {
+	attrs := &bgp.Attrs{
+		HasOrigin:  true,
+		Origin:     bgp.OriginIGP,
+		ASPath:     bgp.ASPath{{Type: bgp.ASSequence, ASNs: pathASNs}},
+		HasNextHop: true,
+		NextHop:    netaddr.MustParseAddr("192.0.2.1"),
+	}
+	return SubjectFromRoute(netaddr.MustParsePrefix(prefix), attrs)
+}
+
+func run(t *testing.T, f *Filter, s *Subject) Verdict {
+	t.Helper()
+	return Run(f, s, ConcreteBrancher{})
+}
+
+func TestParseSimple(t *testing.T) {
+	f := mustParse(t, `
+		filter customer_in {
+			# filter comment
+			if net ~ 203.0.113.0/24 then accept;
+			reject;
+		}`)
+	if f.Name != "customer_in" || len(f.Stmts) != 2 {
+		t.Fatalf("parsed: %s", f)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",                                         // no filter
+		"filter x",                                 // no body
+		"filter x { accept }",                      // missing semi
+		"filter x { if net ~ bad then accept; }",   // bad prefix
+		"filter x { if frob = 1 then accept; }",    // unknown field
+		"filter x { bogus; }",                      // unknown statement
+		"filter x { if net = 1 then accept; }",     // net needs ~
+		"filter x { set net 1; }",                  // net not settable
+		"filter x { if net.len & 1 then accept; }", // single &
+		"filter x { if net ~ 10.0.0.0/8{4,33} then accept; }", // bad range
+		"filter x { set origin 9; }",                          // origin out of range
+		"filter x { if net ~ 10.0.0.1/8 then accept; }",       // host bits
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestPrefixMatch(t *testing.T) {
+	f := mustParse(t, `filter f { if net ~ 10.0.0.0/8 then accept; reject; }`)
+	if v := run(t, f, subj("10.1.2.0/24", 65001)); v.Disposition != Accept {
+		t.Error("10.1.2.0/24 should match 10/8 subnet")
+	}
+	if v := run(t, f, subj("10.0.0.0/8", 65001)); v.Disposition != Accept {
+		t.Error("exact prefix should match")
+	}
+	if v := run(t, f, subj("11.0.0.0/8", 65001)); v.Disposition != Reject {
+		t.Error("11/8 must not match 10/8")
+	}
+}
+
+func TestPrefixMatchWithRange(t *testing.T) {
+	f := mustParse(t, `filter f { if net ~ 10.0.0.0/8{16,24} then accept; reject; }`)
+	cases := map[string]Disposition{
+		"10.1.0.0/16":   Accept,
+		"10.1.2.0/24":   Accept,
+		"10.0.0.0/8":    Reject, // too short
+		"10.1.2.128/25": Reject, // too long
+		"11.0.0.0/16":   Reject, // outside
+	}
+	for p, want := range cases {
+		if v := run(t, f, subj(p, 65001)); v.Disposition != want {
+			t.Errorf("%s: got %v, want %v", p, v.Disposition, want)
+		}
+	}
+}
+
+func TestNumericFields(t *testing.T) {
+	f := mustParse(t, `
+		filter f {
+			if net.len > 24 then reject;
+			if bgp_path.len > 3 then reject;
+			if bgp_path.origin = 64999 then reject;
+			accept;
+		}`)
+	if v := run(t, f, subj("10.0.0.0/25", 65001)); v.Disposition != Reject {
+		t.Error("/25 should be rejected")
+	}
+	if v := run(t, f, subj("10.0.0.0/24", 65001, 65002, 65003, 65004)); v.Disposition != Reject {
+		t.Error("long path should be rejected")
+	}
+	if v := run(t, f, subj("10.0.0.0/24", 65001, 64999)); v.Disposition != Reject {
+		t.Error("blacklisted origin AS should be rejected")
+	}
+	if v := run(t, f, subj("10.0.0.0/24", 65001)); v.Disposition != Accept {
+		t.Error("clean route should be accepted")
+	}
+}
+
+func TestDefaultIsReject(t *testing.T) {
+	f := mustParse(t, `filter f { if net.len = 0 then accept; }`)
+	if v := run(t, f, subj("10.0.0.0/8", 65001)); v.Disposition != Reject {
+		t.Error("falling off the end should reject")
+	}
+}
+
+func TestBooleanOperators(t *testing.T) {
+	f := mustParse(t, `
+		filter f {
+			if net ~ 10.0.0.0/8 && net.len <= 24 then accept;
+			if net ~ 192.168.0.0/16 || net ~ 172.16.0.0/12 then accept;
+			if ! (bgp_path.len >= 1) then accept;
+			reject;
+		}`)
+	if v := run(t, f, subj("10.1.0.0/16", 65001)); v.Disposition != Accept {
+		t.Error("and-clause should accept")
+	}
+	if v := run(t, f, subj("10.1.2.0/30", 65001)); v.Disposition != Reject {
+		t.Error("and-clause should reject long prefixes")
+	}
+	if v := run(t, f, subj("172.20.0.0/16", 65001)); v.Disposition != Accept {
+		t.Error("or-clause should accept")
+	}
+	if v := run(t, f, subj("8.8.8.0/24")); v.Disposition != Accept {
+		t.Error("empty path should accept via negation clause")
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	f := mustParse(t, `
+		filter f {
+			if net.len > 24 then { reject; } else { set local_pref 200; }
+			accept;
+		}`)
+	v := run(t, f, subj("10.0.0.0/24", 65001))
+	if v.Disposition != Accept || v.SetLocalPref == nil || *v.SetLocalPref != 200 {
+		t.Fatalf("verdict: %+v", v)
+	}
+	if v := run(t, f, subj("10.0.0.0/25", 65001)); v.Disposition != Reject {
+		t.Error("else branch wrong")
+	}
+}
+
+func TestSetAndApply(t *testing.T) {
+	f := mustParse(t, `
+		filter f {
+			set local_pref 300;
+			set med 42;
+			set origin egp;
+			add community (65001, 666);
+			accept;
+		}`)
+	v := run(t, f, subj("10.0.0.0/24", 65001))
+	if v.Disposition != Accept {
+		t.Fatal("should accept")
+	}
+	attrs := bgp.Attrs{HasOrigin: true, Origin: bgp.OriginIGP}
+	v.Apply(&attrs)
+	if !attrs.HasLocalPref || attrs.LocalPref != 300 {
+		t.Error("local_pref not applied")
+	}
+	if !attrs.HasMED || attrs.MED != 42 {
+		t.Error("med not applied")
+	}
+	if attrs.Origin != bgp.OriginEGP {
+		t.Error("origin not applied")
+	}
+	if !attrs.HasCommunity(bgp.MakeCommunity(65001, 666)) {
+		t.Error("community not applied")
+	}
+	// Idempotent community add.
+	v.Apply(&attrs)
+	if len(attrs.Communities) != 1 {
+		t.Error("community duplicated")
+	}
+}
+
+func TestCommunityTest(t *testing.T) {
+	f := mustParse(t, `
+		filter f {
+			if community (65001, 666) then reject;
+			accept;
+		}`)
+	s := subj("10.0.0.0/24", 65001)
+	s.Communities = []uint32{bgp.MakeCommunity(65001, 666)}
+	if v := run(t, f, s); v.Disposition != Reject {
+		t.Error("blackhole community should reject")
+	}
+	s.Communities = nil
+	if v := run(t, f, s); v.Disposition != Accept {
+		t.Error("clean route should accept")
+	}
+}
+
+func TestOriginComparison(t *testing.T) {
+	f := mustParse(t, `filter f { if origin = incomplete then reject; accept; }`)
+	s := subj("10.0.0.0/24", 65001)
+	s.Origin = concolic.Concrete(uint64(bgp.OriginIncomplete), 8)
+	if v := run(t, f, s); v.Disposition != Reject {
+		t.Error("incomplete origin should reject")
+	}
+}
+
+func TestParseAllMultiple(t *testing.T) {
+	fs, err := ParseAll(`
+		filter a { accept; }
+		filter b { reject; }
+	`)
+	if err != nil || len(fs) != 2 || fs[0].Name != "a" || fs[1].Name != "b" {
+		t.Fatalf("ParseAll: %v %v", fs, err)
+	}
+}
+
+// TestConcolicBranchRecording: with symbolic subject fields, every `if`
+// records exactly one path constraint through the Brancher — the property
+// DiCE's exploration relies on.
+func TestConcolicBranchRecording(t *testing.T) {
+	f := mustParse(t, `
+		filter f {
+			if net ~ 10.0.0.0/8 then reject;
+			if net.len > 24 then reject;
+			accept;
+		}`)
+	handler := func(rc *concolic.RunContext) any {
+		s := subj("192.0.2.0/24", 65001)
+		s.NetAddr = rc.Input("addr")
+		s.NetLen = rc.Input("len")
+		v := Run(f, s, rc)
+		return v.Disposition
+	}
+	eng := concolic.NewEngine(handler, concolic.Options{})
+	eng.Var("addr", 32, uint64(uint32(netaddr.MustParseAddr("192.0.2.0"))))
+	eng.Var("len", 8, 24)
+	rep := eng.Explore()
+
+	// Paths: [match 10/8 → reject], [no match, len>24 → reject],
+	// [no match, len<=24 → accept]. Plus length-range interaction of the
+	// match expression itself... At minimum both dispositions must appear
+	// and at least 3 distinct paths.
+	if len(rep.Paths) < 3 {
+		t.Fatalf("explored %d paths, want >= 3", len(rep.Paths))
+	}
+	sawAccept, sawReject := false, false
+	for _, p := range rep.Paths {
+		switch p.Output.(Disposition) {
+		case Accept:
+			sawAccept = true
+		case Reject:
+			sawReject = true
+		}
+	}
+	if !sawAccept || !sawReject {
+		t.Fatalf("missing disposition: accept=%v reject=%v", sawAccept, sawReject)
+	}
+}
+
+// TestExplorationFindsAcceptedLeak is the §4.2 scenario in miniature: a
+// filter that is supposed to only accept customer space but has a hole.
+func TestExplorationFindsAcceptedLeak(t *testing.T) {
+	// Intended: accept only 10.7.0.0/16. Actual: operator fat-fingered an
+	// extra accept for any /24 or longer — the misconfiguration.
+	f := mustParse(t, `
+		filter broken_customer_in {
+			if net ~ 10.7.0.0/16 then accept;
+			if net.len >= 24 then accept;
+			reject;
+		}`)
+	handler := func(rc *concolic.RunContext) any {
+		s := subj("10.7.1.0/24", 65007)
+		s.NetAddr = rc.Input("addr")
+		s.NetLen = rc.Input("len")
+		rc.Assume(concolic.Le(s.NetLen, concolic.Concrete(32, 8)))
+		v := Run(f, s, rc)
+		if v.Disposition == Accept {
+			// Report the accepted (addr, len) pair.
+			return [2]uint64{rc.Env()[0], rc.Env()[1]}
+		}
+		return nil
+	}
+	eng := concolic.NewEngine(handler, concolic.Options{})
+	eng.Var("addr", 32, uint64(uint32(netaddr.MustParseAddr("10.7.1.0"))))
+	eng.Var("len", 8, 24)
+	rep := eng.Explore()
+
+	leak := false
+	for _, p := range rep.Paths {
+		if pair, ok := p.Output.([2]uint64); ok {
+			addr := netaddr.Addr(uint32(pair[0]))
+			inside := netaddr.MustParsePrefix("10.7.0.0/16").Contains(addr)
+			if !inside {
+				leak = true // accepted something outside customer space
+			}
+		}
+	}
+	if !leak {
+		t.Fatal("exploration failed to find the route leak")
+	}
+}
+
+func TestFilterStringRoundTrips(t *testing.T) {
+	src := `filter f { if net ~ 10.0.0.0/8{8,24} && net.len > 9 then { set local_pref 200; accept; } else reject; add community (65001,666); }`
+	f := mustParse(t, src)
+	s := f.String()
+	for _, frag := range []string{"10.0.0.0/8{8,24}", "local_pref", "community", "else"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+	// The printed form must itself parse (idempotence of the surface syntax).
+	if _, err := Parse(s); err != nil {
+		t.Fatalf("reparse of String() failed: %v\n%s", err, s)
+	}
+}
+
+func TestAcceptAllRejectAll(t *testing.T) {
+	if v := run(t, AcceptAll, subj("10.0.0.0/8", 65001)); v.Disposition != Accept {
+		t.Error("AcceptAll broken")
+	}
+	if v := run(t, RejectAll, subj("10.0.0.0/8", 65001)); v.Disposition != Reject {
+		t.Error("RejectAll broken")
+	}
+}
+
+func BenchmarkRunConcrete(b *testing.B) {
+	f, err := Parse(`
+		filter f {
+			if net ~ 10.0.0.0/8{16,24} then { set local_pref 200; accept; }
+			if bgp_path.len > 10 then reject;
+			if bgp_path.origin = 64999 then reject;
+			accept;
+		}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := subj("10.1.0.0/16", 65001, 65002)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(f, s, ConcreteBrancher{})
+	}
+}

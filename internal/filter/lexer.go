@@ -1,0 +1,195 @@
+// Package filter implements a BIRD-inspired routing policy language: a
+// lexer, a recursive-descent parser and an interpreter.
+//
+// The interpreter is the piece that makes DiCE's "code × configuration"
+// exploration work: it evaluates filter programs over concolic values
+// (concolic.Value), reporting every `if` condition through a Brancher.
+// When the Brancher is a concolic RunContext, the constraints of the
+// *interpreted configuration* are recorded exactly like constraints of
+// compiled-in code — mirroring how the paper's CIL instrumentation of
+// BIRD's config interpreter lets Oasis record constraints for the
+// interpreted configuration (§3.2).
+package filter
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokCIDR   // 10.0.0.0/8
+	tokLBrace // {
+	tokRBrace // }
+	tokLParen // (
+	tokRParen // )
+	tokSemi   // ;
+	tokComma  // ,
+	tokEq     // =
+	tokNe     // !=
+	tokLt     // <
+	tokLe     // <=
+	tokGt     // >
+	tokGe     // >=
+	tokTilde  // ~
+	tokNot    // !
+	tokAnd    // &&
+	tokOr     // ||
+	tokDot    // .
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// ParseError reports a syntax error with its line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("filter: line %d: %s", e.Line, e.Msg)
+}
+
+// lex tokenizes src. CIDR literals (addr/len) are recognized as single
+// tokens so the parser stays simple.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#': // comment to end of line
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", line})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", line})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", line})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", line})
+			i++
+		case c == ';':
+			toks = append(toks, token{tokSemi, ";", line})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", line})
+			i++
+		case c == '~':
+			toks = append(toks, token{tokTilde, "~", line})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", line})
+			i++
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokNe, "!=", line})
+				i += 2
+			} else {
+				toks = append(toks, token{tokNot, "!", line})
+				i++
+			}
+		case c == '<':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokLe, "<=", line})
+				i += 2
+			} else {
+				toks = append(toks, token{tokLt, "<", line})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokGe, ">=", line})
+				i += 2
+			} else {
+				toks = append(toks, token{tokGt, ">", line})
+				i++
+			}
+		case c == '&':
+			if i+1 < n && src[i+1] == '&' {
+				toks = append(toks, token{tokAnd, "&&", line})
+				i += 2
+			} else {
+				return nil, &ParseError{line, "single '&'"}
+			}
+		case c == '|':
+			if i+1 < n && src[i+1] == '|' {
+				toks = append(toks, token{tokOr, "||", line})
+				i += 2
+			} else {
+				return nil, &ParseError{line, "single '|'"}
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			dots := 0
+			for j < n && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				if src[j] == '.' {
+					dots++
+				}
+				j++
+			}
+			text := src[i:j]
+			// A dotted quad followed by /len is a CIDR literal.
+			if dots == 3 && j < n && src[j] == '/' {
+				k := j + 1
+				for k < n && src[k] >= '0' && src[k] <= '9' {
+					k++
+				}
+				toks = append(toks, token{tokCIDR, src[i:k], line})
+				i = k
+				break
+			}
+			if dots > 0 {
+				return nil, &ParseError{line, fmt.Sprintf("bad numeric token %q", text)}
+			}
+			toks = append(toks, token{tokNumber, text, line})
+			i = j
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			j := i
+			for j < n && (src[j] == '_' || src[j] == '.' ||
+				src[j] >= 'a' && src[j] <= 'z' || src[j] >= 'A' && src[j] <= 'Z' ||
+				src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			// Trim a trailing dot (e.g. "net." would be malformed anyway).
+			text := src[i:j]
+			if strings.HasSuffix(text, ".") {
+				return nil, &ParseError{line, fmt.Sprintf("identifier %q ends with dot", text)}
+			}
+			toks = append(toks, token{tokIdent, text, line})
+			i = j
+		default:
+			return nil, &ParseError{line, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}

@@ -1,0 +1,451 @@
+package filter
+
+import (
+	"fmt"
+	"strconv"
+
+	"dice/internal/netaddr"
+)
+
+// Parse parses one `filter name { ... }` definition.
+func Parse(src string) (*Filter, error) {
+	fs, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(fs) != 1 {
+		return nil, &ParseError{1, fmt.Sprintf("expected exactly one filter, found %d", len(fs))}
+	}
+	return fs[0], nil
+}
+
+// ParseAll parses a sequence of filter definitions.
+func ParseAll(src string) ([]*Filter, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []*Filter
+	for p.peek().kind != tokEOF {
+		f, err := p.filter()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{p.peek().line, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return t, p.errf("expected %s, found %s", what, t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.peek()
+	if t.kind != tokIdent || t.text != kw {
+		return p.errf("expected %q, found %s", kw, t)
+	}
+	p.next()
+	return nil
+}
+
+// filter := "filter" IDENT "{" stmt* "}"
+func (p *parser) filter() (*Filter, error) {
+	if err := p.expectKeyword("filter"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "filter name")
+	if err != nil {
+		return nil, err
+	}
+	stmts, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &Filter{Name: name.text, Stmts: stmts}, nil
+}
+
+// block := "{" stmt* "}"
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for p.peek().kind != tokRBrace {
+		if p.peek().kind == tokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next() // consume }
+	return stmts, nil
+}
+
+// stmt := "accept" ";" | "reject" ";" | "if" ... | "set" ... | "add" ...
+func (p *parser) stmt() (Stmt, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, p.errf("expected statement, found %s", t)
+	}
+	switch t.text {
+	case "accept":
+		p.next()
+		if _, err := p.expect(tokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &ActionStmt{Disposition: Accept}, nil
+	case "reject":
+		p.next()
+		if _, err := p.expect(tokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &ActionStmt{Disposition: Reject}, nil
+	case "if":
+		return p.ifStmt()
+	case "set":
+		return p.setStmt()
+	case "add":
+		return p.addStmt()
+	}
+	return nil, p.errf("unknown statement %q", t.text)
+}
+
+// ifStmt := "if" expr "then" (block | stmt) ("else" (block | stmt))?
+func (p *parser) ifStmt() (Stmt, error) {
+	p.next() // if
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("then"); err != nil {
+		return nil, err
+	}
+	thenStmts, err := p.blockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	var elseStmts []Stmt
+	if p.peek().kind == tokIdent && p.peek().text == "else" {
+		p.next()
+		elseStmts, err = p.blockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &IfStmt{Cond: cond, Then: thenStmts, Else: elseStmts}, nil
+}
+
+func (p *parser) blockOrStmt() ([]Stmt, error) {
+	if p.peek().kind == tokLBrace {
+		return p.block()
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+// setStmt := "set" field (number | originName) ";"
+func (p *parser) setStmt() (Stmt, error) {
+	p.next() // set
+	ft, err := p.expect(tokIdent, "field name")
+	if err != nil {
+		return nil, err
+	}
+	field, ok := fieldNames[ft.text]
+	if !ok {
+		return nil, p.errf("unknown field %q", ft.text)
+	}
+	switch field {
+	case FieldLocalPref, FieldMED:
+		v, err := p.number(32)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &SetStmt{Field: field, Value: v}, nil
+	case FieldOrigin:
+		t := p.peek()
+		var v uint64
+		switch {
+		case t.kind == tokIdent && t.text == "igp":
+			v = 0
+		case t.kind == tokIdent && t.text == "egp":
+			v = 1
+		case t.kind == tokIdent && t.text == "incomplete":
+			v = 2
+		case t.kind == tokNumber:
+			n, err := p.number(8)
+			if err != nil {
+				return nil, err
+			}
+			if n > 2 {
+				return nil, p.errf("origin value %d out of range", n)
+			}
+			v = n
+			if _, err := p.expect(tokSemi, "';'"); err != nil {
+				return nil, err
+			}
+			return &SetStmt{Field: field, Value: v}, nil
+		default:
+			return nil, p.errf("expected origin value, found %s", t)
+		}
+		p.next()
+		if _, err := p.expect(tokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &SetStmt{Field: field, Value: v}, nil
+	default:
+		return nil, p.errf("field %q cannot be set", ft.text)
+	}
+}
+
+// addStmt := "add" "community" "(" number "," number ")" ";"
+func (p *parser) addStmt() (Stmt, error) {
+	p.next() // add
+	if err := p.expectKeyword("community"); err != nil {
+		return nil, err
+	}
+	as, val, err := p.communityPair()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &AddCommunityStmt{AS: as, Value: val}, nil
+}
+
+func (p *parser) communityPair() (uint16, uint16, error) {
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return 0, 0, err
+	}
+	as, err := p.number(16)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := p.expect(tokComma, "','"); err != nil {
+		return 0, 0, err
+	}
+	val, err := p.number(16)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return 0, 0, err
+	}
+	return uint16(as), uint16(val), nil
+}
+
+func (p *parser) number(bits int) (uint64, error) {
+	t, err := p.expect(tokNumber, "number")
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseUint(t.text, 10, bits)
+	if err != nil {
+		return 0, &ParseError{t.line, fmt.Sprintf("bad number %q: %v", t.text, err)}
+	}
+	return v, nil
+}
+
+// expr := andExpr ("||" andExpr)*
+func (p *parser) expr() (Expr, error) {
+	x, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOr {
+		p.next()
+		y, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &OrExpr{X: x, Y: y}
+	}
+	return x, nil
+}
+
+// andExpr := unary ("&&" unary)*
+func (p *parser) andExpr() (Expr, error) {
+	x, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokAnd {
+		p.next()
+		y, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		x = &AndExpr{X: x, Y: y}
+	}
+	return x, nil
+}
+
+// unary := "!" unary | primary
+func (p *parser) unary() (Expr, error) {
+	if p.peek().kind == tokNot {
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	}
+	return p.primary()
+}
+
+// primary := "(" expr ")" | "true" | "false"
+//
+//	| "community" "(" n "," n ")"
+//	| field cmpOp number
+//	| "net" "~" CIDR ("{" n "," n "}")?
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokLParen:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case t.kind == tokIdent && t.text == "true":
+		p.next()
+		return BoolLit(true), nil
+	case t.kind == tokIdent && t.text == "false":
+		p.next()
+		return BoolLit(false), nil
+	case t.kind == tokIdent && t.text == "community":
+		p.next()
+		as, val, err := p.communityPair()
+		if err != nil {
+			return nil, err
+		}
+		return &CommunityExpr{AS: as, Value: val}, nil
+	case t.kind == tokIdent:
+		field, ok := fieldNames[t.text]
+		if !ok {
+			return nil, p.errf("unknown field %q", t.text)
+		}
+		p.next()
+		op := p.peek()
+		if field == FieldNet {
+			if op.kind != tokTilde {
+				return nil, p.errf("net supports only '~', found %s", op)
+			}
+			p.next()
+			return p.matchExpr()
+		}
+		var cmp CmpKind
+		switch op.kind {
+		case tokEq:
+			cmp = CmpEq
+		case tokNe:
+			cmp = CmpNe
+		case tokLt:
+			cmp = CmpLt
+		case tokLe:
+			cmp = CmpLe
+		case tokGt:
+			cmp = CmpGt
+		case tokGe:
+			cmp = CmpGe
+		default:
+			return nil, p.errf("expected comparison operator, found %s", op)
+		}
+		p.next()
+		// Origin comparisons accept symbolic names.
+		if field == FieldOrigin && p.peek().kind == tokIdent {
+			name := p.next().text
+			var v uint64
+			switch name {
+			case "igp":
+				v = 0
+			case "egp":
+				v = 1
+			case "incomplete":
+				v = 2
+			default:
+				return nil, p.errf("unknown origin %q", name)
+			}
+			return &CmpExpr{Field: field, Op: cmp, Value: v}, nil
+		}
+		v, err := p.number(32)
+		if err != nil {
+			return nil, err
+		}
+		return &CmpExpr{Field: field, Op: cmp, Value: v}, nil
+	}
+	return nil, p.errf("expected expression, found %s", t)
+}
+
+// matchExpr parses the right side of `net ~`: CIDR with optional {lo,hi}.
+func (p *parser) matchExpr() (Expr, error) {
+	t, err := p.expect(tokCIDR, "prefix literal")
+	if err != nil {
+		return nil, err
+	}
+	pref, perr := netaddr.ParsePrefix(t.text)
+	if perr != nil {
+		return nil, &ParseError{t.line, perr.Error()}
+	}
+	lo, hi := pref.Bits(), 32
+	if p.peek().kind == tokLBrace {
+		p.next()
+		loV, err := p.number(8)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma, "','"); err != nil {
+			return nil, err
+		}
+		hiV, err := p.number(8)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBrace, "'}'"); err != nil {
+			return nil, err
+		}
+		lo, hi = int(loV), int(hiV)
+		if lo < pref.Bits() || hi > 32 || lo > hi {
+			return nil, p.errf("bad length range {%d,%d} for %s", lo, hi, pref)
+		}
+	}
+	return &MatchExpr{Prefix: pref, LoLen: lo, HiLen: hi}, nil
+}

@@ -1,0 +1,220 @@
+package netaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"192.0.2.1", AddrFrom4(192, 0, 2, 1), true},
+		{"10.0.0.1", AddrFrom4(10, 0, 0, 1), true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.0.0.1", 0, false},
+		{"-1.0.0.1", 0, false},
+		{"a.b.c.d", 0, false},
+		{"01.2.3.4", 0, false},
+		{"", 0, false},
+		{"1..2.3", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseAddr(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseAddr(%q) succeeded; want error", c.in)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		bits int
+		want Addr
+	}{
+		{0, 0},
+		{1, 0x80000000},
+		{8, 0xff000000},
+		{16, 0xffff0000},
+		{24, 0xffffff00},
+		{31, 0xfffffffe},
+		{32, 0xffffffff},
+		{-3, 0},
+		{40, 0xffffffff},
+	}
+	for _, c := range cases {
+		if got := Mask(c.bits); got != c.want {
+			t.Errorf("Mask(%d) = %#x; want %#x", c.bits, uint32(got), uint32(c.want))
+		}
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p := MustParsePrefix("203.0.113.0/24")
+	if p.Addr() != AddrFrom4(203, 0, 113, 0) || p.Bits() != 24 {
+		t.Fatalf("bad parse: %v", p)
+	}
+	if p.String() != "203.0.113.0/24" {
+		t.Fatalf("String = %q", p.String())
+	}
+	for _, bad := range []string{
+		"203.0.113.0",      // no slash
+		"203.0.113.0/33",   // bad length
+		"203.0.113.0/-1",   // bad length
+		"203.0.113.1/24",   // host bits set
+		"999.0.113.0/24",   // bad addr
+		"203.0.113.0/abc",  // junk length
+		"/24",              // no addr
+		"203.0.113.0/24/8", // trailing junk
+	} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded; want error", bad)
+		}
+	}
+}
+
+func TestPrefixFromCanonicalizes(t *testing.T) {
+	p := PrefixFrom(AddrFrom4(10, 1, 2, 3), 8)
+	if p.Addr() != AddrFrom4(10, 0, 0, 0) {
+		t.Fatalf("host bits not cleared: %v", p)
+	}
+	if got := PrefixFrom(0xffffffff, 99); got.Bits() != 32 {
+		t.Fatalf("bits not clamped: %d", got.Bits())
+	}
+	if got := PrefixFrom(0xffffffff, -5); got.Bits() != 0 || got.Addr() != 0 {
+		t.Fatalf("negative bits not clamped: %v", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	if !p.Contains(MustParseAddr("10.255.0.1")) {
+		t.Error("10/8 should contain 10.255.0.1")
+	}
+	if p.Contains(MustParseAddr("11.0.0.1")) {
+		t.Error("10/8 should not contain 11.0.0.1")
+	}
+	all := MustParsePrefix("0.0.0.0/0")
+	if !all.Contains(MustParseAddr("1.2.3.4")) {
+		t.Error("default route should contain everything")
+	}
+	host := MustParsePrefix("192.0.2.1/32")
+	if !host.Contains(MustParseAddr("192.0.2.1")) || host.Contains(MustParseAddr("192.0.2.2")) {
+		t.Error("host route containment wrong")
+	}
+}
+
+func TestCoversOverlaps(t *testing.T) {
+	p8 := MustParsePrefix("10.0.0.0/8")
+	p16 := MustParsePrefix("10.1.0.0/16")
+	p24 := MustParsePrefix("10.1.2.0/24")
+	other := MustParsePrefix("192.168.0.0/16")
+
+	if !p8.Covers(p16) || !p8.Covers(p24) || !p16.Covers(p24) {
+		t.Error("expected nesting covers")
+	}
+	if p16.Covers(p8) {
+		t.Error("/16 must not cover /8")
+	}
+	if !p8.Covers(p8) {
+		t.Error("prefix must cover itself")
+	}
+	if p8.Covers(other) || p8.Overlaps(other) {
+		t.Error("disjoint prefixes must not cover/overlap")
+	}
+	if !p24.Overlaps(p8) || !p8.Overlaps(p24) {
+		t.Error("overlap must be symmetric for nested prefixes")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.0.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if a.Compare(b) != -1 || b.Compare(a) != 1 {
+		t.Error("shorter mask should sort first at same addr")
+	}
+	if a.Compare(c) != -1 || c.Compare(a) != 1 {
+		t.Error("lower addr should sort first")
+	}
+	if a.Compare(a) != 0 {
+		t.Error("self compare should be 0")
+	}
+}
+
+func TestBit(t *testing.T) {
+	p := MustParsePrefix("128.0.0.0/1")
+	if p.Bit(0) != 1 {
+		t.Error("msb of 128.0.0.0 should be 1")
+	}
+	q := MustParsePrefix("64.0.0.0/2")
+	if q.Bit(0) != 0 || q.Bit(1) != 1 {
+		t.Error("bits of 64.0.0.0 wrong")
+	}
+}
+
+func TestPrefixStringRoundTrip(t *testing.T) {
+	f := func(v uint32, bits uint8) bool {
+		p := PrefixFrom(Addr(v), int(bits%33))
+		back, err := ParsePrefix(p.String())
+		return err == nil && back == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Covers is a partial order embedding — p covers q iff every
+// sampled address of q is contained in p (checked on the corners).
+func TestCoversConsistentWithContains(t *testing.T) {
+	f := func(v uint32, b1, b2 uint8) bool {
+		p := PrefixFrom(Addr(v), int(b1%33))
+		q := PrefixFrom(Addr(v), int(b2%33))
+		if p.Covers(q) {
+			lo := q.Addr()
+			hi := q.Addr() | ^Mask(q.Bits())
+			return p.Contains(lo) && p.Contains(hi)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParsePrefix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParsePrefix("203.0.113.0/24"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	p := MustParsePrefix("10.0.0.0/8")
+	a := MustParseAddr("10.20.30.40")
+	for i := 0; i < b.N; i++ {
+		if !p.Contains(a) {
+			b.Fatal("wrong")
+		}
+	}
+}

@@ -1,0 +1,340 @@
+// Package netsim is an in-memory virtual network: named nodes joined by
+// duplex links with configurable latency, a virtual clock, and a
+// deterministic event queue. It replaces the Linux virtual interfaces of
+// the paper's testbed (Figure 2).
+//
+// Isolation for DiCE (§2.3: "DiCE intercepts the messages generated
+// during exploration") is provided two ways: exploration clones are simply
+// never attached to the network (their transport is a CaptureSink), and a
+// live node can additionally be switched into intercept mode, which
+// diverts its outbound traffic into a sink instead of the wire.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Transport lets a protocol stack send bytes toward a named peer. Both
+// the Network (live) and CaptureSink (exploration) implement it.
+type Transport interface {
+	Send(from, to string, data []byte)
+}
+
+// Receiver is implemented by node protocol stacks.
+type Receiver interface {
+	// Deliver hands the node bytes that arrived from a peer at virtual
+	// time now.
+	Deliver(now time.Time, from string, data []byte)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(now time.Time, from string, data []byte)
+
+// Deliver implements Receiver.
+func (f ReceiverFunc) Deliver(now time.Time, from string, data []byte) { f(now, from, data) }
+
+// event is one scheduled delivery.
+type event struct {
+	at   time.Time
+	seq  uint64 // FIFO tiebreak for identical timestamps
+	from string
+	to   string
+	data []byte
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// LinkStats counts traffic over one direction of a link.
+type LinkStats struct {
+	Messages uint64
+	Bytes    uint64
+}
+
+type linkKey struct{ a, b string }
+
+type link struct {
+	latency time.Duration
+	stats   map[string]*LinkStats // keyed by sender
+}
+
+// Network is the virtual network. Safe for concurrent Send; Run/Step must
+// be called from one goroutine.
+type Network struct {
+	mu        sync.Mutex
+	nodes     map[string]Receiver
+	links     map[linkKey]*link
+	queue     eventQueue
+	seq       uint64
+	now       time.Time
+	intercept map[string]*CaptureSink
+
+	// Delivered counts total deliveries (for tests).
+	Delivered uint64
+}
+
+// New creates an empty network with the virtual clock at start.
+func New(start time.Time) *Network {
+	return &Network{
+		nodes:     make(map[string]Receiver),
+		links:     make(map[linkKey]*link),
+		now:       start,
+		intercept: make(map[string]*CaptureSink),
+	}
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.now
+}
+
+// AddNode attaches a receiver under a unique name.
+func (n *Network) AddNode(name string, r Receiver) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.nodes[name]; dup {
+		return fmt.Errorf("netsim: duplicate node %q", name)
+	}
+	n.nodes[name] = r
+	return nil
+}
+
+func key(a, b string) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// Connect creates a duplex link between two existing nodes.
+func (n *Network) Connect(a, b string, latency time.Duration) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[a]; !ok {
+		return fmt.Errorf("netsim: unknown node %q", a)
+	}
+	if _, ok := n.nodes[b]; !ok {
+		return fmt.Errorf("netsim: unknown node %q", b)
+	}
+	k := key(a, b)
+	if _, dup := n.links[k]; dup {
+		return fmt.Errorf("netsim: duplicate link %s-%s", a, b)
+	}
+	n.links[k] = &link{
+		latency: latency,
+		stats:   map[string]*LinkStats{a: {}, b: {}},
+	}
+	return nil
+}
+
+// Linked reports whether a and b share a link.
+func (n *Network) Linked(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.links[key(a, b)]
+	return ok
+}
+
+// Stats returns the traffic counters for the a→b direction.
+func (n *Network) Stats(from, to string) LinkStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.links[key(from, to)]
+	if !ok {
+		return LinkStats{}
+	}
+	return *l.stats[from]
+}
+
+// Send implements Transport: it enqueues a delivery across the link.
+// Sends from an intercepted node are captured instead. Sends over missing
+// links are dropped (like an unplugged cable), keeping exploration safe.
+func (n *Network) Send(from, to string, data []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if sink, ok := n.intercept[from]; ok {
+		sink.capture(from, to, data)
+		return
+	}
+	l, ok := n.links[key(from, to)]
+	if !ok {
+		return
+	}
+	st := l.stats[from]
+	st.Messages++
+	st.Bytes += uint64(len(data))
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	n.seq++
+	heap.Push(&n.queue, &event{
+		at:   n.now.Add(l.latency),
+		seq:  n.seq,
+		from: from,
+		to:   to,
+		data: cp,
+	})
+}
+
+// Intercept diverts all future sends from node into the returned sink —
+// the live-system isolation switch.
+func (n *Network) Intercept(node string) *CaptureSink {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sink := NewCaptureSink()
+	n.intercept[node] = sink
+	return sink
+}
+
+// Release removes an interception.
+func (n *Network) Release(node string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.intercept, node)
+}
+
+// Step delivers the next queued event, advancing the virtual clock.
+// It returns false when the queue is empty.
+func (n *Network) Step() bool {
+	n.mu.Lock()
+	if len(n.queue) == 0 {
+		n.mu.Unlock()
+		return false
+	}
+	e := heap.Pop(&n.queue).(*event)
+	if e.at.After(n.now) {
+		n.now = e.at
+	}
+	r, ok := n.nodes[e.to]
+	now := n.now
+	n.Delivered++
+	n.mu.Unlock()
+
+	if ok {
+		r.Deliver(now, e.from, e.data)
+	}
+	return true
+}
+
+// Run processes events until the queue drains or limit deliveries occur
+// (limit <= 0 means no limit). It returns the number of deliveries.
+func (n *Network) Run(limit int) int {
+	count := 0
+	for limit <= 0 || count < limit {
+		if !n.Step() {
+			break
+		}
+		count++
+	}
+	return count
+}
+
+// RunUntil processes events with timestamps <= deadline, then advances the
+// clock to the deadline.
+func (n *Network) RunUntil(deadline time.Time) int {
+	count := 0
+	for {
+		n.mu.Lock()
+		if len(n.queue) == 0 || n.queue[0].at.After(deadline) {
+			if deadline.After(n.now) {
+				n.now = deadline
+			}
+			n.mu.Unlock()
+			return count
+		}
+		n.mu.Unlock()
+		if !n.Step() {
+			return count
+		}
+		count++
+	}
+}
+
+// Advance moves the virtual clock forward without delivering anything
+// (for timer-driven protocol ticks).
+func (n *Network) Advance(d time.Duration) time.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.now = n.now.Add(d)
+	return n.now
+}
+
+// Pending returns the number of queued deliveries.
+func (n *Network) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.queue)
+}
+
+// CapturedMessage is one message diverted during exploration.
+type CapturedMessage struct {
+	From, To string
+	Data     []byte
+}
+
+// CaptureSink collects messages that exploration clones (or intercepted
+// live nodes) attempt to send. It implements Transport so a cloned router
+// can be wired to it transparently.
+type CaptureSink struct {
+	mu   sync.Mutex
+	msgs []CapturedMessage
+}
+
+// NewCaptureSink creates an empty sink.
+func NewCaptureSink() *CaptureSink {
+	return &CaptureSink{}
+}
+
+// Send implements Transport by capturing.
+func (s *CaptureSink) Send(from, to string, data []byte) {
+	s.capture(from, to, data)
+}
+
+func (s *CaptureSink) capture(from, to string, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	s.msgs = append(s.msgs, CapturedMessage{From: from, To: to, Data: cp})
+	s.mu.Unlock()
+}
+
+// Messages returns a snapshot of captured messages.
+func (s *CaptureSink) Messages() []CapturedMessage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]CapturedMessage(nil), s.msgs...)
+}
+
+// Count returns the number of captured messages.
+func (s *CaptureSink) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.msgs)
+}
+
+// Reset clears the sink.
+func (s *CaptureSink) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.msgs = nil
+}

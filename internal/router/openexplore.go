@@ -1,0 +1,147 @@
+package router
+
+import (
+	"time"
+
+	"dice/internal/bgp"
+	"dice/internal/concolic"
+	"dice/internal/netaddr"
+)
+
+// The paper explores UPDATE messages only: "the other state changing
+// messages are only responsible for establishing or tearing down peerings
+// and we leave them for future work" (§3.2). This file implements that
+// future work: concolic exploration of OPEN-message handling, covering
+// the session FSM's acceptance and rejection paths.
+
+// OpenOutcome reports how the session FSM handled one explored OPEN.
+type OpenOutcome struct {
+	Peer        string
+	Established bool
+	// NotifyCode/NotifySubcode identify the rejection when not established
+	// (RFC 4271 OPEN Message Error subcodes).
+	NotifyCode    uint8
+	NotifySubcode uint8
+}
+
+// OpenVars is the symbolic input model for an OPEN message: every
+// fixed-size header field the FSM inspects.
+type OpenVars struct {
+	Version  string
+	AS       string
+	HoldTime string
+	RouterID string
+}
+
+// StandardOpenVars is the canonical naming.
+var StandardOpenVars = OpenVars{
+	Version:  "open.version",
+	AS:       "open.as",
+	HoldTime: "open.holdtime",
+	RouterID: "open.router_id",
+}
+
+// DeclareOpenInputs registers the OPEN input model, seeded from a
+// well-formed OPEN the peer would legitimately send.
+func DeclareOpenInputs(eng *concolic.Engine, seed *bgp.Open) {
+	eng.Var(StandardOpenVars.Version, 8, uint64(seed.Version))
+	eng.Var(StandardOpenVars.AS, 16, uint64(seed.AS))
+	eng.Var(StandardOpenVars.HoldTime, 16, uint64(seed.HoldTime))
+	eng.Var(StandardOpenVars.RouterID, 32, uint64(uint32(seed.RouterID)))
+}
+
+// HandleOpenConcolic is the instrumented OPEN handler: it mirrors the
+// session's validation pipeline (decodeOpen + handleOpen) over symbolic
+// fields, recording one constraint per check, then drives a real throwaway
+// session with the materialized message to confirm the outcome concretely
+// (the same dual concrete/instrumented structure as the UPDATE handler).
+func (r *Router) HandleOpenConcolic(rc *concolic.RunContext, peerName string) OpenOutcome {
+	ps, ok := r.peers[peerName]
+	if !ok {
+		return OpenOutcome{Peer: peerName}
+	}
+
+	verV := rc.Input(StandardOpenVars.Version)
+	asV := rc.Input(StandardOpenVars.AS)
+	htV := rc.Input(StandardOpenVars.HoldTime)
+	ridV := rc.Input(StandardOpenVars.RouterID)
+
+	out := OpenOutcome{Peer: peerName}
+
+	// The branch structure below mirrors the checks in bgp.decodeOpen and
+	// Session.handleOpen, in order.
+	if rc.Branch(concolic.Ne(verV, concolic.Concrete(4, 8))) {
+		out.NotifyCode, out.NotifySubcode = bgp.ErrCodeOpenMessage, 1 // unsupported version
+		return r.confirmOpen(ps, verV, asV, htV, ridV, out)
+	}
+	if rc.Branch(concolic.BoolOr(
+		concolic.Eq(htV, concolic.Concrete(1, 16)),
+		concolic.Eq(htV, concolic.Concrete(2, 16)))) {
+		out.NotifyCode, out.NotifySubcode = bgp.ErrCodeOpenMessage, 6 // unacceptable hold time
+		return r.confirmOpen(ps, verV, asV, htV, ridV, out)
+	}
+	if rc.Branch(concolic.Eq(ridV, concolic.Concrete(0, 32))) {
+		out.NotifyCode, out.NotifySubcode = bgp.ErrCodeOpenMessage, 3 // bad BGP identifier
+		return r.confirmOpen(ps, verV, asV, htV, ridV, out)
+	}
+	if rc.Branch(concolic.Ne(asV, concolic.Concrete(uint64(ps.peer.AS), 16))) {
+		out.NotifyCode, out.NotifySubcode = bgp.ErrCodeOpenMessage, 2 // bad peer AS
+		return r.confirmOpen(ps, verV, asV, htV, ridV, out)
+	}
+	out.Established = true
+	return r.confirmOpen(ps, verV, asV, htV, ridV, out)
+}
+
+// confirmOpen validates the predicted outcome by driving a real session
+// with the concrete message. A disagreement panics: it would mean the
+// instrumented model diverged from the executable FSM.
+func (r *Router) confirmOpen(ps *peerState, verV, asV, htV, ridV concolic.Value, predicted OpenOutcome) OpenOutcome {
+	var gotEstablished bool
+	var gotCode, gotSub uint8
+
+	sess := bgp.NewSession(bgp.SessionConfig{
+		LocalAS:  r.cfg.LocalAS,
+		PeerAS:   ps.peer.AS,
+		RouterID: r.cfg.RouterID,
+	}, bgp.SessionHooks{
+		Send: func(wire []byte) {
+			if m, err := bgp.Decode(wire); err == nil {
+				if n, ok := m.(*bgp.Notification); ok {
+					gotCode, gotSub = n.Code, n.Subcode
+				}
+			}
+		},
+	})
+	now := time.Unix(0, 0)
+	sess.Start(now)
+	_ = sess.ConnUp(now)
+
+	open := &bgp.Open{
+		Version:  uint8(verV.C),
+		AS:       uint16(asV.C),
+		HoldTime: uint16(htV.C),
+		RouterID: netaddr.Addr(uint32(ridV.C)),
+	}
+	// Encode tolerates any field values (they are fixed-size); decoding
+	// applies the FSM-visible validation.
+	wire, err := bgp.Encode(open)
+	if err == nil {
+		_ = sess.Recv(now, wire)
+	}
+	// After our OPEN is processed the session either reached OpenConfirm
+	// (it sent its KEEPALIVE; deliver one back to complete establishment)
+	// or dropped to Idle with a NOTIFICATION.
+	if sess.State() == bgp.StateOpenConfirm {
+		ka, _ := bgp.Encode(&bgp.Keepalive{})
+		_ = sess.Recv(now, ka)
+	}
+	gotEstablished = sess.State() == bgp.StateEstablished
+
+	if gotEstablished != predicted.Established {
+		panic("router: instrumented OPEN model diverged from the session FSM")
+	}
+	if !gotEstablished && (gotCode != predicted.NotifyCode || gotSub != predicted.NotifySubcode) {
+		panic("router: instrumented OPEN model predicted the wrong notification")
+	}
+	return predicted
+}

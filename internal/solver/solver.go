@@ -1,0 +1,1017 @@
+// Package solver finds concrete variable assignments satisfying a
+// conjunction of sym boolean constraints. It plays the role STP plays for
+// Oasis/Crest in the paper: given the path condition with one predicate
+// negated, produce a new concrete input.
+//
+// The algorithm is interval constraint propagation over the expression DAG
+// (forward evaluation + backward refinement for comparisons) followed by
+// systematic backtracking search over the remaining variable domains, with
+// a node budget so the concolic engine degrades gracefully on hard
+// constraints rather than hanging exploration.
+package solver
+
+import (
+	"sort"
+
+	"dice/internal/sym"
+)
+
+// Interval is an inclusive unsigned range [Lo, Hi].
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// full returns the complete domain for a width.
+func full(w int) Interval {
+	if w >= 64 {
+		return Interval{0, ^uint64(0)}
+	}
+	return Interval{0, (uint64(1) << uint(w)) - 1}
+}
+
+func (iv Interval) empty() bool  { return iv.Lo > iv.Hi }
+func (iv Interval) single() bool { return iv.Lo == iv.Hi }
+func (iv Interval) size() uint64 { return iv.Hi - iv.Lo + 1 } // undefined if empty
+func (iv Interval) contains(v uint64) bool {
+	return v >= iv.Lo && v <= iv.Hi
+}
+
+func (iv Interval) intersect(o Interval) Interval {
+	lo, hi := iv.Lo, iv.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	return Interval{lo, hi}
+}
+
+// domains maps variable IDs to their current interval.
+type domains map[int]Interval
+
+// bitpair tracks bits proven 1 (one) and proven 0 (zero) for a variable —
+// a known-bits abstract domain that captures the (x & mask) == net and
+// ((x >> k) & 1) == b predicates routers are full of, which plain
+// intervals cannot represent.
+type bitpair struct {
+	one, zero uint64
+}
+
+// state is the solver's abstract store: an interval and a known-bits pair
+// per variable. The two domains are kept mutually consistent by syncVar.
+type state struct {
+	iv   domains
+	bits map[int]bitpair
+}
+
+func newState(n int) *state {
+	return &state{iv: make(domains, n), bits: make(map[int]bitpair, n)}
+}
+
+func (st *state) clone() *state {
+	c := &state{iv: make(domains, len(st.iv)), bits: make(map[int]bitpair, len(st.bits))}
+	for k, v := range st.iv {
+		c.iv[k] = v
+	}
+	for k, v := range st.bits {
+		c.bits[k] = v
+	}
+	return c
+}
+
+// setBits merges new known bits for a var. It returns changed=false,
+// ok=false on contradiction (a bit required to be both 0 and 1), and
+// tightens the interval: any value with `one` bits set is >= one, and any
+// value with `zero` bits clear is <= fullMask &^ zero.
+func (st *state) setBits(id int, w int, one, zero uint64) (changed, ok bool) {
+	m := full(w).Hi
+	one &= m
+	zero &= m
+	cur := st.bits[id]
+	nOne, nZero := cur.one|one, cur.zero|zero
+	if nOne&nZero != 0 {
+		return false, false
+	}
+	if nOne != cur.one || nZero != cur.zero {
+		st.bits[id] = bitpair{nOne, nZero}
+		changed = true
+	}
+	iv, okIv := st.iv[id]
+	if !okIv {
+		iv = full(w)
+	}
+	niv := iv.intersect(Interval{nOne, m &^ nZero})
+	if niv.empty() {
+		return changed, false
+	}
+	if niv != iv {
+		st.iv[id] = niv
+		changed = true
+	}
+	return changed, true
+}
+
+// project forces v to agree with the known bits of var id.
+func (st *state) project(id int, v uint64) uint64 {
+	bp := st.bits[id]
+	return (v &^ bp.zero) | bp.one
+}
+
+// Options tunes the solver.
+type Options struct {
+	// MaxNodes bounds backtracking search nodes; 0 means DefaultMaxNodes.
+	MaxNodes int
+	// Hint suggests preferred values for variables (the concolic engine
+	// passes the current concrete input so solutions stay close to it).
+	Hint sym.Env
+}
+
+// DefaultMaxNodes is the default backtracking budget.
+const DefaultMaxNodes = 200000
+
+// Result of a Solve call.
+type Result int
+
+// Solve outcomes.
+const (
+	Unsat   Result = iota // proven or budget-exhausted unsatisfiable
+	Sat                   // model found
+	Unknown               // budget exhausted without a model or a proof
+)
+
+func (r Result) String() string {
+	switch r {
+	case Unsat:
+		return "unsat"
+	case Sat:
+		return "sat"
+	}
+	return "unknown"
+}
+
+// Solver holds cross-call statistics; methods are not safe for concurrent
+// use — the concolic engine creates one Solver per worker.
+type Solver struct {
+	opts Options
+
+	// Stats accumulate across Solve calls.
+	Calls      int
+	SatCount   int
+	UnsatCount int
+	Nodes      int // total search nodes expanded
+}
+
+// New creates a solver with the given options.
+func New(opts Options) *Solver {
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = DefaultMaxNodes
+	}
+	return &Solver{opts: opts}
+}
+
+// Solve searches for an assignment satisfying every constraint. On Sat the
+// returned env binds every variable occurring in the constraints.
+func (s *Solver) Solve(constraints []sym.Expr) (sym.Env, Result) {
+	s.Calls++
+
+	var vars []*sym.Var
+	for _, c := range constraints {
+		vars = sym.Vars(c, vars)
+	}
+	st := newState(len(vars))
+	for _, v := range vars {
+		st.iv[v.ID] = full(v.W)
+	}
+
+	if !propagateAll(constraints, st) {
+		s.UnsatCount++
+		return nil, Unsat
+	}
+
+	budget := s.opts.MaxNodes
+	complete := true
+	env, ok := s.search(constraints, vars, st, &budget, &complete)
+	if ok {
+		s.SatCount++
+		return env, Sat
+	}
+	if budget <= 0 || !complete {
+		return nil, Unknown
+	}
+	s.UnsatCount++
+	return nil, Unsat
+}
+
+// VarInfo is the abstract region of one variable after propagation: an
+// interval plus known bits. Used by oracles to describe input regions
+// (e.g. "which prefix ranges can be leaked") without enumeration.
+type VarInfo struct {
+	Lo, Hi    uint64
+	One, Zero uint64 // bits proven 1 / proven 0
+	Width     int
+}
+
+// Analyze propagates the constraints and returns each variable's abstract
+// region. feasible=false means the constraints are contradictory under
+// the interval/bits abstraction (definitely unsat).
+func Analyze(constraints []sym.Expr) (map[int]VarInfo, bool) {
+	var vars []*sym.Var
+	for _, c := range constraints {
+		vars = sym.Vars(c, vars)
+	}
+	st := newState(len(vars))
+	for _, v := range vars {
+		st.iv[v.ID] = full(v.W)
+	}
+	if !propagateAll(constraints, st) {
+		return nil, false
+	}
+	out := make(map[int]VarInfo, len(vars))
+	for _, v := range vars {
+		iv := st.iv[v.ID]
+		bp := st.bits[v.ID]
+		out[v.ID] = VarInfo{Lo: iv.Lo, Hi: iv.Hi, One: bp.one, Zero: bp.zero, Width: v.W}
+	}
+	return out, true
+}
+
+// propagateAll runs constraint propagation to a fixpoint. It returns false
+// if any domain becomes empty (definite UNSAT under interval abstraction).
+func propagateAll(constraints []sym.Expr, st *state) bool {
+	for changed, rounds := true, 0; changed && rounds < 64; rounds++ {
+		changed = false
+		for _, c := range constraints {
+			ch, ok := propagate(c, true, st)
+			if !ok {
+				return false
+			}
+			changed = changed || ch
+		}
+	}
+	return true
+}
+
+// propagate refines domains so that formula e evaluates to want. The first
+// return reports whether any domain changed; the second is false on UNSAT.
+func propagate(e sym.Expr, want bool, st *state) (bool, bool) {
+	switch t := e.(type) {
+	case sym.BoolConst:
+		return false, bool(t) == want
+	case *sym.Not:
+		return propagate(t.X, !want, st)
+	case *sym.BoolBin:
+		return propagateBool(t, want, st)
+	case *sym.Cmp:
+		return propagateCmp(t, want, st)
+	}
+	// Bitvector expression used as a condition: nonzero means true.
+	if !e.IsBool() {
+		cmp := sym.NewCmp(sym.OpNe, e, sym.NewConst(0, e.Width()))
+		if c, ok := cmp.(*sym.Cmp); ok {
+			return propagateCmp(c, want, st)
+		}
+		if bc, ok := cmp.(sym.BoolConst); ok {
+			return false, bool(bc) == want
+		}
+	}
+	return false, true
+}
+
+func propagateBool(t *sym.BoolBin, want bool, st *state) (bool, bool) {
+	conjunctive := (t.Op == sym.OpLAnd && want) || (t.Op == sym.OpLOr && !want)
+	if conjunctive {
+		// Both sides are forced; propagate each.
+		c1, ok := propagate(t.X, t.Op == sym.OpLAnd, st)
+		if !ok {
+			return c1, false
+		}
+		c2, ok := propagate(t.Y, t.Op == sym.OpLAnd, st)
+		return c1 || c2, ok
+	}
+	// Disjunctive case: only refine when one branch is already impossible.
+	forced := t.Op == sym.OpLOr // want=true for Or, want=false for And
+	xv, xKnown := evalFormula(t.X, st)
+	yv, yKnown := evalFormula(t.Y, st)
+	if xKnown && xv != forced {
+		return propagate(t.Y, forced, st)
+	}
+	if yKnown && yv != forced {
+		return propagate(t.X, forced, st)
+	}
+	if xKnown && yKnown && xv != forced && yv != forced {
+		return false, false
+	}
+	return false, true
+}
+
+// evalFormula decides a formula under current domains if possible.
+func evalFormula(e sym.Expr, st *state) (val, known bool) {
+	switch t := e.(type) {
+	case sym.BoolConst:
+		return bool(t), true
+	case *sym.Not:
+		v, k := evalFormula(t.X, st)
+		return !v, k
+	case *sym.BoolBin:
+		xv, xk := evalFormula(t.X, st)
+		yv, yk := evalFormula(t.Y, st)
+		if t.Op == sym.OpLAnd {
+			if xk && !xv || yk && !yv {
+				return false, true
+			}
+			if xk && yk {
+				return xv && yv, true
+			}
+		} else {
+			if xk && xv || yk && yv {
+				return true, true
+			}
+			if xk && yk {
+				return xv || yv, true
+			}
+		}
+		return false, false
+	case *sym.Cmp:
+		ix := evalInterval(t.X, st)
+		iy := evalInterval(t.Y, st)
+		return decideCmp(t.Op, ix, iy)
+	}
+	return false, false
+}
+
+// decideCmp decides op over two intervals when the intervals separate.
+func decideCmp(op sym.CmpOp, x, y Interval) (val, known bool) {
+	switch op {
+	case sym.OpEq:
+		if x.single() && y.single() && x.Lo == y.Lo {
+			return true, true
+		}
+		if x.Hi < y.Lo || y.Hi < x.Lo {
+			return false, true
+		}
+	case sym.OpNe:
+		v, k := decideCmp(sym.OpEq, x, y)
+		return !v, k
+	case sym.OpLt:
+		if x.Hi < y.Lo {
+			return true, true
+		}
+		if x.Lo >= y.Hi {
+			return false, true
+		}
+	case sym.OpLe:
+		if x.Hi <= y.Lo {
+			return true, true
+		}
+		if x.Lo > y.Hi {
+			return false, true
+		}
+	case sym.OpGt:
+		return decideCmp(sym.OpLt, y, x)
+	case sym.OpGe:
+		return decideCmp(sym.OpLe, y, x)
+	}
+	return false, false
+}
+
+// propagateCmp refines operand domains so the comparison has truth `want`.
+func propagateCmp(t *sym.Cmp, want bool, st *state) (bool, bool) {
+	op := t.Op
+	if !want {
+		op = op.Negated()
+	}
+	ix := evalInterval(t.X, st)
+	iy := evalInterval(t.Y, st)
+	if ix.empty() || iy.empty() {
+		return false, false
+	}
+
+	var nx, ny Interval
+	switch op {
+	case sym.OpEq:
+		both := ix.intersect(iy)
+		nx, ny = both, both
+	case sym.OpNe:
+		nx, ny = ix, iy
+		// Only useful refinement: exclude a singleton at a domain edge.
+		if iy.single() {
+			nx = excludeEdge(ix, iy.Lo)
+		}
+		if ix.single() {
+			ny = excludeEdge(iy, ix.Lo)
+		}
+	case sym.OpLt:
+		if iy.Hi == 0 {
+			return false, false // nothing is < 0 unsigned
+		}
+		nx = ix.intersect(Interval{0, iy.Hi - 1})
+		ny = iy
+		if ix.Lo < ^uint64(0) {
+			ny = iy.intersect(Interval{ix.Lo + 1, ^uint64(0)})
+		}
+	case sym.OpLe:
+		nx = ix.intersect(Interval{0, iy.Hi})
+		ny = iy.intersect(Interval{ix.Lo, ^uint64(0)})
+	case sym.OpGt:
+		if ix.Hi == 0 {
+			return false, false
+		}
+		ny = iy.intersect(Interval{0, ix.Hi - 1})
+		nx = ix
+		if iy.Lo < ^uint64(0) {
+			nx = ix.intersect(Interval{iy.Lo + 1, ^uint64(0)})
+		}
+	case sym.OpGe:
+		nx = ix.intersect(Interval{iy.Lo, ^uint64(0)})
+		ny = iy.intersect(Interval{0, ix.Hi})
+	}
+	if nx.empty() || ny.empty() {
+		return false, false
+	}
+	c1, ok1 := backProp(t.X, nx, st)
+	if !ok1 {
+		return c1, false
+	}
+	c2, ok2 := backProp(t.Y, ny, st)
+	if !ok2 {
+		return c1 || c2, false
+	}
+	// Known-bits refinement for masked-field equalities.
+	c3, ok3 := propagateBits(t.X, t.Y, op, st)
+	if !ok3 {
+		return c1 || c2 || c3, false
+	}
+	c4, ok4 := propagateBits(t.Y, t.X, op, st)
+	return c1 || c2 || c3 || c4, ok4
+}
+
+// propagateBits refines known bits when `side` matches the masked-field
+// pattern ((var >> shift) & mask) and `other` is a constant. Handles Eq
+// directly and Ne on single-bit masks (which is Eq of the flipped bit).
+func propagateBits(side, other sym.Expr, op sym.CmpOp, st *state) (bool, bool) {
+	cst, ok := constValue(other, st)
+	if !ok {
+		return false, true
+	}
+	id, w, shift, mask, ok := extractMaskedVar(side)
+	if !ok {
+		return false, true
+	}
+	c := cst
+	switch op {
+	case sym.OpEq:
+	case sym.OpNe:
+		// Single-bit field: != b means == !b.
+		if mask != 1 || c > 1 {
+			return false, true
+		}
+		c ^= 1
+	default:
+		return false, true
+	}
+	if c&^mask != 0 {
+		return false, false // field can never equal a value outside its mask
+	}
+	one := (c & mask) << shift
+	zero := (mask &^ c) << shift
+	return st.setBits(id, w, one, zero)
+}
+
+// constValue resolves e to a constant (literal or singleton domain).
+func constValue(e sym.Expr, st *state) (uint64, bool) {
+	if c, ok := e.(*sym.Const); ok {
+		return c.V, true
+	}
+	if v, ok := e.(*sym.Var); ok {
+		if iv, ok2 := st.iv[v.ID]; ok2 && iv.single() {
+			return iv.Lo, true
+		}
+	}
+	return 0, false
+}
+
+// extractMaskedVar matches e against the shape ((v >> shift) & mask),
+// where shift/mask arise from any composition of right-shifts and
+// and-masks with constants. Returns the variable, its width, and the
+// effective shift and mask such that e == (v >> shift) & mask.
+func extractMaskedVar(e sym.Expr) (id, w int, shift uint64, mask uint64, ok bool) {
+	switch t := e.(type) {
+	case *sym.Var:
+		return t.ID, t.W, 0, full(t.W).Hi, true
+	case *sym.Bin:
+		switch t.Op {
+		case sym.OpShr:
+			k, isC := t.Y.(*sym.Const)
+			if !isC || k.V >= 64 {
+				return 0, 0, 0, 0, false
+			}
+			id, w, shift, mask, ok = extractMaskedVar(t.X)
+			if !ok {
+				return 0, 0, 0, 0, false
+			}
+			return id, w, shift + k.V, mask >> k.V, true
+		case sym.OpAnd:
+			if m, isC := t.Y.(*sym.Const); isC {
+				id, w, shift, mask, ok = extractMaskedVar(t.X)
+				if !ok {
+					return 0, 0, 0, 0, false
+				}
+				return id, w, shift, mask & m.V, true
+			}
+			if m, isC := t.X.(*sym.Const); isC {
+				id, w, shift, mask, ok = extractMaskedVar(t.Y)
+				if !ok {
+					return 0, 0, 0, 0, false
+				}
+				return id, w, shift, mask & m.V, true
+			}
+		}
+	}
+	return 0, 0, 0, 0, false
+}
+
+// excludeEdge removes v from iv when v sits on an edge of iv.
+func excludeEdge(iv Interval, v uint64) Interval {
+	if iv.single() && iv.Lo == v {
+		return Interval{1, 0} // empty
+	}
+	if iv.Lo == v {
+		return Interval{iv.Lo + 1, iv.Hi}
+	}
+	if iv.Hi == v {
+		return Interval{iv.Lo, iv.Hi - 1}
+	}
+	return iv
+}
+
+// evalInterval computes a sound over-approximation of e's value range.
+func evalInterval(e sym.Expr, st *state) Interval {
+	switch t := e.(type) {
+	case *sym.Var:
+		if iv, ok := st.iv[t.ID]; ok {
+			return iv
+		}
+		return full(t.W)
+	case *sym.Const:
+		return Interval{t.V, t.V}
+	case sym.BoolConst:
+		if bool(t) {
+			return Interval{1, 1}
+		}
+		return Interval{0, 0}
+	case *sym.Cmp, *sym.BoolBin, *sym.Not:
+		if v, k := evalFormula(e, st); k {
+			if v {
+				return Interval{1, 1}
+			}
+			return Interval{0, 0}
+		}
+		return Interval{0, 1}
+	case *sym.Bin:
+		return evalBinInterval(t, st)
+	}
+	return full(e.Width())
+}
+
+func evalBinInterval(t *sym.Bin, st *state) Interval {
+	x := evalInterval(t.X, st)
+	y := evalInterval(t.Y, st)
+	if x.empty() || y.empty() {
+		return Interval{1, 0}
+	}
+	w := t.W
+	top := full(w)
+	switch t.Op {
+	case sym.OpAdd:
+		lo, loOv := addOv(x.Lo, y.Lo)
+		hi, hiOv := addOv(x.Hi, y.Hi)
+		if !loOv && !hiOv && hi <= top.Hi {
+			return Interval{lo, hi}
+		}
+		return top
+	case sym.OpSub:
+		if x.Lo >= y.Hi { // no wraparound possible
+			return Interval{x.Lo - y.Hi, x.Hi - y.Lo}
+		}
+		return top
+	case sym.OpMul:
+		hi, ov := mulOv(x.Hi, y.Hi)
+		if !ov && hi <= top.Hi {
+			lo, _ := mulOv(x.Lo, y.Lo)
+			return Interval{lo, hi}
+		}
+		return top
+	case sym.OpDiv:
+		if y.Lo > 0 {
+			return Interval{x.Lo / y.Hi, x.Hi / y.Lo}
+		}
+		return top // divisor may be 0 (defined as all-ones)
+	case sym.OpMod:
+		if y.Lo > 0 && y.Hi > 0 {
+			// x mod y < y.Hi; also <= x.Hi.
+			hi := y.Hi - 1
+			if x.Hi < hi {
+				hi = x.Hi
+			}
+			return Interval{0, hi}
+		}
+		return Interval{0, maxU(x.Hi, top.Hi)}
+	case sym.OpAnd:
+		hi := x.Hi
+		if y.Hi < hi {
+			hi = y.Hi
+		}
+		return Interval{0, hi}
+	case sym.OpOr:
+		lo := maxU(x.Lo, y.Lo)
+		hi, ov := addOv(x.Hi, y.Hi)
+		if ov || hi > top.Hi {
+			hi = top.Hi
+		}
+		return Interval{lo, hi}
+	case sym.OpXor:
+		hi, ov := addOv(x.Hi, y.Hi)
+		if ov || hi > top.Hi {
+			hi = top.Hi
+		}
+		return Interval{0, hi}
+	case sym.OpShl:
+		if y.single() {
+			sh := y.Lo
+			if sh >= uint64(w) {
+				return Interval{0, 0}
+			}
+			hi, ov := shlOv(x.Hi, sh)
+			if !ov && hi <= top.Hi {
+				lo, _ := shlOv(x.Lo, sh)
+				return Interval{lo, hi}
+			}
+		}
+		return top
+	case sym.OpShr:
+		if y.single() {
+			sh := y.Lo
+			if sh >= uint64(w) {
+				return Interval{0, 0}
+			}
+			return Interval{x.Lo >> sh, x.Hi >> sh}
+		}
+		return Interval{0, x.Hi}
+	}
+	return top
+}
+
+func addOv(a, b uint64) (uint64, bool) {
+	s := a + b
+	return s, s < a
+}
+
+func mulOv(a, b uint64) (uint64, bool) {
+	if a == 0 || b == 0 {
+		return 0, false
+	}
+	p := a * b
+	return p, p/a != b
+}
+
+func shlOv(a, sh uint64) (uint64, bool) {
+	if sh >= 64 {
+		return 0, a != 0
+	}
+	r := a << sh
+	return r, r>>sh != a
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// backProp pushes an allowed interval down through an expression to refine
+// variable domains. Refinements must be sound (never exclude a satisfying
+// value); where inversion is unsafe (wraparound, non-const operands) it
+// refines nothing.
+func backProp(e sym.Expr, allowed Interval, st *state) (bool, bool) {
+	switch t := e.(type) {
+	case *sym.Var:
+		cur, ok := st.iv[t.ID]
+		if !ok {
+			cur = full(t.W)
+		}
+		nv := cur.intersect(allowed)
+		if nv.empty() {
+			return false, false
+		}
+		if nv != cur {
+			st.iv[t.ID] = nv
+			return true, true
+		}
+		return false, true
+	case *sym.Const:
+		if allowed.contains(t.V) {
+			return false, true
+		}
+		return false, false
+	case *sym.Bin:
+		return backPropBin(t, allowed, st)
+	}
+	// Formulas and anything else: check feasibility only.
+	iv := evalInterval(e, st)
+	if iv.intersect(allowed).empty() {
+		return false, false
+	}
+	return false, true
+}
+
+// constOrSingle reports whether e is a constant or has a singleton domain
+// under doms, and returns its value. Singleton domains let backProp invert
+// ops like x+y once propagation pins one operand (e.g. x==3 ∧ x+y==10).
+func constOrSingle(e sym.Expr, st *state) (uint64, bool) {
+	if c, ok := e.(*sym.Const); ok {
+		return c.V, true
+	}
+	if v, ok := e.(*sym.Var); ok {
+		if iv, ok2 := st.iv[v.ID]; ok2 && iv.single() {
+			return iv.Lo, true
+		}
+	}
+	return 0, false
+}
+
+func backPropBin(t *sym.Bin, allowed Interval, st *state) (bool, bool) {
+	// Feasibility check first.
+	iv := evalBinInterval(t, st)
+	if iv.intersect(allowed).empty() {
+		return false, false
+	}
+	yVal, yConst := constOrSingle(t.Y, st)
+	xVal, xConst := constOrSingle(t.X, st)
+	cy := &sym.Const{V: yVal, W: t.W}
+	cx := &sym.Const{V: xVal, W: t.W}
+	w := t.W
+	top := full(w)
+
+	switch t.Op {
+	case sym.OpAdd:
+		if yConst {
+			// x + c in [lo,hi]  =>  x in [lo-c, hi-c] when no wrap occurs.
+			if allowed.Lo >= cy.V && allowed.Hi >= cy.V && allowed.Hi <= top.Hi {
+				return backProp(t.X, Interval{allowed.Lo - cy.V, allowed.Hi - cy.V}, st)
+			}
+		}
+		if xConst {
+			if allowed.Lo >= cx.V && allowed.Hi >= cx.V && allowed.Hi <= top.Hi {
+				return backProp(t.Y, Interval{allowed.Lo - cx.V, allowed.Hi - cx.V}, st)
+			}
+		}
+	case sym.OpSub:
+		if yConst {
+			// x - c in [lo,hi] => x in [lo+c, hi+c] when no overflow.
+			lo, ov1 := addOv(allowed.Lo, cy.V)
+			hi, ov2 := addOv(allowed.Hi, cy.V)
+			if !ov1 && !ov2 && hi <= top.Hi {
+				return backProp(t.X, Interval{lo, hi}, st)
+			}
+		}
+		if xConst {
+			// c - y in [lo,hi] => y in [c-hi, c-lo] when no wrap.
+			if cx.V >= allowed.Hi && allowed.Hi >= allowed.Lo {
+				return backProp(t.Y, Interval{cx.V - allowed.Hi, cx.V - allowed.Lo}, st)
+			}
+		}
+	case sym.OpShr:
+		if yConst && cy.V < uint64(w) {
+			// x >> c in [lo,hi] => x in [lo<<c, ((hi+1)<<c)-1].
+			lo, ov1 := shlOv(allowed.Lo, cy.V)
+			hiBase, ov2 := shlOv(allowed.Hi+1, cy.V)
+			if !ov1 && !ov2 && allowed.Hi < top.Hi {
+				hi := hiBase - 1
+				if hi > top.Hi {
+					hi = top.Hi
+				}
+				return backProp(t.X, Interval{lo, hi}, st)
+			}
+			if !ov1 {
+				return backProp(t.X, Interval{lo, top.Hi}, st)
+			}
+		}
+	case sym.OpShl:
+		if yConst && cy.V < uint64(w) {
+			// x << c in [lo,hi] => x in [lo>>c, hi>>c] (for the non-wrapped part).
+			return backProp(t.X, Interval{allowed.Lo >> cy.V, top.Hi >> cy.V}, st)
+		}
+	case sym.OpDiv:
+		if yConst && cy.V > 0 {
+			// x / c in [lo,hi] => x in [lo*c, hi*c + c - 1].
+			lo, ov1 := mulOv(allowed.Lo, cy.V)
+			hiP, ov2 := mulOv(allowed.Hi, cy.V)
+			if !ov1 && !ov2 {
+				hi, ov3 := addOv(hiP, cy.V-1)
+				if ov3 || hi > top.Hi {
+					hi = top.Hi
+				}
+				return backProp(t.X, Interval{lo, hi}, st)
+			}
+		}
+	case sym.OpAnd:
+		if yConst && cy.V == top.Hi {
+			return backProp(t.X, allowed, st)
+		}
+		if yConst {
+			// x & m in [lo,hi]: refine only the trivial hi bound x&m <= m.
+			if allowed.Lo > cy.V {
+				return false, false
+			}
+		}
+	case sym.OpMul:
+		if yConst && cy.V > 0 {
+			// x * c in [lo,hi] => x in [ceil(lo/c), hi/c] (non-wrapped part only
+			// is unsound to assume in general, so only refine when the forward
+			// interval proved no overflow).
+			fwd := evalBinInterval(t, st)
+			if fwd.Hi <= top.Hi && fwd.Hi >= fwd.Lo {
+				lo := (allowed.Lo + cy.V - 1) / cy.V
+				hi := allowed.Hi / cy.V
+				if lo > hi {
+					return false, false
+				}
+				return backProp(t.X, Interval{lo, hi}, st)
+			}
+		}
+	}
+	return false, true
+}
+
+// search assigns remaining variables by backtracking. complete is cleared
+// whenever a subtree is pruned without exhausting it, so a failed search
+// with *complete still true is a genuine Unsat proof.
+func (s *Solver) search(constraints []sym.Expr, vars []*sym.Var, st *state, budget *int, complete *bool) (sym.Env, bool) {
+	if *budget <= 0 {
+		*complete = false
+		return nil, false
+	}
+	*budget--
+	s.Nodes++
+
+	// Find the most-constrained unassigned variable.
+	var pick *sym.Var
+	var pickSize uint64
+	for _, v := range vars {
+		iv := st.iv[v.ID]
+		if iv.single() {
+			continue
+		}
+		sz := iv.size()
+		if pick == nil || sz < pickSize {
+			pick, pickSize = v, sz
+		}
+	}
+	if pick == nil {
+		// All variables fixed: verify concretely.
+		env := make(sym.Env, len(vars))
+		for _, v := range vars {
+			env[v.ID] = st.iv[v.ID].Lo
+		}
+		for _, c := range constraints {
+			if !sym.EvalBool(c, env) {
+				return nil, false
+			}
+		}
+		return env, true
+	}
+
+	for _, val := range s.candidates(pick, st, constraints) {
+		nd := st.clone()
+		nd.iv[pick.ID] = Interval{val, val}
+		if !propagateAll(constraints, nd) {
+			continue
+		}
+		if env, ok := s.search(constraints, vars, nd, budget, complete); ok {
+			return env, true
+		}
+		if *budget <= 0 {
+			*complete = false
+			return nil, false
+		}
+	}
+
+	// Candidates failed; if the domain is small, enumerate it exhaustively
+	// so Unsat answers are exact for narrow variables (flags, lengths).
+	iv := st.iv[pick.ID]
+	if iv.size() <= 256 {
+		for val := iv.Lo; ; val++ {
+			nd := st.clone()
+			nd.iv[pick.ID] = Interval{val, val}
+			if propagateAll(constraints, nd) {
+				if env, ok := s.search(constraints, vars, nd, budget, complete); ok {
+					return env, true
+				}
+			}
+			if val == iv.Hi || *budget <= 0 {
+				break
+			}
+		}
+		return nil, false
+	}
+	// Large domain left unexplored: cannot claim Unsat.
+	*complete = false
+	return nil, false
+}
+
+// candidates proposes trial values for v: the hint and comparison
+// constants (±1) projected onto v's known bits, then domain edges and the
+// midpoint. Projection matters: with bit constraints like
+// (x>>3)&1 == 1 recorded, every candidate is made consistent with them,
+// so masked-field predicates (the common router shape) solve in one try.
+func (s *Solver) candidates(v *sym.Var, st *state, constraints []sym.Expr) []uint64 {
+	iv := st.iv[v.ID]
+	seen := make(map[uint64]bool, 16)
+	var out []uint64
+	add := func(val uint64) {
+		val = st.project(v.ID, val)
+		if iv.contains(val) && !seen[val] {
+			seen[val] = true
+			out = append(out, val)
+		}
+	}
+	if s.opts.Hint != nil {
+		if hv, ok := s.opts.Hint[v.ID]; ok {
+			add(hv)
+		}
+	}
+	var consts []uint64
+	for _, c := range constraints {
+		collectComparisonConsts(c, v.ID, &consts)
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i] < consts[j] })
+	for _, cv := range consts {
+		add(cv)
+		if cv > 0 {
+			add(cv - 1)
+		}
+		add(cv + 1)
+	}
+	add(iv.Lo)
+	add(iv.Hi)
+	add(iv.Lo + (iv.Hi-iv.Lo)/2)
+	return out
+}
+
+// collectComparisonConsts gathers constants compared (directly or through
+// one arithmetic level) against variable id.
+func collectComparisonConsts(e sym.Expr, id int, out *[]uint64) {
+	switch t := e.(type) {
+	case *sym.Not:
+		collectComparisonConsts(t.X, id, out)
+	case *sym.BoolBin:
+		collectComparisonConsts(t.X, id, out)
+		collectComparisonConsts(t.Y, id, out)
+	case *sym.Cmp:
+		collectSideConsts(t.X, t.Y, id, out)
+		collectSideConsts(t.Y, t.X, id, out)
+	}
+}
+
+// collectSideConsts records const values from `other` when `side` mentions
+// variable id (possibly through a const-op), inverting one op level.
+func collectSideConsts(side, other sym.Expr, id int, out *[]uint64) {
+	c, ok := other.(*sym.Const)
+	if !ok {
+		return
+	}
+	switch t := side.(type) {
+	case *sym.Var:
+		if t.ID == id {
+			*out = append(*out, c.V)
+		}
+	case *sym.Bin:
+		v, vok := t.X.(*sym.Var)
+		k, kok := t.Y.(*sym.Const)
+		if !vok || !kok || v.ID != id {
+			return
+		}
+		switch t.Op {
+		case sym.OpAdd:
+			*out = append(*out, c.V-k.V)
+		case sym.OpSub:
+			*out = append(*out, c.V+k.V)
+		case sym.OpAnd:
+			*out = append(*out, c.V, c.V|^k.V)
+		case sym.OpShr:
+			*out = append(*out, c.V<<k.V)
+		case sym.OpShl:
+			if k.V < 64 {
+				*out = append(*out, c.V>>k.V)
+			}
+		case sym.OpDiv:
+			if k.V != 0 {
+				*out = append(*out, c.V*k.V)
+			}
+		case sym.OpMod:
+			*out = append(*out, c.V)
+		}
+	}
+}

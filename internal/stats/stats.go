@@ -1,0 +1,213 @@
+// Package stats provides the small measurement toolkit the experiment
+// harness uses: counters, rate meters over a wall-clock window, and
+// streaming summaries (min/mean/max/percentiles) without external
+// dependencies.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count, safe for concurrent
+// use.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Rate measures events per second over explicit start/stop windows.
+type Rate struct {
+	mu      sync.Mutex
+	started time.Time
+	events  uint64
+	elapsed time.Duration
+	running bool
+}
+
+// Start begins (or resumes) the measurement window.
+func (r *Rate) Start(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.running {
+		r.started = now
+		r.running = true
+	}
+}
+
+// Record adds events to the window.
+func (r *Rate) Record(n uint64) {
+	r.mu.Lock()
+	r.events += n
+	r.mu.Unlock()
+}
+
+// Stop ends the window, accumulating elapsed time.
+func (r *Rate) Stop(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.running {
+		r.elapsed += now.Sub(r.started)
+		r.running = false
+	}
+}
+
+// PerSecond returns events per second across all completed windows.
+func (r *Rate) PerSecond() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.events) / r.elapsed.Seconds()
+}
+
+// Events returns the total recorded events.
+func (r *Rate) Events() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.events
+}
+
+// Summary accumulates samples and reports order statistics. It stores
+// samples (the experiments record at most tens of thousands), trading
+// memory for exact percentiles.
+type Summary struct {
+	mu      sync.Mutex
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(v float64) {
+	s.mu.Lock()
+	s.samples = append(s.samples, v)
+	s.sorted = false
+	s.sum += v
+	s.mu.Unlock()
+}
+
+// N returns the sample count.
+func (s *Summary) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// Mean returns the arithmetic mean (0 with no samples).
+func (s *Summary) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+// Min returns the smallest sample (0 with no samples).
+func (s *Summary) Min() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureSorted()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.samples[0]
+}
+
+// Max returns the largest sample (0 with no samples).
+func (s *Summary) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureSorted()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.samples[len(s.samples)-1]
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation.
+func (s *Summary) Quantile(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureSorted()
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.samples[0]
+	}
+	if q >= 1 {
+		return s.samples[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.samples[lo]
+	}
+	frac := pos - float64(lo)
+	return s.samples[lo]*(1-frac) + s.samples[hi]*frac
+}
+
+// Median is Quantile(0.5).
+func (s *Summary) Median() float64 { return s.Quantile(0.5) }
+
+// Stddev returns the population standard deviation.
+func (s *Summary) Stddev() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := s.sum / float64(n)
+	var ss float64
+	for _, v := range s.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// String renders a one-line summary.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g p50=%.3g mean=%.3g p95=%.3g max=%.3g",
+		s.N(), s.Min(), s.Median(), s.Mean(), s.Quantile(0.95), s.Max())
+}
+
+// ensureSorted must be called with s.mu held.
+func (s *Summary) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}
+
+// Timer measures durations into a Summary.
+type Timer struct {
+	Summary
+}
+
+// Time runs fn and records its duration in milliseconds.
+func (t *Timer) Time(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	t.Observe(float64(d) / float64(time.Millisecond))
+	return d
+}

@@ -9,11 +9,13 @@
 package dice
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"dice/internal/concolic"
 	"dice/internal/core"
+	"dice/internal/trace"
 )
 
 // benchScale keeps benchmark iterations fast while preserving workload
@@ -137,6 +139,95 @@ func BenchmarkE4RouteLeakDetection(b *testing.B) {
 		findings = len(res.Findings)
 	}
 	b.ReportMetric(float64(findings), "findings")
+}
+
+// benchFig2 builds the standard exploration substrate (broken filter,
+// loaded table with victims) once for the scheduler benchmarks.
+func benchFig2(b *testing.B) *core.Fig2 {
+	b.Helper()
+	f, err := core.NewFig2(core.Fig2Options{CustomerFilter: core.BrokenCustomerFilter})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := benchScale()
+	cfg := trace.DefaultGenConfig()
+	cfg.TableSize = s.TableSize
+	cfg.Seed = s.Seed
+	recs := append(trace.Generate(cfg), core.Victims()...)
+	if _, err := f.LoadTable(recs); err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkS1WorkerScaling (S1) measures exploration-round throughput as
+// the scheduler's worker pool grows: the frontier/scheduler split must
+// let workers solve and execute concurrently instead of serializing on
+// one engine mutex.
+func BenchmarkS1WorkerScaling(b *testing.B) {
+	f := benchFig2(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var paths, queries int
+			for i := 0; i < b.N; i++ {
+				d := core.New(f.Provider, core.Options{
+					Engine: concolic.Options{
+						MaxRuns: benchScale().ExploreRuns,
+						Workers: workers,
+					},
+				})
+				res, err := d.ExplorePeer(core.NodeCustomer)
+				if err != nil {
+					b.Fatal(err)
+				}
+				paths = len(res.Report.Paths)
+				queries = res.Report.SolverCalls
+			}
+			b.ReportMetric(float64(paths), "paths")
+			b.ReportMetric(float64(queries), "solver-calls")
+		})
+	}
+}
+
+// BenchmarkS2WarmVsColdState (S2) measures what cross-round ExploreState
+// buys the continuous online mode: a cold round pays the whole
+// exploration; a warm round on the same seed skips every known path and
+// negation. solver-calls is the headline metric — warm must be ~0.
+func BenchmarkS2WarmVsColdState(b *testing.B) {
+	f := benchFig2(b)
+	engine := concolic.Options{MaxRuns: benchScale().ExploreRuns}
+
+	b.Run("cold", func(b *testing.B) {
+		var calls int
+		for i := 0; i < b.N; i++ {
+			// Fresh DiCE per round: no memory of prior rounds.
+			res, err := core.New(f.Provider, core.Options{Engine: engine}).ExplorePeer(core.NodeCustomer)
+			if err != nil {
+				b.Fatal(err)
+			}
+			calls = res.Report.SolverCalls + res.Report.CacheHits
+		}
+		b.ReportMetric(float64(calls), "solver-calls")
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		d := core.New(f.Provider, core.Options{Engine: engine, ReuseState: true})
+		if _, err := d.ExplorePeer(core.NodeCustomer); err != nil {
+			b.Fatal(err) // priming round (the cold one)
+		}
+		b.ResetTimer()
+		var calls, skipped int
+		for i := 0; i < b.N; i++ {
+			res, err := d.ExplorePeer(core.NodeCustomer)
+			if err != nil {
+				b.Fatal(err)
+			}
+			calls = res.Report.SolverCalls + res.Report.CacheHits
+			skipped = res.Report.SkippedNegations
+		}
+		b.ReportMetric(float64(calls), "solver-calls")
+		b.ReportMetric(float64(skipped), "skipped-negations")
+	})
 }
 
 // BenchmarkA1SymbolicMarking (A1 ablation, §3.2) compares field-granular

@@ -1,13 +1,17 @@
-// Command dice runs one DiCE online-testing round against the paper's
+// Command dice runs DiCE online-testing rounds against the paper's
 // Figure 2 topology: it brings up Customer/Provider/Internet, loads a
 // routing table into the DiCE-enabled provider, explores the provider's
-// behavior under synthesized customer announcements, and reports any
-// route leaks / prefix hijacks the misconfigured policy admits.
+// behavior under synthesized customer messages, and reports any faults
+// the scenario oracles find (route leaks / prefix hijacks for "update",
+// FSM outcomes for "open", reachability blackholes for "withdraw").
 //
 // Usage:
 //
 //	dice -filter broken -table 20000 -runs 2000
 //	dice -filter correct                 # expect no findings
+//	dice -scenario update,open,withdraw  # explore several surfaces
+//	dice -rounds 3                       # online mode: warm rounds skip known paths
+//	dice -list-scenarios                 # show the scenario registry
 //	dice -filter-file my_filter.conf     # custom customer_in filter
 //	dice -trace trace.mrtl               # load a tracegen file instead
 package main
@@ -18,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"dice/internal/concolic"
@@ -32,19 +37,35 @@ func main() {
 	log.SetPrefix("dice: ")
 
 	var (
-		filterKind = flag.String("filter", "broken", "customer filter: broken|correct|missing")
-		filterFile = flag.String("filter-file", "", "file with a custom 'filter customer_in { ... }'")
-		traceFile  = flag.String("trace", "", "MRT-lite trace to load (default: synthetic)")
-		tableSize  = flag.Int("table", 20000, "synthetic table size when no -trace given")
-		runs       = flag.Int("runs", 2000, "concolic run budget")
-		workers    = flag.Int("workers", 1, "parallel exploration workers")
-		strategy   = flag.String("strategy", "generational", "search strategy: generational|dfs|bfs")
-		anycastStr = flag.String("anycast", "", "comma-free anycast prefix to suppress as FP (repeat not supported; use config for more)")
-		verbose    = flag.Bool("v", false, "print every explored path")
-		audit      = flag.Bool("audit", false, "audit the filter for dead clauses instead of exploring the router")
-		openFSM    = flag.Bool("open", false, "also explore OPEN-message (session FSM) handling")
+		filterKind    = flag.String("filter", "broken", "customer filter: broken|correct|missing")
+		filterFile    = flag.String("filter-file", "", "file with a custom 'filter customer_in { ... }'")
+		traceFile     = flag.String("trace", "", "MRT-lite trace to load (default: synthetic)")
+		tableSize     = flag.Int("table", 20000, "synthetic table size when no -trace given")
+		runs          = flag.Int("runs", 2000, "concolic run budget")
+		workers       = flag.Int("workers", 1, "parallel exploration workers")
+		strategy      = flag.String("strategy", "generational", "search strategy: generational|dfs|bfs")
+		scenarioFlag  = flag.String("scenario", "update", "comma-separated scenarios to explore (see -list-scenarios), or 'all'")
+		rounds        = flag.Int("rounds", 1, "exploration rounds per scenario; >1 reuses cross-round state (online mode)")
+		anycastStr    = flag.String("anycast", "", "comma-free anycast prefix to suppress as FP (repeat not supported; use config for more)")
+		verbose       = flag.Bool("v", false, "print every explored path")
+		audit         = flag.Bool("audit", false, "audit the filter for dead clauses instead of exploring the router")
+		openFSM       = flag.Bool("open", false, "also explore OPEN-message (session FSM) handling (same as adding 'open' to -scenario)")
+		listScenarios = flag.Bool("list-scenarios", false, "list registered scenarios and exit")
 	)
 	flag.Parse()
+
+	if *listScenarios {
+		for _, name := range core.ScenarioNames() {
+			sc, _ := core.LookupScenario(name)
+			fmt.Printf("  %-10s %s\n", name, sc.Description())
+		}
+		return
+	}
+
+	scenarios, err := resolveScenarios(*scenarioFlag, *openFSM)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	filterSrc := ""
 	switch {
@@ -136,42 +157,108 @@ func main() {
 			Workers:  *workers,
 			Strategy: strat,
 		},
+		ReuseState: *rounds > 1,
 	})
-	res, err := d.ExplorePeer(core.NodeCustomer)
-	if err != nil {
-		log.Fatal(err)
+
+	for round := 1; round <= *rounds; round++ {
+		if *rounds > 1 {
+			fmt.Printf("\n======== round %d/%d ========\n", round, *rounds)
+		}
+		for _, name := range scenarios {
+			res, err := d.ExploreScenario(name, core.NodeCustomer)
+			if err != nil {
+				log.Fatal(err)
+			}
+			printResult(name, res, *verbose)
+		}
 	}
 
-	rep := res.Report
-	fmt.Printf("\nexploration: %d runs, %d distinct paths, %d branches seen, %v\n",
-		rep.Runs, len(rep.Paths), rep.BranchesSeen, rep.Elapsed.Round(time.Millisecond))
-	fmt.Printf("solver: %d queries (%d sat, %d unsat)\n", rep.SolverCalls, rep.SolverSat, rep.SolverUnsat)
-	fmt.Printf("isolation: %d messages produced by clones, all intercepted\n", res.CapturedMessages)
+	if *rounds > 1 {
+		fmt.Println()
+		for _, name := range scenarios {
+			if st := d.State(name, core.NodeCustomer); st != nil {
+				s := st.Stats()
+				fmt.Printf("%s state after %d rounds: %d paths, %d negations attempted, solver cache %d hits / %d misses\n",
+					name, s.Rounds, s.Paths, s.Negations, s.CacheHits, s.CacheMisses)
+			}
+		}
+	}
+}
 
-	if *verbose {
+// resolveScenarios expands the -scenario flag (plus the legacy -open
+// shorthand) against the registry.
+func resolveScenarios(flagVal string, openFSM bool) ([]string, error) {
+	var names []string
+	if flagVal == "all" {
+		names = core.ScenarioNames()
+	} else {
+		for _, n := range strings.Split(flagVal, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if _, ok := core.LookupScenario(n); !ok {
+				return nil, fmt.Errorf("unknown scenario %q (registered: %v)", n, core.ScenarioNames())
+			}
+			names = append(names, n)
+		}
+	}
+	if openFSM {
+		have := false
+		for _, n := range names {
+			if n == core.ScenarioOpen {
+				have = true
+			}
+		}
+		if !have {
+			names = append(names, core.ScenarioOpen)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no scenarios selected")
+	}
+	return names, nil
+}
+
+// printResult renders one round's outcome: the shared exploration stats,
+// then the scenario-specific report.
+func printResult(name string, res *core.Result, verbose bool) {
+	rep := res.Report
+	fmt.Printf("\n[%s] exploration: %d runs, %d new paths, %d branches seen, %v\n",
+		name, rep.Runs, len(rep.Paths), rep.BranchesSeen, rep.Elapsed.Round(time.Millisecond))
+	fmt.Printf("[%s] solver: %d queries solved, %d cache hits (%d sat, %d unsat)\n",
+		name, rep.SolverCalls, rep.CacheHits, rep.SolverSat, rep.SolverUnsat)
+	if rep.SkippedPaths+rep.SkippedNegations > 0 {
+		fmt.Printf("[%s] warm state: %d known paths and %d known negations skipped\n",
+			name, rep.SkippedPaths, rep.SkippedNegations)
+	}
+	fmt.Printf("[%s] isolation: %d messages produced by clones, all intercepted\n",
+		name, res.CapturedMessages)
+
+	if verbose {
 		for _, p := range rep.Paths {
 			fmt.Printf("  path %d: env=%v\n", p.Seq, p.Env)
 		}
 	}
 
-	if len(res.Findings) == 0 {
-		fmt.Println("\nno potential hijacks found")
-	} else {
-		fmt.Printf("\n%d potential hijack(s):\n", len(res.Findings))
+	if s, ok := res.Details.(fmt.Stringer); ok {
+		fmt.Print(s.String())
+	}
+
+	switch {
+	case len(res.Findings) == 0 && name == core.ScenarioUpdate && rep.SkippedPaths > 0:
+		// Warm round: oracles only see paths new to this round, so "no
+		// findings" here must not read as "the earlier findings are gone".
+		fmt.Println("no NEW potential hijacks found this round (known paths skipped; see earlier rounds)")
+	case len(res.Findings) == 0 && name == core.ScenarioUpdate:
+		fmt.Println("no potential hijacks found")
+	case len(res.Findings) > 0:
+		fmt.Printf("%d finding(s):\n", len(res.Findings))
 		for _, fd := range res.Findings {
 			fmt.Printf("  %s\n", fd)
 		}
 	}
 	if res.FalsePositivesFiltered > 0 {
 		fmt.Printf("%d anycast false positive(s) suppressed\n", res.FalsePositivesFiltered)
-	}
-
-	if *openFSM {
-		fmt.Println()
-		openRes, err := d.ExploreOpen(core.NodeCustomer)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Print(openRes)
 	}
 }

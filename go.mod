@@ -1,0 +1,3 @@
+module dice
+
+go 1.22

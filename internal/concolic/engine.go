@@ -2,8 +2,6 @@ package concolic
 
 import (
 	"fmt"
-	"sort"
-	"sync"
 	"time"
 
 	"dice/internal/solver"
@@ -158,6 +156,14 @@ type Options struct {
 	// (checked between runs). DiCE uses it to halt online exploration
 	// when the operator or an experiment ends the testing window.
 	Cancel <-chan struct{}
+	// State, when non-nil, carries exploration memory across rounds:
+	// paths and negations already explored by prior rounds are skipped,
+	// and the state's solver memo cache answers repeated queries — the
+	// paper's continuous online mode without duplicated work.
+	State *ExploreState
+	// SolverCache memoizes negation queries. Defaults to State's cache
+	// when State is set; nil otherwise (every query is solved).
+	SolverCache *solver.Cache
 }
 
 // Handler is the instrumented message-handler body: it executes one input
@@ -208,22 +214,22 @@ func (e *Engine) Var(name string, width int, seed uint64) {
 
 // Report summarizes an exploration.
 type Report struct {
-	Paths        []PathResult // distinct executed paths, in discovery order
-	Runs         int          // handler executions (including duplicates)
+	Paths []PathResult // paths new to this round, in discovery order
+	Runs  int          // handler executions (including duplicates)
+	// SolverCalls counts negation queries actually searched; CacheHits
+	// counts queries answered from the memo cache instead. The total
+	// number of queries issued is their sum.
 	SolverCalls  int
 	SolverSat    int
 	SolverUnsat  int
+	CacheHits    int
 	BranchesSeen int // distinct oriented constraints observed
-	Elapsed      time.Duration
-	Budget       string // which budget stopped exploration, if any
-}
-
-// workItem is a pending negation: solve prefix ∧ ¬negated, run if sat.
-type workItem struct {
-	prefix  []sym.Expr
-	negated sym.Expr
-	depth   int // index of the negated predicate, for child bounds
-	hint    sym.Env
+	// SkippedPaths / SkippedNegations count work suppressed by the
+	// cross-round ExploreState (0 when Options.State is nil).
+	SkippedPaths     int
+	SkippedNegations int
+	Elapsed          time.Duration
+	Budget           string // which budget stopped exploration, if any
 }
 
 // RunOnce executes the handler under a specific concrete assignment and
@@ -247,225 +253,12 @@ func (e *Engine) RunOnce(env sym.Env) PathResult {
 	}
 }
 
-// Explore runs the concolic exploration loop and returns its report.
+// Explore runs the concolic exploration loop — seed run, then a worker
+// pool draining the frontier of pending negations — and returns its
+// report. The mechanics live in frontier.go (what to try next) and
+// scheduler.go (who tries it); Explore just wires them to this engine.
 func (e *Engine) Explore() *Report {
-	start := time.Now()
-	rep := &Report{}
-
-	var (
-		mu       sync.Mutex
-		seen     = map[PathSig]bool{}
-		attempts = map[string]bool{} // negation queries already issued
-		branches = map[string]bool{}
-		queue    []workItem
-		runs     int
-		seq      int
-	)
-
-	deadline := time.Time{}
-	if e.opts.TimeBudget > 0 {
-		deadline = start.Add(e.opts.TimeBudget)
-	}
-
-	// execute runs the handler under an assignment and folds the resulting
-	// path into the frontier. Returns false when the run budget is gone.
-	var execute func(env sym.Env, bound int) bool
-	cancelled := func() bool {
-		if e.opts.Cancel == nil {
-			return false
-		}
-		select {
-		case <-e.opts.Cancel:
-			return true
-		default:
-			return false
-		}
-	}
-
-	execute = func(env sym.Env, bound int) bool {
-		mu.Lock()
-		if cancelled() {
-			rep.Budget = "cancelled"
-			mu.Unlock()
-			return false
-		}
-		if runs >= e.opts.MaxRuns {
-			rep.Budget = "max-runs"
-			mu.Unlock()
-			return false
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			rep.Budget = "time"
-			mu.Unlock()
-			return false
-		}
-		runs++
-		mySeq := seq
-		seq++
-		mu.Unlock()
-
-		rc := &RunContext{env: env, vars: e.byName}
-		out := e.handler(rc)
-
-		mu.Lock()
-		defer mu.Unlock()
-		sig := signature(rc.assumes) + "//" + signature(rc.path)
-		fresh := !seen[sig]
-		if fresh {
-			seen[sig] = true
-			rep.Paths = append(rep.Paths, PathResult{
-				Seq:     mySeq,
-				Env:     cloneEnv(env),
-				Path:    rc.path,
-				Assumes: rc.assumes,
-				Output:  out,
-				Notes:   rc.notes,
-			})
-		}
-		for _, c := range rc.path {
-			branches[c.String()] = true
-		}
-		if !fresh {
-			return true
-		}
-		// Schedule negations of this path's suffix (generational bound) —
-		// "the concolic execution engine starts negating constraints one at
-		// a time, resulting in a set of inputs" (§2.3). The aggregate set
-		// grows because later runs may reach branches earlier runs missed.
-		limit := len(rc.path)
-		if e.opts.MaxDepth > 0 && limit > e.opts.MaxDepth {
-			limit = e.opts.MaxDepth
-		}
-		for i := bound; i < limit; i++ {
-			neg := sym.NewNot(rc.path[i])
-			key := signature(rc.path[:i]) + "/" + PathSig(neg.String())
-			if attempts[string(key)] {
-				continue
-			}
-			attempts[string(key)] = true
-			// Assumptions are conjoined to the prefix so solutions always
-			// satisfy them, but they are never negated themselves.
-			prefix := make([]sym.Expr, 0, len(rc.assumes)+i)
-			prefix = append(prefix, rc.assumes...)
-			prefix = append(prefix, rc.path[:i]...)
-			item := workItem{
-				prefix:  prefix,
-				negated: neg,
-				depth:   i,
-				hint:    cloneEnv(env),
-			}
-			queue = append(queue, item)
-		}
-		e.orderQueue(queue)
-		return true
-	}
-
-	// Seed run explores from the observed input.
-	if !execute(cloneEnv(e.seed), 0) {
-		rep.Elapsed = time.Since(start)
-		return rep
-	}
-
-	// Worker pool drains the negation queue. Each worker owns a solver.
-	var wg sync.WaitGroup
-	active := 0 // items being processed; guarded by mu
-	cond := sync.NewCond(&mu)
-
-	worker := func() {
-		defer wg.Done()
-		for {
-			mu.Lock()
-			for len(queue) == 0 && active > 0 {
-				cond.Wait()
-			}
-			if len(queue) == 0 {
-				mu.Unlock()
-				cond.Broadcast()
-				return
-			}
-			item := queue[len(queue)-1]
-			queue = queue[:len(queue)-1]
-			active++
-			stop := runs >= e.opts.MaxRuns ||
-				(!deadline.IsZero() && time.Now().After(deadline)) ||
-				cancelled()
-			mu.Unlock()
-
-			if stop {
-				mu.Lock()
-				active--
-				queue = nil
-				if rep.Budget == "" {
-					switch {
-					case cancelled():
-						rep.Budget = "cancelled"
-					case runs >= e.opts.MaxRuns:
-						rep.Budget = "max-runs"
-					default:
-						rep.Budget = "time"
-					}
-				}
-				mu.Unlock()
-				cond.Broadcast()
-				return
-			}
-
-			cs := append(append([]sym.Expr(nil), item.prefix...), item.negated)
-			env, res := solver.New(solver.Options{
-				MaxNodes: e.opts.SolverNodes,
-				Hint:     item.hint,
-			}).Solve(cs)
-
-			mu.Lock()
-			rep.SolverCalls++
-			switch res {
-			case solver.Sat:
-				rep.SolverSat++
-			case solver.Unsat:
-				rep.SolverUnsat++
-			}
-			mu.Unlock()
-
-			if res == solver.Sat {
-				// Unconstrained inputs keep their observed (hinted) value.
-				merged := cloneEnv(item.hint)
-				for id, v := range env {
-					merged[id] = v
-				}
-				execute(merged, item.depth+1)
-			}
-
-			mu.Lock()
-			active--
-			mu.Unlock()
-			cond.Broadcast()
-		}
-	}
-
-	wg.Add(e.opts.Workers)
-	for i := 0; i < e.opts.Workers; i++ {
-		go worker()
-	}
-	wg.Wait()
-
-	rep.Runs = runs
-	rep.BranchesSeen = len(branches)
-	rep.Elapsed = time.Since(start)
-	return rep
-}
-
-// orderQueue arranges pending work according to the strategy. The queue is
-// drained from the back, so DFS wants deepest-last, BFS shallowest-last.
-func (e *Engine) orderQueue(queue []workItem) {
-	switch e.opts.Strategy {
-	case DFS:
-		sort.SliceStable(queue, func(i, j int) bool { return queue[i].depth < queue[j].depth })
-	case BFS:
-		sort.SliceStable(queue, func(i, j int) bool { return queue[i].depth > queue[j].depth })
-	case Generational:
-		// FIFO-ish: keep insertion order, drain oldest last for breadth
-		// across generations while still finishing each generation.
-	}
+	return newScheduler(e).run()
 }
 
 func cloneEnv(e sym.Env) sym.Env {

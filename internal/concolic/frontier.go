@@ -1,0 +1,154 @@
+package concolic
+
+import (
+	"sort"
+
+	"dice/internal/sym"
+)
+
+// workItem is a pending negation: solve prefix ∧ ¬negated, run if sat.
+type workItem struct {
+	prefix  []sym.Expr
+	negated sym.Expr
+	depth   int    // index of the negated predicate, for child bounds
+	key     string // negation dedup key, recorded into state when solved
+	hint    sym.Env
+}
+
+// frontier is the exploration frontier: the strategy-ordered queue of
+// pending negations plus the dedup sets that keep the engine from
+// re-running paths or re-issuing negation queries. When cross-round
+// ExploreState is attached, the dedup extends over every prior round.
+//
+// The frontier is a plain data structure with no locking of its own; the
+// scheduler serializes access and keeps handler runs and solver searches
+// outside its critical sections.
+type frontier struct {
+	strategy Strategy
+	maxDepth int
+	state    *ExploreState // cross-round memory; may be nil
+
+	seen     map[PathSig]bool // path signatures executed this round
+	attempts map[string]bool  // negation queries issued this round
+	branches map[string]bool  // distinct oriented constraints observed
+
+	queue []workItem
+
+	skippedPaths     int // paths suppressed because a prior round explored them
+	skippedNegations int // negations suppressed because a prior round attempted them
+}
+
+func newFrontier(strategy Strategy, maxDepth int, state *ExploreState) *frontier {
+	f := &frontier{
+		strategy: strategy,
+		maxDepth: maxDepth,
+		state:    state,
+		seen:     make(map[PathSig]bool),
+		attempts: make(map[string]bool),
+		branches: make(map[string]bool),
+	}
+	if state != nil {
+		// Resume frontier work a budget-stopped earlier round left behind
+		// (its parent paths are in the state and will not be re-folded).
+		f.queue = state.takePending()
+		for _, it := range f.queue {
+			f.attempts[it.key] = true
+		}
+		f.order()
+	}
+	return f
+}
+
+// fold records one finished run's path and schedules negations of its
+// suffix predicates from bound onward — "the concolic execution engine
+// starts negating constraints one at a time, resulting in a set of
+// inputs" (§2.3). The aggregate set grows because later runs may reach
+// branches earlier runs missed. It reports whether the path is new to
+// this round AND to every prior round sharing the attached state (fresh
+// paths are the ones the caller reports).
+func (f *frontier) fold(assumes, path []sym.Expr, env sym.Env, bound int) (fresh bool) {
+	for _, c := range path {
+		f.branches[c.String()] = true
+	}
+	sig := signature(assumes) + "//" + signature(path)
+	if f.seen[sig] {
+		return false
+	}
+	f.seen[sig] = true
+	fresh = true
+	if f.state != nil && !f.state.RecordPath(sig) {
+		f.skippedPaths++
+		fresh = false
+	}
+	limit := len(path)
+	if f.maxDepth > 0 && limit > f.maxDepth {
+		limit = f.maxDepth
+	}
+	for i := bound; i < limit; i++ {
+		neg := sym.NewNot(path[i])
+		key := string(signature(path[:i])) + "/" + neg.String()
+		if f.attempts[key] {
+			continue
+		}
+		f.attempts[key] = true
+		// Cross-round dedup is check-only here: the key is recorded into
+		// the state by the scheduler when the query is actually issued,
+		// so work dropped by a budget stop is retried in a later round.
+		if f.state != nil && f.state.SeenNegation(key) {
+			f.skippedNegations++
+			continue
+		}
+		// Assumptions are conjoined to the prefix so solutions always
+		// satisfy them, but they are never negated themselves.
+		prefix := make([]sym.Expr, 0, len(assumes)+i)
+		prefix = append(prefix, assumes...)
+		prefix = append(prefix, path[:i]...)
+		f.queue = append(f.queue, workItem{
+			prefix:  prefix,
+			negated: neg,
+			depth:   i,
+			key:     key,
+			hint:    cloneEnv(env),
+		})
+	}
+	f.order()
+	return fresh
+}
+
+// pop removes and returns the next work item. The queue is drained from
+// the back; order arranges it so the strategy's preferred item sits last.
+func (f *frontier) pop() (workItem, bool) {
+	if len(f.queue) == 0 {
+		return workItem{}, false
+	}
+	it := f.queue[len(f.queue)-1]
+	f.queue = f.queue[:len(f.queue)-1]
+	return it, true
+}
+
+// pending returns the number of queued negations.
+func (f *frontier) pending() int { return len(f.queue) }
+
+// clear drops all queued work (budget exhausted / cancelled), stowing it
+// in the cross-round state — when one is attached — so the next round
+// resumes instead of losing the unexplored subtrees.
+func (f *frontier) clear() {
+	if f.state != nil {
+		f.state.savePending(f.queue)
+	}
+	f.queue = nil
+}
+
+// order arranges pending work according to the strategy. The queue is
+// drained from the back, so DFS wants deepest-last, BFS shallowest-last.
+func (f *frontier) order() {
+	switch f.strategy {
+	case DFS:
+		sort.SliceStable(f.queue, func(i, j int) bool { return f.queue[i].depth < f.queue[j].depth })
+	case BFS:
+		sort.SliceStable(f.queue, func(i, j int) bool { return f.queue[i].depth > f.queue[j].depth })
+	case Generational:
+		// FIFO-ish: keep insertion order, drain oldest last for breadth
+		// across generations while still finishing each generation.
+	}
+}

@@ -1,0 +1,98 @@
+package concolic
+
+import (
+	"testing"
+
+	"dice/internal/sym"
+)
+
+// foldTwoPaths folds two independent two-predicate paths into a frontier
+// and returns the negated-constraint names in pop (drain) order.
+func foldTwoPaths(strategy Strategy) []string {
+	f := newFrontier(strategy, 0, nil)
+	mk := func(id int, name string) sym.Expr {
+		return sym.NewCmp(sym.OpEq, &sym.Var{ID: id, Name: name, W: 8}, sym.NewConst(1, 8))
+	}
+	pathA := []sym.Expr{mk(0, "a0"), mk(1, "a1")}
+	pathB := []sym.Expr{mk(2, "b0"), mk(3, "b1")}
+	f.fold(nil, pathA, sym.Env{}, 0)
+	f.fold(nil, pathB, sym.Env{}, 0)
+
+	var order []string
+	for {
+		it, ok := f.pop()
+		if !ok {
+			return order
+		}
+		// The negation of (var == 1) folds to (var != 1); recover the name.
+		order = append(order, it.negated.(*sym.Cmp).X.(*sym.Var).Name)
+	}
+}
+
+// TestFrontierDrainOrder pins the strategy semantics: DFS drains deepest
+// predicates first (globally), BFS shallowest first, and Generational
+// drains the newest generation first, deepest-first within it.
+func TestFrontierDrainOrder(t *testing.T) {
+	cases := []struct {
+		strategy Strategy
+		want     []string
+	}{
+		{DFS, []string{"b1", "a1", "b0", "a0"}},
+		{BFS, []string{"b0", "a0", "b1", "a1"}},
+		{Generational, []string{"b1", "b0", "a1", "a0"}},
+	}
+	for _, c := range cases {
+		got := foldTwoPaths(c.strategy)
+		if len(got) != len(c.want) {
+			t.Fatalf("%v: drained %v, want %v", c.strategy, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%v: drain order %v, want %v", c.strategy, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// TestFrontierDedupsAttempts: folding the same path twice schedules its
+// negations only once, and a duplicate path is not fresh.
+func TestFrontierDedupsAttempts(t *testing.T) {
+	f := newFrontier(Generational, 0, nil)
+	path := []sym.Expr{
+		sym.NewCmp(sym.OpEq, &sym.Var{ID: 0, Name: "x", W: 8}, sym.NewConst(1, 8)),
+	}
+	if !f.fold(nil, path, sym.Env{}, 0) {
+		t.Fatal("first fold not fresh")
+	}
+	if f.pending() != 1 {
+		t.Fatalf("pending = %d, want 1", f.pending())
+	}
+	if f.fold(nil, path, sym.Env{}, 0) {
+		t.Fatal("duplicate path reported fresh")
+	}
+	if f.pending() != 1 {
+		t.Fatalf("duplicate fold re-scheduled: pending = %d", f.pending())
+	}
+}
+
+// TestFrontierMaxDepth: predicates beyond MaxDepth are never scheduled.
+func TestFrontierMaxDepth(t *testing.T) {
+	f := newFrontier(Generational, 2, nil)
+	mk := func(id int) sym.Expr {
+		return sym.NewCmp(sym.OpEq, &sym.Var{ID: id, Name: "v", W: 8}, sym.NewConst(1, 8))
+	}
+	f.fold(nil, []sym.Expr{mk(0), mk(1), mk(2), mk(3)}, sym.Env{}, 0)
+	if f.pending() != 2 {
+		t.Fatalf("pending = %d, want 2 (MaxDepth)", f.pending())
+	}
+	for {
+		it, ok := f.pop()
+		if !ok {
+			break
+		}
+		if it.depth >= 2 {
+			t.Fatalf("scheduled negation at depth %d beyond MaxDepth 2", it.depth)
+		}
+	}
+}

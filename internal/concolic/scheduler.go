@@ -1,0 +1,231 @@
+package concolic
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dice/internal/solver"
+	"dice/internal/sym"
+)
+
+// scheduler drives one exploration round: a pool of Workers goroutines
+// drains the frontier, each worker owning one reusable solver. The
+// frontier and the run/seq budget counters live behind a single short
+// mutex; handler executions and solver searches — the expensive parts —
+// run outside it, and solver statistics are atomics so workers never
+// serialize on bookkeeping.
+type scheduler struct {
+	e     *Engine
+	front *frontier
+	cache *solver.Cache // memo cache for negation queries; may be nil
+
+	mu     sync.Mutex // guards front, runs, seq, budget, paths
+	cond   *sync.Cond
+	active int // items being processed
+	runs   int
+	seq    int
+	budget string
+	paths  []PathResult
+
+	deadline time.Time
+
+	solverCalls, solverSat, solverUnsat, cacheHits atomic.Int64
+}
+
+func newScheduler(e *Engine) *scheduler {
+	cache := e.opts.SolverCache
+	if cache == nil && e.opts.State != nil {
+		cache = e.opts.State.Cache()
+	}
+	sch := &scheduler{
+		e:     e,
+		front: newFrontier(e.opts.Strategy, e.opts.MaxDepth, e.opts.State),
+		cache: cache,
+	}
+	sch.cond = sync.NewCond(&sch.mu)
+	return sch
+}
+
+func (sch *scheduler) cancelled() bool {
+	if sch.e.opts.Cancel == nil {
+		return false
+	}
+	select {
+	case <-sch.e.opts.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// execute runs the handler under an assignment and folds the resulting
+// path into the frontier. Returns false when the run budget is gone.
+func (sch *scheduler) execute(env map[int]uint64, bound int) bool {
+	sch.mu.Lock()
+	if sch.cancelled() {
+		sch.budget = "cancelled"
+		sch.mu.Unlock()
+		return false
+	}
+	if sch.runs >= sch.e.opts.MaxRuns {
+		sch.budget = "max-runs"
+		sch.mu.Unlock()
+		return false
+	}
+	if !sch.deadline.IsZero() && time.Now().After(sch.deadline) {
+		sch.budget = "time"
+		sch.mu.Unlock()
+		return false
+	}
+	sch.runs++
+	mySeq := sch.seq
+	sch.seq++
+	sch.mu.Unlock()
+
+	rc := &RunContext{env: env, vars: sch.e.byName}
+	out := sch.e.handler(rc)
+
+	sch.mu.Lock()
+	defer sch.mu.Unlock()
+	if sch.front.fold(rc.assumes, rc.path, env, bound) {
+		sch.paths = append(sch.paths, PathResult{
+			Seq:     mySeq,
+			Env:     cloneEnv(env),
+			Path:    rc.path,
+			Assumes: rc.assumes,
+			Output:  out,
+			Notes:   rc.notes,
+		})
+	}
+	return true
+}
+
+// worker drains the frontier until it is empty with no item in flight, or
+// a budget stops exploration. Each worker owns one solver, reused across
+// queries with per-item hints.
+func (sch *scheduler) worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	sv := solver.New(solver.Options{MaxNodes: sch.e.opts.SolverNodes})
+	for {
+		sch.mu.Lock()
+		for sch.front.pending() == 0 && sch.active > 0 {
+			sch.cond.Wait()
+		}
+		item, ok := sch.front.pop()
+		if !ok {
+			sch.mu.Unlock()
+			sch.cond.Broadcast()
+			return
+		}
+		sch.active++
+		stop := sch.runs >= sch.e.opts.MaxRuns ||
+			(!sch.deadline.IsZero() && time.Now().After(sch.deadline)) ||
+			sch.cancelled()
+		sch.mu.Unlock()
+
+		if stop {
+			sch.mu.Lock()
+			sch.active--
+			if sch.e.opts.State != nil {
+				sch.e.opts.State.savePending([]workItem{item})
+			}
+			sch.front.clear()
+			if sch.budget == "" {
+				switch {
+				case sch.cancelled():
+					sch.budget = "cancelled"
+				case sch.runs >= sch.e.opts.MaxRuns:
+					sch.budget = "max-runs"
+				default:
+					sch.budget = "time"
+				}
+			}
+			sch.mu.Unlock()
+			sch.cond.Broadcast()
+			return
+		}
+
+		cs := append(append([]sym.Expr(nil), item.prefix...), item.negated)
+		env, res, hit := sv.SolveCached(sch.cache, cs, item.hint)
+		if hit {
+			sch.cacheHits.Add(1)
+		} else {
+			sch.solverCalls.Add(1)
+		}
+		switch res {
+		case solver.Sat:
+			sch.solverSat.Add(1)
+		case solver.Unsat:
+			sch.solverUnsat.Add(1)
+		}
+
+		completed := true
+		if res == solver.Sat {
+			// Unconstrained inputs keep their observed (hinted) value.
+			merged := cloneEnv(item.hint)
+			for id, v := range env {
+				merged[id] = v
+			}
+			completed = sch.execute(merged, item.depth+1)
+		}
+		// The negation counts as attempted for future rounds only once it
+		// was fully processed: answered, and (when Sat) its witness run
+		// executed. An item whose run a budget stop refused goes back to
+		// the state's pending frontier for the next round (its answer is
+		// memoized, so the retry costs a cache hit, not a search).
+		if sch.e.opts.State != nil {
+			if completed {
+				sch.e.opts.State.RecordNegation(item.key)
+			} else {
+				sch.e.opts.State.savePending([]workItem{item})
+			}
+		}
+
+		sch.mu.Lock()
+		sch.active--
+		sch.mu.Unlock()
+		sch.cond.Broadcast()
+	}
+}
+
+// run performs the whole exploration: seed run, then the worker pool.
+func (sch *scheduler) run() *Report {
+	start := time.Now()
+	if sch.e.opts.TimeBudget > 0 {
+		sch.deadline = start.Add(sch.e.opts.TimeBudget)
+	}
+	if sch.e.opts.State != nil {
+		sch.e.opts.State.beginRound()
+	}
+
+	// Seed run explores from the observed input.
+	if sch.execute(cloneEnv(sch.e.seed), 0) {
+		var wg sync.WaitGroup
+		wg.Add(sch.e.opts.Workers)
+		for i := 0; i < sch.e.opts.Workers; i++ {
+			go sch.worker(&wg)
+		}
+		wg.Wait()
+	} else {
+		// Seed run refused (pre-cancelled / expired budget): stow any
+		// frontier work resumed from a prior round back into the state
+		// instead of silently dropping it.
+		sch.front.clear()
+	}
+
+	rep := &Report{
+		Paths:            sch.paths,
+		Runs:             sch.runs,
+		SolverCalls:      int(sch.solverCalls.Load()),
+		SolverSat:        int(sch.solverSat.Load()),
+		SolverUnsat:      int(sch.solverUnsat.Load()),
+		CacheHits:        int(sch.cacheHits.Load()),
+		BranchesSeen:     len(sch.front.branches),
+		SkippedPaths:     sch.front.skippedPaths,
+		SkippedNegations: sch.front.skippedNegations,
+		Budget:           sch.budget,
+		Elapsed:          time.Since(start),
+	}
+	return rep
+}

@@ -1,0 +1,144 @@
+package concolic
+
+import (
+	"sync"
+
+	"dice/internal/solver"
+)
+
+// ExploreState is exploration memory that persists across rounds. The
+// paper's online mode runs rounds continuously against live checkpoints;
+// without cross-round state every round re-discovers the same paths and
+// re-issues the same solver queries. An ExploreState attached to
+// Options.State makes later rounds incremental:
+//
+//   - path signatures explored by any prior round are not re-reported
+//     (a warm round's Report carries only genuinely new paths);
+//   - negation queries attempted by any prior round are not re-issued
+//     (counted in Report.SkippedNegations instead of hitting the solver);
+//   - a solver memo cache answers the queries that do repeat (e.g. the
+//     same sub-formula reached through a new path) without search.
+//
+// Path signatures are derived from the path condition only, so the state
+// is valid as long as the handler's branch structure for a given input is
+// stable across rounds; if the node's policy configuration changes, start
+// a fresh ExploreState. A negation is recorded only once fully processed
+// (answered and, when Sat, its witness run executed); frontier work still
+// pending when a budget stops a round is stowed here and resumed by the
+// next round, so a budget stop loses nothing. A fully processed negation
+// is never retried — including ones that returned Unknown under that
+// round's node budget. The maps and the memo cache grow monotonically
+// (one entry per distinct path, negation and query); long-lived online
+// deployments should rotate to a fresh state periodically rather than
+// keep one forever.
+//
+// Safe for concurrent use; DiCE shares one ExploreState per
+// (scenario, peer) across all its rounds.
+type ExploreState struct {
+	mu        sync.Mutex
+	seen      map[PathSig]bool
+	attempted map[string]bool
+	pending   []workItem // frontier left over when a budget stopped a round
+	rounds    int
+	cache     *solver.Cache
+}
+
+// NewExploreState creates empty cross-round exploration state with its
+// own solver memo cache.
+func NewExploreState() *ExploreState {
+	return &ExploreState{
+		seen:      make(map[PathSig]bool),
+		attempted: make(map[string]bool),
+		cache:     solver.NewCache(),
+	}
+}
+
+// RecordPath marks sig as explored and reports whether this is the first
+// round ever to see it.
+func (s *ExploreState) RecordPath(sig PathSig) (first bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen[sig] {
+		return false
+	}
+	s.seen[sig] = true
+	return true
+}
+
+// SeenNegation reports whether any round has already issued this
+// negation query.
+func (s *ExploreState) SeenNegation(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attempted[key]
+}
+
+// RecordNegation marks a negation query as attempted. The scheduler calls
+// it when the query is actually issued — not when it is merely scheduled —
+// so queued work dropped by a budget stop stays retryable in later rounds.
+func (s *ExploreState) RecordNegation(key string) {
+	s.mu.Lock()
+	s.attempted[key] = true
+	s.mu.Unlock()
+}
+
+// Cache returns the state's solver memo cache (shared across rounds).
+func (s *ExploreState) Cache() *solver.Cache { return s.cache }
+
+// savePending stows frontier work a budget-stopped round could not
+// process, so the next round resumes it instead of losing the subtrees
+// behind it (their parent paths are recorded as seen and would never be
+// re-folded).
+func (s *ExploreState) savePending(items []workItem) {
+	if len(items) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.pending = append(s.pending, items...)
+	s.mu.Unlock()
+}
+
+// takePending drains the stowed frontier into the starting round.
+func (s *ExploreState) takePending() []workItem {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.pending
+	s.pending = nil
+	return p
+}
+
+// PendingWork reports how many frontier items a budget-stopped round left
+// for the next round to resume.
+func (s *ExploreState) PendingWork() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// beginRound counts a round against this state.
+func (s *ExploreState) beginRound() {
+	s.mu.Lock()
+	s.rounds++
+	s.mu.Unlock()
+}
+
+// ExploreStateStats summarizes accumulated cross-round state.
+type ExploreStateStats struct {
+	Rounds                 int // rounds that used this state
+	Paths                  int // distinct path signatures ever explored
+	Negations              int // distinct negation queries ever attempted
+	CacheHits, CacheMisses uint64
+}
+
+// Stats returns a snapshot of the accumulated state.
+func (s *ExploreState) Stats() ExploreStateStats {
+	s.mu.Lock()
+	st := ExploreStateStats{
+		Rounds:    s.rounds,
+		Paths:     len(s.seen),
+		Negations: len(s.attempted),
+	}
+	s.mu.Unlock()
+	st.CacheHits, st.CacheMisses = s.cache.Stats()
+	return st
+}

@@ -4,15 +4,19 @@
 // One exploration round (§2.3):
 //
 //  1. Take a checkpoint of the live node (page-granular, COW-shared).
-//  2. Derive a symbolic input template from a previously observed UPDATE
-//     (selectively small fields: NLRI address/length, attribute values).
+//  2. Derive a symbolic input template from a previously observed message
+//     (the scenario's seed: selectively small fields become symbolic).
 //  3. Repeatedly: clone the checkpoint, execute the instrumented message
 //     handler with an engine-chosen input, record the path constraints,
 //     negate one predicate, solve, repeat — while intercepting every
 //     message the clones produce so the deployed system is unaffected.
-//  4. Run the fault oracles over the explored outcomes (here: the origin
-//     misconfiguration / prefix-hijack detector of §4.2, with anycast
-//     false-positive suppression).
+//  4. Run the scenario's fault oracles over the explored outcomes (e.g.
+//     the origin misconfiguration / prefix-hijack detector of §4.2).
+//
+// The message-type-specific parts of a round live behind the Scenario
+// interface (scenario.go); DiCE provides the round machinery once and
+// keeps per-(scenario, peer) ExploreState so the paper's continuous
+// online mode does not re-explore known paths every round.
 package core
 
 import (
@@ -27,10 +31,16 @@ import (
 	"dice/internal/router"
 )
 
-// Options configures one DiCE exploration round.
+// Options configures DiCE exploration rounds.
 type Options struct {
 	// Engine tunes the concolic engine (strategies, budgets, workers).
 	Engine concolic.Options
+	// ReuseState keeps per-(scenario, peer) exploration state across
+	// rounds on this DiCE instance: repeated online rounds skip paths
+	// and negations already explored and share a solver memo cache.
+	// When false (default) every round explores from scratch, unless
+	// Engine.State is set explicitly.
+	ReuseState bool
 	// MeasureMemory enables per-clone page accounting (the §4.1 memory
 	// experiment). It costs one state serialization per run.
 	MeasureMemory bool
@@ -60,8 +70,14 @@ type MemoryStats struct {
 
 // Result is the outcome of one exploration round.
 type Result struct {
+	// Scenario is the name of the scenario that ran.
+	Scenario string
 	Report   *concolic.Report
 	Findings []Finding
+	// Details carries scenario-specific analysis beyond Findings (e.g.
+	// *OpenExploration for "open", *WithdrawExploration for "withdraw");
+	// nil when the scenario reports through Findings alone.
+	Details any
 	// FalsePositivesFiltered counts potential hijacks suppressed because
 	// the prefix is known anycast space.
 	FalsePositivesFiltered int
@@ -79,30 +95,40 @@ type Result struct {
 type DiCE struct {
 	live *router.Router
 	opts Options
+
+	mu     sync.Mutex
+	states map[string]*concolic.ExploreState // keyed scenario + "/" + peer
 }
 
 // New creates a DiCE instance attached to a live router.
 func New(live *router.Router, opts Options) *DiCE {
-	return &DiCE{live: live, opts: opts}
+	return &DiCE{
+		live:   live,
+		opts:   opts,
+		states: make(map[string]*concolic.ExploreState),
+	}
 }
 
-// witnessEnv converts a finding's named input back into an engine
-// assignment (IDs follow DeclareSymbolicInputs declaration order).
-func witnessEnv(input map[string]uint64) map[int]uint64 {
-	names := []string{
-		router.StandardVars.Addr,
-		router.StandardVars.Len,
-		router.StandardVars.Origin,
-		router.StandardVars.MED,
-		router.StandardVars.LocalPref,
+// State returns the cross-round exploration state accumulated for a
+// scenario and peer, or nil if no round has run with ReuseState set.
+func (d *DiCE) State(scenario, peer string) *concolic.ExploreState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.states[scenario+"/"+peer]
+}
+
+// stateFor returns (allocating on first use) the shared state for a
+// scenario and peer.
+func (d *DiCE) stateFor(scenario, peer string) *concolic.ExploreState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := scenario + "/" + peer
+	st, ok := d.states[key]
+	if !ok {
+		st = concolic.NewExploreState()
+		d.states[key] = st
 	}
-	env := make(map[int]uint64, len(input))
-	for id, name := range names {
-		if v, ok := input[name]; ok {
-			env[id] = v
-		}
-	}
-	return env
+	return st
 }
 
 // withLock runs fn holding the clone lock when one is configured.
@@ -114,23 +140,53 @@ func (d *DiCE) withLock(fn func()) {
 	fn()
 }
 
-// ExplorePeer runs one exploration round using the most recent UPDATE
-// observed from the named peer as the seed input.
-func (d *DiCE) ExplorePeer(peerName string) (*Result, error) {
-	var seed *bgp.Update
-	d.withLock(func() { seed = d.live.LastObserved(peerName) })
-	if seed == nil {
-		return nil, fmt.Errorf("dice: no observed UPDATE from peer %q to explore from", peerName)
+// ExploreScenario runs one exploration round of the named scenario
+// against peerName, seeding from the live router's observed state.
+func (d *DiCE) ExploreScenario(name, peerName string) (*Result, error) {
+	sc, ok := LookupScenario(name)
+	if !ok {
+		return nil, fmt.Errorf("dice: unknown scenario %q (registered: %v)", name, ScenarioNames())
 	}
-	return d.ExploreSeed(peerName, seed)
+	var (
+		seed any
+		err  error
+	)
+	d.withLock(func() { seed, err = sc.Seed(d.live, peerName) })
+	if err != nil {
+		return nil, err
+	}
+	return d.exploreRound(sc, peerName, seed)
 }
 
-// ExploreSeed runs one exploration round from an explicitly provided seed
-// UPDATE (normally ExplorePeer supplies the last observed one).
+// ExploreScenarioSeed runs one round of the named scenario from an
+// explicitly provided seed (whose type must match the scenario's own).
+func (d *DiCE) ExploreScenarioSeed(name, peerName string, seed any) (*Result, error) {
+	sc, ok := LookupScenario(name)
+	if !ok {
+		return nil, fmt.Errorf("dice: unknown scenario %q (registered: %v)", name, ScenarioNames())
+	}
+	return d.exploreRound(sc, peerName, seed)
+}
+
+// ExplorePeer runs one UPDATE exploration round using the most recent
+// UPDATE observed from the named peer as the seed input.
+func (d *DiCE) ExplorePeer(peerName string) (*Result, error) {
+	return d.ExploreScenario(ScenarioUpdate, peerName)
+}
+
+// ExploreSeed runs one UPDATE exploration round from an explicitly
+// provided seed (normally ExplorePeer supplies the last observed one).
 func (d *DiCE) ExploreSeed(peerName string, seed *bgp.Update) (*Result, error) {
 	if len(seed.NLRI) == 0 {
 		return nil, fmt.Errorf("dice: seed UPDATE for %q carries no NLRI", peerName)
 	}
+	return d.exploreRound(updateScenario{}, peerName, seed)
+}
+
+// exploreRound is the scenario-independent round machinery: checkpoint,
+// clone-per-run isolated execution, optional memory accounting, optional
+// cross-round state, then the scenario's oracles.
+func (d *DiCE) exploreRound(sc Scenario, peerName string, seed any) (*Result, error) {
 	start := time.Now()
 
 	// Step 1: checkpoint the live node. Like the paper's fork(), this is
@@ -162,7 +218,7 @@ func (d *DiCE) ExploreSeed(peerName string, seed *bgp.Update) (*Result, error) {
 		} else {
 			clone = ckptRouter.CloneCOW(sink)
 		}
-		out := clone.HandleUpdateConcolic(rc, peerName, seed)
+		out := sc.Execute(rc, clone, peerName, seed)
 		if d.opts.MeasureMemory {
 			snap := store.TakeChunks("clone", clone.EncodeStateChunks())
 			over := snap.OverheadFraction(ckpt)
@@ -174,44 +230,28 @@ func (d *DiCE) ExploreSeed(peerName string, seed *bgp.Update) (*Result, error) {
 		return out
 	}
 
-	// Step 2: symbolic input template from the observed message.
-	eng := concolic.NewEngine(handler, d.opts.Engine)
-	if err := router.DeclareSymbolicInputs(eng, seed); err != nil {
+	// Step 2: symbolic input template from the observed message, with
+	// cross-round state attached in online (ReuseState) mode.
+	engOpts := d.opts.Engine
+	if engOpts.State == nil && d.opts.ReuseState {
+		engOpts.State = d.stateFor(sc.Name(), peerName)
+	}
+	eng := concolic.NewEngine(handler, engOpts)
+	if err := sc.Declare(eng, seed); err != nil {
 		return nil, err
 	}
 
 	rep := eng.Explore()
 
 	res := &Result{
+		Scenario:         sc.Name(),
 		Report:           rep,
 		CapturedMessages: sink.Count(),
-		Elapsed:          time.Since(start),
 	}
 
-	// Step 4: oracles — run against the checkpoint-time routing table
-	// (the "routes already in the routing table prior to starting
-	// exploration", §4.2), which is exactly the checkpoint process's RIB.
-	res.Findings, res.FalsePositivesFiltered = DetectHijacks(d.live.Config(), rep, ckptRouter.RIB())
-
-	// Step 5: witness validation by re-execution. Each finding's witness
-	// input came out of the constraint solver; concretization (e.g. the
-	// mask computed from the run's concrete length) can make recorded
-	// constraints imprecise, so every witness is replayed through the
-	// instrumented handler on a fresh clone and must concretely reproduce
-	// the hijack before it is reported.
-	validated := res.Findings[:0]
-	for _, fd := range res.Findings {
-		pr := eng.RunOnce(witnessEnv(fd.Input))
-		out, ok := pr.Output.(router.ExplorationOutcome)
-		if ok && out.Accepted && fd.VictimPrefix.Covers(out.Prefix) && out.OriginAS != fd.VictimAS {
-			fd.Validated = true
-			fd.SpreadTo = out.SpreadTo
-			validated = append(validated, fd)
-		} else {
-			res.WitnessesRejected++
-		}
-	}
-	res.Findings = validated
+	// Step 4: the scenario's oracles, run against the checkpoint-time
+	// state (witness validation included).
+	sc.Analyze(d, &Round{Peer: peerName, Seed: seed, Engine: eng, Checkpoint: ckptRouter}, res)
 
 	// Memory accounting (only in MeasureMemory mode — serializing and
 	// hashing the full state is itself costly): compare the checkpoint
@@ -240,5 +280,6 @@ func (d *DiCE) ExploreSeed(peerName string, seed *bgp.Update) (*Result, error) {
 		}
 		ckpt.Release()
 	}
+	res.Elapsed = time.Since(start)
 	return res, nil
 }

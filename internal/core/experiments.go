@@ -364,6 +364,64 @@ func RunE4RouteLeak(s Scale, filterSrc string, anycast []netaddr.Prefix) (*E4Res
 	return out, nil
 }
 
+// --- S1: cross-round exploration state --------------------------------------------
+
+// S1RoundStats is one round's cost in the warm-state experiment.
+type S1RoundStats struct {
+	Scenario         string
+	Round            int
+	Runs             int
+	NewPaths         int
+	SolverQueries    int // searched + cache-answered
+	CacheHits        int
+	SkippedNegations int
+}
+
+// S1Result reports per-round exploration cost with shared cross-round
+// state, for every registered scenario.
+type S1Result struct {
+	Rounds []S1RoundStats
+}
+
+// RunS1WarmState runs `rounds` consecutive online rounds per registered
+// scenario on one DiCE instance with ReuseState, measuring how much work
+// each round repeats. With an unchanged seed, warm rounds must skip all
+// known paths and negations.
+func RunS1WarmState(s Scale, rounds int) (*S1Result, error) {
+	f, err := NewFig2(Fig2Options{CustomerFilter: BrokenCustomerFilter})
+	if err != nil {
+		return nil, err
+	}
+	recs := append(genTrace(s), Victims()...)
+	if _, err := f.LoadTable(recs); err != nil {
+		return nil, err
+	}
+	d := New(f.Provider, Options{
+		Engine:     concolic.Options{MaxRuns: s.ExploreRuns},
+		ReuseState: true,
+	})
+	out := &S1Result{}
+	for _, name := range ScenarioNames() {
+		for round := 1; round <= rounds; round++ {
+			res, err := d.ExploreScenario(name, NodeCustomer)
+			if err != nil {
+				return nil, err
+			}
+			rep := res.Report
+			out.Rounds = append(out.Rounds, S1RoundStats{
+				Scenario:         name,
+				Round:            round,
+				Runs:             rep.Runs,
+				NewPaths:         len(rep.Paths),
+				SolverQueries:    rep.SolverCalls + rep.CacheHits,
+				CacheHits:        rep.CacheHits,
+				SkippedNegations: rep.SkippedNegations,
+			})
+		}
+	}
+	return out, nil
+}
+
 // --- A1: symbolic-marking ablation -----------------------------------------------
 
 // A1Result compares field-granular symbolic marking (DiCE's choice) with

@@ -9,9 +9,80 @@ import (
 	"dice/internal/router"
 )
 
+// openScenario explores a peering's OPEN-message handling — the paper's
+// §3.2 future work ("the other state changing messages ... we leave them
+// for future work") implemented: a well-formed OPEN the peer would send
+// seeds the symbolic fields, and predicate negation enumerates every
+// acceptance/rejection path of the session FSM. Exploration uses clones
+// and throwaway sessions only; the live peering is untouched.
+type openScenario struct{}
+
+func init() { RegisterScenario(openScenario{}) }
+
+func (openScenario) Name() string { return ScenarioOpen }
+
+func (openScenario) Description() string {
+	return "OPEN-message session-FSM exploration (acceptance and every rejection class)"
+}
+
+func (openScenario) Seed(live *router.Router, peer string) (any, error) {
+	if live.Session(peer) == nil {
+		return nil, fmt.Errorf("dice: unknown peer %q", peer)
+	}
+	peerCfg := live.Config().FindPeer(peer)
+	if peerCfg == nil {
+		return nil, fmt.Errorf("dice: peer %q not in config", peer)
+	}
+	return &bgp.Open{
+		Version:  4,
+		AS:       peerCfg.AS,
+		HoldTime: 90,
+		RouterID: peerCfg.Addr,
+	}, nil
+}
+
+func (openScenario) Declare(eng *concolic.Engine, seed any) error {
+	router.DeclareOpenInputs(eng, seed.(*bgp.Open))
+	return nil
+}
+
+func (openScenario) Execute(rc *concolic.RunContext, clone *router.Router, peer string, seed any) any {
+	return clone.HandleOpenConcolic(rc, peer)
+}
+
+func (openScenario) Analyze(d *DiCE, round *Round, res *Result) {
+	out := &OpenExploration{
+		Peer:  round.Peer,
+		Paths: len(res.Report.Paths),
+		Runs:  res.Report.Runs,
+	}
+	seen := map[string]bool{}
+	for _, p := range res.Report.Paths {
+		oc, ok := p.Output.(router.OpenOutcome)
+		if !ok {
+			continue
+		}
+		key := fmt.Sprintf("%v/%d/%d", oc.Established, oc.NotifyCode, oc.NotifySubcode)
+		if !seen[key] {
+			seen[key] = true
+			out.Outcomes = append(out.Outcomes, oc)
+		}
+	}
+	sort.Slice(out.Outcomes, func(i, j int) bool {
+		a, b := out.Outcomes[i], out.Outcomes[j]
+		if a.Established != b.Established {
+			return a.Established
+		}
+		if a.NotifyCode != b.NotifyCode {
+			return a.NotifyCode < b.NotifyCode
+		}
+		return a.NotifySubcode < b.NotifySubcode
+	})
+	res.Details = out
+}
+
 // OpenExploration is the result of concolically exploring a peering's
-// OPEN-message handling — the paper's §3.2 future work ("the other state
-// changing messages ... we leave them for future work") implemented.
+// OPEN-message handling.
 type OpenExploration struct {
 	Peer     string
 	Paths    int
@@ -33,55 +104,12 @@ func (o *OpenExploration) String() string {
 	return s
 }
 
-// ExploreOpen explores the live router's OPEN handling for one peer: a
-// well-formed OPEN the peer would send seeds the symbolic fields, and
-// predicate negation enumerates every acceptance/rejection path of the
-// session FSM. Exploration uses throwaway sessions only; the live peering
-// is untouched.
+// ExploreOpen explores the live router's OPEN handling for one peer
+// (the "open" scenario through the generic round machinery).
 func (d *DiCE) ExploreOpen(peerName string) (*OpenExploration, error) {
-	sess := d.live.Session(peerName)
-	if sess == nil {
-		return nil, fmt.Errorf("dice: unknown peer %q", peerName)
+	res, err := d.ExploreScenario(ScenarioOpen, peerName)
+	if err != nil {
+		return nil, err
 	}
-	peerCfg := d.live.Config().FindPeer(peerName)
-	if peerCfg == nil {
-		return nil, fmt.Errorf("dice: peer %q not in config", peerName)
-	}
-	seed := &bgp.Open{
-		Version:  4,
-		AS:       peerCfg.AS,
-		HoldTime: 90,
-		RouterID: peerCfg.Addr,
-	}
-	handler := func(rc *concolic.RunContext) any {
-		return d.live.HandleOpenConcolic(rc, peerName)
-	}
-	eng := concolic.NewEngine(handler, d.opts.Engine)
-	router.DeclareOpenInputs(eng, seed)
-	rep := eng.Explore()
-
-	res := &OpenExploration{Peer: peerName, Paths: len(rep.Paths), Runs: rep.Runs}
-	seen := map[string]bool{}
-	for _, p := range rep.Paths {
-		out, ok := p.Output.(router.OpenOutcome)
-		if !ok {
-			continue
-		}
-		key := fmt.Sprintf("%v/%d/%d", out.Established, out.NotifyCode, out.NotifySubcode)
-		if !seen[key] {
-			seen[key] = true
-			res.Outcomes = append(res.Outcomes, out)
-		}
-	}
-	sort.Slice(res.Outcomes, func(i, j int) bool {
-		a, b := res.Outcomes[i], res.Outcomes[j]
-		if a.Established != b.Established {
-			return a.Established
-		}
-		if a.NotifyCode != b.NotifyCode {
-			return a.NotifyCode < b.NotifyCode
-		}
-		return a.NotifySubcode < b.NotifySubcode
-	})
-	return res, nil
+	return res.Details.(*OpenExploration), nil
 }

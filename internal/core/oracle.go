@@ -55,9 +55,13 @@ func (r RangeDesc) String() string {
 
 // String renders a finding the way an operator report would.
 func (f Finding) String() string {
-	if f.Kind == "prefix-hijack" {
+	switch f.Kind {
+	case "prefix-hijack":
 		return fmt.Sprintf("%s: peer %s can announce %s (origin AS%d), overriding %s (origin AS%d); leakable range %s",
 			f.Kind, f.Peer, f.Prefix, f.OriginAS, f.VictimPrefix, f.VictimAS, f.LeakRange)
+	case "withdraw-blackhole":
+		return fmt.Sprintf("%s: peer %s can withdraw %s and blackhole it; loss spreads to %v",
+			f.Kind, f.Peer, f.Prefix, f.SpreadTo)
 	}
 	return fmt.Sprintf("%s: peer %s can announce %s (origin AS%d); leakable range %s",
 		f.Kind, f.Peer, f.Prefix, f.OriginAS, f.LeakRange)

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dice/internal/concolic"
+	"dice/internal/router"
+)
+
+// Scenario is one protocol surface DiCE can explore concolically. The
+// paper's Oasis "explores multiple message types"; a Scenario packages
+// everything message-type-specific — how to derive a seed input from the
+// live node, which fields of it become symbolic, how to execute one
+// engine-chosen input against a checkpoint clone, and which oracles to
+// run over the finished report — so the round machinery in DiCE
+// (checkpointing, clone-per-run isolation, memory accounting, cross-round
+// state) is written once and shared by every message type.
+//
+// Implementations must be stateless values: one registered Scenario
+// serves concurrent rounds over different routers and peers. Seed values
+// are opaque to the round machinery; each scenario round-trips its own
+// type through the `seed any` parameters.
+type Scenario interface {
+	// Name is the registry key (e.g. "update", "open", "withdraw").
+	Name() string
+	// Description is a one-line summary for operator-facing listings.
+	Description() string
+	// Seed derives the observed seed input for peer from the live router.
+	// It is called under the clone lock; it must only read.
+	Seed(live *router.Router, peer string) (any, error)
+	// Declare registers the scenario's symbolic input template on the
+	// engine, seeded from the observed input.
+	Declare(eng *concolic.Engine, seed any) error
+	// Execute runs one engine-chosen input against a fresh clone of the
+	// checkpoint and returns the outcome the scenario's oracles consume.
+	// It is called concurrently from exploration workers; the clone is
+	// private to the call, the seed is shared and must not be mutated.
+	Execute(rc *concolic.RunContext, clone *router.Router, peer string, seed any) any
+	// Analyze runs the scenario's fault oracles over the finished round,
+	// filling res (Findings and/or Details).
+	Analyze(d *DiCE, round *Round, res *Result)
+}
+
+// Round carries the artifacts of one finished exploration round into a
+// scenario's oracles: the peer and seed it ran from, the engine (for
+// witness validation by re-execution), and the checkpoint-time router
+// whose state the oracles compare against ("routes already in the
+// routing table prior to starting exploration", §4.2).
+type Round struct {
+	Peer       string
+	Seed       any
+	Engine     *concolic.Engine
+	Checkpoint *router.Router
+}
+
+var (
+	scenarioMu sync.RWMutex
+	scenarios  = make(map[string]Scenario)
+)
+
+// RegisterScenario adds a scenario to the registry. Built-in scenarios
+// register themselves from init; external packages may add more. It
+// panics on a duplicate name — scenario names are operator-facing
+// identifiers and must be unambiguous.
+func RegisterScenario(s Scenario) {
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	if _, dup := scenarios[s.Name()]; dup {
+		panic(fmt.Sprintf("core: duplicate scenario %q", s.Name()))
+	}
+	scenarios[s.Name()] = s
+}
+
+// LookupScenario returns the registered scenario for name.
+func LookupScenario(name string) (Scenario, bool) {
+	scenarioMu.RLock()
+	defer scenarioMu.RUnlock()
+	s, ok := scenarios[name]
+	return s, ok
+}
+
+// ScenarioNames returns all registered scenario names, sorted.
+func ScenarioNames() []string {
+	scenarioMu.RLock()
+	defer scenarioMu.RUnlock()
+	names := make([]string, 0, len(scenarios))
+	for n := range scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Built-in scenario names.
+const (
+	ScenarioUpdate   = "update"
+	ScenarioOpen     = "open"
+	ScenarioWithdraw = "withdraw"
+)

@@ -1,0 +1,112 @@
+package solver
+
+import (
+	"sync"
+
+	"dice/internal/sym"
+)
+
+// Cache memoizes Solve results keyed on the canonical rendering of the
+// constraint conjunction (sym.FormatPath — Expr.String is canonical, so
+// structurally identical queries share a key). DiCE's online mode issues
+// the same negation queries over and over: every round re-derives the
+// same path conditions from the same seed, and different scenarios share
+// sub-formulas. A shared Cache answers those repeats without search.
+//
+// Sat results are cached with their model (any model is valid regardless
+// of the hint the original query carried); Unsat results are cached as
+// proofs. Unknown results are NOT cached — they depend on the node
+// budget, and a later query may afford a bigger one.
+//
+// Safe for concurrent use; one Cache is typically shared by all workers
+// of all rounds exploring a peer.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	env sym.Env // nil unless res == Sat
+	res Result
+}
+
+// NewCache creates an empty solver memo cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]cacheEntry)}
+}
+
+// CacheKey returns the canonical memo key for a constraint conjunction.
+func CacheKey(constraints []sym.Expr) string {
+	return sym.FormatPath(constraints)
+}
+
+// Lookup returns the memoized result for key. The returned env is a copy;
+// callers may mutate it freely.
+func (c *Cache) Lookup(key string) (sym.Env, Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, Unknown, false
+	}
+	c.hits++
+	var env sym.Env
+	if e.env != nil {
+		env = make(sym.Env, len(e.env))
+		for k, v := range e.env {
+			env[k] = v
+		}
+	}
+	return env, e.res, true
+}
+
+// Store memoizes a result. Unknown results are ignored (budget-dependent).
+func (c *Cache) Store(key string, env sym.Env, res Result) {
+	if res == Unknown {
+		return
+	}
+	var copied sym.Env
+	if res == Sat && env != nil {
+		copied = make(sym.Env, len(env))
+		for k, v := range env {
+			copied[k] = v
+		}
+	}
+	c.mu.Lock()
+	c.entries[key] = cacheEntry{env: copied, res: res}
+	c.mu.Unlock()
+}
+
+// Stats returns cumulative hit/miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of memoized queries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// SolveCached answers the query from the cache when possible, otherwise
+// solves with the hint and memoizes the outcome. cache may be nil (plain
+// SolveHinted). hit reports whether the answer came from the cache.
+func (s *Solver) SolveCached(cache *Cache, constraints []sym.Expr, hint sym.Env) (env sym.Env, res Result, hit bool) {
+	if cache == nil {
+		env, res = s.SolveHinted(constraints, hint)
+		return env, res, false
+	}
+	key := CacheKey(constraints)
+	if env, res, ok := cache.Lookup(key); ok {
+		return env, res, true
+	}
+	env, res = s.SolveHinted(constraints, hint)
+	cache.Store(key, env, res)
+	return env, res, false
+}

@@ -1,0 +1,128 @@
+package solver
+
+import (
+	"testing"
+
+	"dice/internal/sym"
+)
+
+// TestIntervalSizeSaturates is the regression test for the Hi-Lo+1
+// overflow: the full 64-bit domain must not report size 0 (which made the
+// widest variable look like the most constrained one and qualified a
+// 2^64-value domain for exhaustive enumeration).
+func TestIntervalSizeSaturates(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want uint64
+	}{
+		{Interval{0, ^uint64(0)}, ^uint64(0)}, // full domain: saturates
+		{Interval{1, ^uint64(0)}, ^uint64(0)}, // 2^64-1 values: exact
+		{Interval{0, 0}, 1},
+		{Interval{5, 10}, 6},
+	}
+	for _, c := range cases {
+		if got := c.iv.size(); got != c.want {
+			t.Errorf("size(%v) = %d, want %d", c.iv, got, c.want)
+		}
+	}
+}
+
+// TestSolve64BitVariable: a full-width variable must not derail variable
+// selection; the solver still finds models over mixed-width constraints.
+func TestSolve64BitVariable(t *testing.T) {
+	x := &sym.Var{ID: 0, Name: "x", W: 64}
+	y := v8(1, "y")
+	env := requireSat(t,
+		sym.NewCmp(sym.OpNe, x, sym.NewConst(5, 64)),
+		sym.NewCmp(sym.OpEq, y, sym.NewConst(7, 8)))
+	if env[0] == 5 || env[1] != 7 {
+		t.Fatalf("bad model %v", env)
+	}
+}
+
+func TestCacheMemoizesSatAndUnsat(t *testing.T) {
+	cache := NewCache()
+	x := v32(0, "x")
+	sat := []sym.Expr{sym.NewCmp(sym.OpEq, x, c32(9))}
+	unsat := []sym.Expr{
+		sym.NewCmp(sym.OpEq, x, c32(1)),
+		sym.NewCmp(sym.OpEq, x, c32(2)),
+	}
+
+	s := New(Options{})
+	env, res, hit := s.SolveCached(cache, sat, nil)
+	if res != Sat || hit || env[0] != 9 {
+		t.Fatalf("cold sat: env=%v res=%v hit=%v", env, res, hit)
+	}
+	if _, res, hit = s.SolveCached(cache, unsat, nil); res != Unsat || hit {
+		t.Fatalf("cold unsat: res=%v hit=%v", res, hit)
+	}
+	callsBefore := s.Calls
+
+	// A different Solver instance must also hit: the key is the formula.
+	s2 := New(Options{})
+	env, res, hit = s2.SolveCached(cache, sat, nil)
+	if res != Sat || !hit || env[0] != 9 {
+		t.Fatalf("warm sat: env=%v res=%v hit=%v", env, res, hit)
+	}
+	if _, res, hit = s2.SolveCached(cache, unsat, nil); res != Unsat || !hit {
+		t.Fatalf("warm unsat: res=%v hit=%v", res, hit)
+	}
+	if s2.Calls != 0 {
+		t.Fatalf("cache hit still invoked the solver: %d calls", s2.Calls)
+	}
+	if s.Calls != callsBefore {
+		t.Fatalf("original solver touched on warm path")
+	}
+	if hits, misses := cache.Stats(); hits != 2 || misses != 2 {
+		t.Fatalf("stats = %d hits / %d misses, want 2/2", hits, misses)
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", cache.Len())
+	}
+}
+
+// TestCacheReturnsCopies: mutating a cached model must not corrupt the
+// cache (the concolic engine merges hint values into returned envs).
+func TestCacheReturnsCopies(t *testing.T) {
+	cache := NewCache()
+	x := v32(0, "x")
+	cs := []sym.Expr{sym.NewCmp(sym.OpEq, x, c32(3))}
+	s := New(Options{})
+	env, _, _ := s.SolveCached(cache, cs, nil)
+	env[0] = 999
+	env[42] = 1
+	env2, res, hit := s.SolveCached(cache, cs, nil)
+	if !hit || res != Sat || env2[0] != 3 {
+		t.Fatalf("cached model corrupted: %v (res=%v hit=%v)", env2, res, hit)
+	}
+	if _, ok := env2[42]; ok {
+		t.Fatal("foreign key leaked into cached model")
+	}
+}
+
+func TestCacheNilIsTransparent(t *testing.T) {
+	x := v32(0, "x")
+	s := New(Options{})
+	env, res, hit := s.SolveCached(nil, []sym.Expr{sym.NewCmp(sym.OpEq, x, c32(4))}, nil)
+	if res != Sat || hit || env[0] != 4 {
+		t.Fatalf("nil cache: env=%v res=%v hit=%v", env, res, hit)
+	}
+}
+
+// TestSolveHintedReusable: one Solver serves many queries with different
+// hints (the per-worker reuse pattern) and honors each hint.
+func TestSolveHintedReusable(t *testing.T) {
+	x := v32(0, "x")
+	s := New(Options{})
+	cs := []sym.Expr{sym.NewCmp(sym.OpGt, x, c32(10))}
+	for _, want := range []uint64{11, 500, 77} {
+		env, res := s.SolveHinted(cs, sym.Env{0: want})
+		if res != Sat || env[0] != want {
+			t.Fatalf("hint %d ignored: env=%v res=%v", want, env, res)
+		}
+	}
+	if s.Calls != 3 {
+		t.Fatalf("calls = %d, want 3", s.Calls)
+	}
+}

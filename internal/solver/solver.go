@@ -31,7 +31,18 @@ func full(w int) Interval {
 
 func (iv Interval) empty() bool  { return iv.Lo > iv.Hi }
 func (iv Interval) single() bool { return iv.Lo == iv.Hi }
-func (iv Interval) size() uint64 { return iv.Hi - iv.Lo + 1 } // undefined if empty
+
+// size returns the number of values in the interval, saturating at
+// MaxUint64: the full 64-bit domain holds 2^64 values, which does not fit
+// in a uint64 (Hi-Lo+1 would wrap to 0 and make the widest domain look
+// like the most constrained one). Undefined if empty.
+func (iv Interval) size() uint64 {
+	d := iv.Hi - iv.Lo
+	if d == ^uint64(0) {
+		return d
+	}
+	return d + 1
+}
 func (iv Interval) contains(v uint64) bool {
 	return v >= iv.Lo && v <= iv.Hi
 }
@@ -173,6 +184,13 @@ func New(opts Options) *Solver {
 // Solve searches for an assignment satisfying every constraint. On Sat the
 // returned env binds every variable occurring in the constraints.
 func (s *Solver) Solve(constraints []sym.Expr) (sym.Env, Result) {
+	return s.SolveHinted(constraints, s.opts.Hint)
+}
+
+// SolveHinted is Solve with a per-call hint (overriding Options.Hint), so
+// one Solver can be reused across queries — the concolic scheduler keeps
+// one per worker and passes each negation's parent assignment as the hint.
+func (s *Solver) SolveHinted(constraints []sym.Expr, hint sym.Env) (sym.Env, Result) {
 	s.Calls++
 
 	var vars []*sym.Var
@@ -191,7 +209,7 @@ func (s *Solver) Solve(constraints []sym.Expr) (sym.Env, Result) {
 
 	budget := s.opts.MaxNodes
 	complete := true
-	env, ok := s.search(constraints, vars, st, &budget, &complete)
+	env, ok := s.search(constraints, vars, st, hint, &budget, &complete)
 	if ok {
 		s.SatCount++
 		return env, Sat
@@ -848,7 +866,7 @@ func backPropBin(t *sym.Bin, allowed Interval, st *state) (bool, bool) {
 // search assigns remaining variables by backtracking. complete is cleared
 // whenever a subtree is pruned without exhausting it, so a failed search
 // with *complete still true is a genuine Unsat proof.
-func (s *Solver) search(constraints []sym.Expr, vars []*sym.Var, st *state, budget *int, complete *bool) (sym.Env, bool) {
+func (s *Solver) search(constraints []sym.Expr, vars []*sym.Var, st *state, hint sym.Env, budget *int, complete *bool) (sym.Env, bool) {
 	if *budget <= 0 {
 		*complete = false
 		return nil, false
@@ -883,13 +901,13 @@ func (s *Solver) search(constraints []sym.Expr, vars []*sym.Var, st *state, budg
 		return env, true
 	}
 
-	for _, val := range s.candidates(pick, st, constraints) {
+	for _, val := range s.candidates(pick, st, constraints, hint) {
 		nd := st.clone()
 		nd.iv[pick.ID] = Interval{val, val}
 		if !propagateAll(constraints, nd) {
 			continue
 		}
-		if env, ok := s.search(constraints, vars, nd, budget, complete); ok {
+		if env, ok := s.search(constraints, vars, nd, hint, budget, complete); ok {
 			return env, true
 		}
 		if *budget <= 0 {
@@ -906,7 +924,7 @@ func (s *Solver) search(constraints []sym.Expr, vars []*sym.Var, st *state, budg
 			nd := st.clone()
 			nd.iv[pick.ID] = Interval{val, val}
 			if propagateAll(constraints, nd) {
-				if env, ok := s.search(constraints, vars, nd, budget, complete); ok {
+				if env, ok := s.search(constraints, vars, nd, hint, budget, complete); ok {
 					return env, true
 				}
 			}
@@ -926,7 +944,7 @@ func (s *Solver) search(constraints []sym.Expr, vars []*sym.Var, st *state, budg
 // midpoint. Projection matters: with bit constraints like
 // (x>>3)&1 == 1 recorded, every candidate is made consistent with them,
 // so masked-field predicates (the common router shape) solve in one try.
-func (s *Solver) candidates(v *sym.Var, st *state, constraints []sym.Expr) []uint64 {
+func (s *Solver) candidates(v *sym.Var, st *state, constraints []sym.Expr, hint sym.Env) []uint64 {
 	iv := st.iv[v.ID]
 	seen := make(map[uint64]bool, 16)
 	var out []uint64
@@ -937,8 +955,8 @@ func (s *Solver) candidates(v *sym.Var, st *state, constraints []sym.Expr) []uin
 			out = append(out, val)
 		}
 	}
-	if s.opts.Hint != nil {
-		if hv, ok := s.opts.Hint[v.ID]; ok {
+	if hint != nil {
+		if hv, ok := hint[v.ID]; ok {
 			add(hv)
 		}
 	}

@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-short
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the S-series scheduler/solver benchmarks and updates
+# BENCH_PR2.json ("current" section; "baseline" stays frozen).
+bench:
+	$(GO) run ./cmd/bench -out BENCH_PR2.json
+
+# bench-short is the CI smoke variant: one iteration of every benchmark,
+# no JSON output — it only proves the benchmarks still run.
+bench-short:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

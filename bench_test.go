@@ -230,6 +230,46 @@ func BenchmarkS2WarmVsColdState(b *testing.B) {
 	})
 }
 
+// BenchmarkS3NegationThroughput (S3) measures the negation hot path end
+// to end: per-branch dedup-key construction, frontier folding, and the
+// solver queries for every suffix negation of a deep path condition. The
+// handler records a long chain of masked-bit branches — the router shape
+// — so key construction and solving dominate the round. allocs/op is the
+// headline metric: it counts key construction + solving garbage per
+// exploration round (tracked in BENCH_PR2.json from PR 2 on).
+func BenchmarkS3NegationThroughput(b *testing.B) {
+	const depth = 24
+	handler := func(rc *concolic.RunContext) any {
+		x := rc.Input("x")
+		y := rc.Input("y")
+		n := 0
+		for i := 0; i < depth; i++ {
+			bit := concolic.Eq(
+				concolic.And(concolic.Shr(x, concolic.Concrete(uint64(i%16), 32)), concolic.Concrete(1, 32)),
+				concolic.Concrete(1, 32))
+			if rc.Branch(bit) {
+				n++
+			}
+		}
+		if rc.Branch(concolic.Lt(y, concolic.Concrete(100, 16))) {
+			n++
+		}
+		return n
+	}
+	b.ReportAllocs()
+	var queries, paths int
+	for i := 0; i < b.N; i++ {
+		eng := concolic.NewEngine(handler, concolic.Options{MaxRuns: 200})
+		eng.Var("x", 32, 0)
+		eng.Var("y", 16, 0)
+		rep := eng.Explore()
+		queries = rep.SolverCalls + rep.CacheHits
+		paths = len(rep.Paths)
+	}
+	b.ReportMetric(float64(queries), "queries")
+	b.ReportMetric(float64(paths), "paths")
+}
+
 // BenchmarkA1SymbolicMarking (A1 ablation, §3.2) compares field-granular
 // symbolic marking with raw-byte marking.
 func BenchmarkA1SymbolicMarking(b *testing.B) {

@@ -1,0 +1,173 @@
+// Command bench runs the S-series scheduler/solver benchmarks and writes
+// machine-readable results (ns/op, bytes/op, allocs/op, custom metrics)
+// so the perf trajectory is tracked across PRs.
+//
+// The output file keeps two sections: "baseline" — frozen the first time
+// the file is written (for PR 2, the pre-hash-consing engine) — and
+// "current", overwritten on every run. Comparing current against
+// baseline is how the negation-throughput acceptance criteria are
+// checked.
+//
+//	go run ./cmd/bench                 # runs ^BenchmarkS, writes BENCH_PR2.json
+//	go run ./cmd/bench -bench 'S3' -benchtime 10x
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchResult is one benchmark's parsed numbers.
+type BenchResult struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_op"`
+	BytesPerOp float64            `json:"bytes_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run is one full benchmark invocation.
+type Run struct {
+	Timestamp  string                 `json:"timestamp"`
+	GoVersion  string                 `json:"go_version"`
+	GOOS       string                 `json:"goos"`
+	GOARCH     string                 `json:"goarch"`
+	Bench      string                 `json:"bench"`
+	Note       string                 `json:"note,omitempty"`
+	Benchmarks map[string]BenchResult `json:"benchmarks"`
+}
+
+// File is the on-disk layout of BENCH_PR2.json.
+type File struct {
+	Baseline *Run `json:"baseline,omitempty"`
+	Current  *Run `json:"current"`
+}
+
+func main() {
+	benchRe := flag.String("bench", "^BenchmarkS[0-9]|^BenchmarkFrontierFold", "benchmark regex passed to go test -bench")
+	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	pkgs := flag.String("pkgs", "./...", "packages to benchmark")
+	benchtime := flag.String("benchtime", "", "go test -benchtime value (optional)")
+	count := flag.Int("count", 1, "go test -count value")
+	if err := run(benchRe, out, pkgs, benchtime, count); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchRe, out, pkgs, benchtime *string, count *int) error {
+	flag.Parse()
+	args := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchmem",
+		"-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, *pkgs)
+
+	fmt.Fprintln(os.Stderr, "running: go", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go test: %w", err)
+	}
+
+	results := parse(&buf)
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines matched %q", *benchRe)
+	}
+	cur := &Run{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Bench:      *benchRe,
+		Benchmarks: results,
+	}
+
+	var file File
+	if raw, err := os.ReadFile(*out); err == nil {
+		// A corrupt file must not silently re-freeze the baseline at the
+		// current run's numbers — that would make every later comparison
+		// against "pre-change" vacuous. Make the operator decide.
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return fmt.Errorf("%s exists but is not valid JSON (%v); refusing to overwrite — delete it to start fresh", *out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("read %s: %w", *out, err)
+	}
+	if file.Baseline == nil {
+		file.Baseline = cur // first write freezes the baseline
+	}
+	file.Current = cur
+
+	enc, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	for name, r := range results {
+		fmt.Printf("%-50s %12.0f ns/op %10.0f allocs/op\n", name, r.NsPerOp, r.AllocsOp)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+	return nil
+}
+
+// parse extracts benchmark result lines from go test output. A line is
+//
+//	BenchmarkName[-P]  iters  v1 unit1  v2 unit2 ...
+//
+// with ns/op, B/op, allocs/op mapped to fixed fields and everything else
+// (b.ReportMetric) collected under Metrics.
+func parse(buf *bytes.Buffer) map[string]BenchResult {
+	results := make(map[string]BenchResult)
+	sc := bufio.NewScanner(buf)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Keep the name verbatim (including any -GOMAXPROCS suffix):
+		// sub-benchmark names like workers-1 legitimately end in numbers,
+		// and results are only compared against runs from the same setup.
+		name := fields[0]
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := BenchResult{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsOp = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[fields[i+1]] = v
+			}
+		}
+		results[name] = r
+	}
+	return results
+}

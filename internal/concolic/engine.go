@@ -85,13 +85,13 @@ func (rc *RunContext) Note(format string, args ...any) {
 	rc.notes = append(rc.notes, fmt.Sprintf(format, args...))
 }
 
-// PathSig is a canonical signature of an execution path (the rendered
-// conjunction of its oriented constraints).
-type PathSig string
-
-func signature(path []sym.Expr) PathSig {
-	return PathSig(sym.FormatPath(path))
-}
+// PathSig identifies an execution path: the 128-bit rolling fingerprint
+// of its assumption constraints, a separator, and its oriented branch
+// constraints — computed incrementally along the path instead of
+// rendering the conjunction to a string. Dedup maps keyed on PathSig
+// chain the underlying constraints and verify them structurally on
+// lookup, so a fingerprint collision never merges two distinct paths.
+type PathSig = sym.Fingerprint
 
 // PathResult describes one explored execution.
 type PathResult struct {
@@ -205,7 +205,7 @@ func (e *Engine) Var(name string, width int, seed uint64) {
 	if _, dup := e.byName[name]; dup {
 		panic(fmt.Sprintf("concolic: duplicate symbolic input %q", name))
 	}
-	v := &sym.Var{ID: e.nextID, Name: name, W: width}
+	v := sym.NewVar(e.nextID, name, width)
 	e.nextID++
 	e.vars = append(e.vars, v)
 	e.byName[name] = v

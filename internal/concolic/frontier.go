@@ -6,19 +6,68 @@ import (
 	"dice/internal/sym"
 )
 
-// workItem is a pending negation: solve prefix ∧ ¬negated, run if sat.
+// workItem is a pending negation: solve assumes ∧ path[:depth] ∧ ¬path[depth],
+// run if sat. The prefix is kept as (assumes, path, depth) references —
+// shared with every sibling item of the same fold — and concatenated
+// into one conjunction only when the item is actually solved.
 type workItem struct {
-	prefix  []sym.Expr
+	assumes []sym.Expr
+	path    []sym.Expr // full parent path; the query prefix is path[:depth]
+	depth   int        // index of the negated predicate, for child bounds
 	negated sym.Expr
-	depth   int    // index of the negated predicate, for child bounds
-	key     string // negation dedup key, recorded into state when solved
+	key     sym.Fingerprint // full-query fingerprint; negation dedup key
 	hint    sym.Env
 }
+
+// conjunction materializes the solver query assumes ∧ path[:depth] ∧ ¬p.
+func (it *workItem) conjunction() []sym.Expr {
+	cs := make([]sym.Expr, 0, len(it.assumes)+it.depth+1)
+	cs = append(cs, it.assumes...)
+	cs = append(cs, it.path[:it.depth]...)
+	return append(cs, it.negated)
+}
+
+// pathRec pins the constraints behind a path-signature entry so a
+// fingerprint collision is detected structurally instead of silently
+// merging two distinct paths.
+type pathRec struct {
+	assumes, path []sym.Expr
+}
+
+func (r pathRec) equals(assumes, path []sym.Expr) bool {
+	return sym.PathsEqual(r.assumes, assumes) && sym.PathsEqual(r.path, path)
+}
+
+// negRec pins the query behind a negation-key entry, same soundness
+// contract as pathRec.
+type negRec struct {
+	assumes []sym.Expr
+	path    []sym.Expr
+	depth   int
+	negated sym.Expr
+}
+
+func (r negRec) equals(assumes, path []sym.Expr, depth int, neg sym.Expr) bool {
+	return r.depth == depth &&
+		sym.PathsEqual(r.assumes, assumes) &&
+		sym.PathsEqual(r.path[:r.depth], path[:depth]) &&
+		sym.Equal(r.negated, neg)
+}
+
+// pathSigSep separates the assumption constraints from the branch
+// constraints inside a PathSig, so ([a], []) and ([], [a]) sign apart.
+const pathSigSep = 0x70617468 // "path"
 
 // frontier is the exploration frontier: the strategy-ordered queue of
 // pending negations plus the dedup sets that keep the engine from
 // re-running paths or re-issuing negation queries. When cross-round
 // ExploreState is attached, the dedup extends over every prior round.
+//
+// All dedup keys are rolling fingerprints computed incrementally along
+// the path — O(1) per branch point, where the seed code rebuilt an
+// O(path)-sized rendered signature per branch (quadratic per fold).
+// Every map chains the keyed constraints for structural verification, so
+// a fingerprint collision costs a duplicate solve, never a lost path.
 //
 // The frontier is a plain data structure with no locking of its own; the
 // scheduler serializes access and keeps handler runs and solver searches
@@ -28,9 +77,10 @@ type frontier struct {
 	maxDepth int
 	state    *ExploreState // cross-round memory; may be nil
 
-	seen     map[PathSig]bool // path signatures executed this round
-	attempts map[string]bool  // negation queries issued this round
-	branches map[string]bool  // distinct oriented constraints observed
+	seen      map[PathSig][]pathRec        // path signatures executed this round
+	attempts  map[sym.Fingerprint][]negRec // negation queries issued this round
+	branches  map[uint64][]sym.Expr        // distinct oriented constraints, by node hash
+	nbranches int
 
 	queue []workItem
 
@@ -43,20 +93,60 @@ func newFrontier(strategy Strategy, maxDepth int, state *ExploreState) *frontier
 		strategy: strategy,
 		maxDepth: maxDepth,
 		state:    state,
-		seen:     make(map[PathSig]bool),
-		attempts: make(map[string]bool),
-		branches: make(map[string]bool),
+		seen:     make(map[PathSig][]pathRec),
+		attempts: make(map[sym.Fingerprint][]negRec),
+		branches: make(map[uint64][]sym.Expr),
 	}
 	if state != nil {
 		// Resume frontier work a budget-stopped earlier round left behind
 		// (its parent paths are in the state and will not be re-folded).
 		f.queue = state.takePending()
 		for _, it := range f.queue {
-			f.attempts[it.key] = true
+			f.attempts[it.key] = append(f.attempts[it.key],
+				negRec{assumes: it.assumes, path: it.path, depth: it.depth, negated: it.negated})
 		}
 		f.order()
 	}
 	return f
+}
+
+// addBranch records one oriented constraint in the aggregate branch set.
+func (f *frontier) addBranch(c sym.Expr) {
+	h := c.Hash()
+	chain := f.branches[h]
+	for _, e := range chain {
+		if sym.Equal(e, c) {
+			return
+		}
+	}
+	f.branches[h] = append(chain, c)
+	f.nbranches++
+}
+
+// recordSeen marks (assumes, path) as executed this round; reports
+// whether it was new.
+func (f *frontier) recordSeen(sig PathSig, assumes, path []sym.Expr) bool {
+	chain := f.seen[sig]
+	for _, r := range chain {
+		if r.equals(assumes, path) {
+			return false
+		}
+	}
+	f.seen[sig] = append(chain, pathRec{assumes: assumes, path: path})
+	return true
+}
+
+// recordAttempt marks a negation query as scheduled this round; reports
+// whether it was new.
+func (f *frontier) recordAttempt(key sym.Fingerprint, assumes, path []sym.Expr, depth int, neg sym.Expr) bool {
+	chain := f.attempts[key]
+	for _, r := range chain {
+		if r.equals(assumes, path, depth, neg) {
+			return false
+		}
+	}
+	f.attempts[key] = append(chain, negRec{assumes: assumes, path: path, depth: depth, negated: neg})
+	return true
 }
 
 // fold records one finished run's path and schedules negations of its
@@ -66,17 +156,21 @@ func newFrontier(strategy Strategy, maxDepth int, state *ExploreState) *frontier
 // branches earlier runs missed. It reports whether the path is new to
 // this round AND to every prior round sharing the attached state (fresh
 // paths are the ones the caller reports).
+//
+// One pass rolls two fingerprints along the path: the path signature and
+// the per-branch prefix key, so fold is O(path), not O(path²).
 func (f *frontier) fold(assumes, path []sym.Expr, env sym.Env, bound int) (fresh bool) {
+	afp := sym.FingerprintPath(assumes)
+	sig := afp.Mix(pathSigSep)
 	for _, c := range path {
-		f.branches[c.String()] = true
+		f.addBranch(c)
+		sig = sig.Extend(c)
 	}
-	sig := signature(assumes) + "//" + signature(path)
-	if f.seen[sig] {
+	if !f.recordSeen(sig, assumes, path) {
 		return false
 	}
-	f.seen[sig] = true
 	fresh = true
-	if f.state != nil && !f.state.RecordPath(sig) {
+	if f.state != nil && !f.state.RecordPath(sig, assumes, path) {
 		f.skippedPaths++
 		fresh = false
 	}
@@ -84,29 +178,31 @@ func (f *frontier) fold(assumes, path []sym.Expr, env sym.Env, bound int) (fresh
 	if f.maxDepth > 0 && limit > f.maxDepth {
 		limit = f.maxDepth
 	}
-	for i := bound; i < limit; i++ {
+	// pfp rolls over assumes ∧ path[:i] as i advances: O(1) per branch.
+	pfp := afp
+	for i := 0; i < bound && i < limit; i++ {
+		pfp = pfp.Extend(path[i])
+	}
+	for i := bound; i < limit; i, pfp = i+1, pfp.Extend(path[i]) {
 		neg := sym.NewNot(path[i])
-		key := string(signature(path[:i])) + "/" + neg.String()
-		if f.attempts[key] {
+		key := pfp.Extend(neg)
+		if !f.recordAttempt(key, assumes, path, i, neg) {
 			continue
 		}
-		f.attempts[key] = true
 		// Cross-round dedup is check-only here: the key is recorded into
 		// the state by the scheduler when the query is actually issued,
 		// so work dropped by a budget stop is retried in a later round.
-		if f.state != nil && f.state.SeenNegation(key) {
+		if f.state != nil && f.state.SeenNegation(key, assumes, path, i, neg) {
 			f.skippedNegations++
 			continue
 		}
 		// Assumptions are conjoined to the prefix so solutions always
 		// satisfy them, but they are never negated themselves.
-		prefix := make([]sym.Expr, 0, len(assumes)+i)
-		prefix = append(prefix, assumes...)
-		prefix = append(prefix, path[:i]...)
 		f.queue = append(f.queue, workItem{
-			prefix:  prefix,
-			negated: neg,
+			assumes: assumes,
+			path:    path,
 			depth:   i,
+			negated: neg,
 			key:     key,
 			hint:    cloneEnv(env),
 		})

@@ -76,6 +76,28 @@ func TestFrontierDedupsAttempts(t *testing.T) {
 	}
 }
 
+// BenchmarkFrontierFold is the regression benchmark for per-branch key
+// construction cost: folding a path of depth d must be O(d) total — the
+// seed code rebuilt an O(path)-sized signature per branch point, making
+// every fold quadratic in path depth. allocs/op is the headline metric.
+func BenchmarkFrontierFold(b *testing.B) {
+	const depth = 64
+	x := &sym.Var{ID: 0, Name: "x", W: 64}
+	path := make([]sym.Expr, depth)
+	for i := range path {
+		path[i] = sym.NewCmp(sym.OpEq,
+			sym.NewBin(sym.OpAnd, sym.NewBin(sym.OpShr, x, sym.NewConst(uint64(i), 64)), sym.NewConst(1, 64)),
+			sym.NewConst(1, 64))
+	}
+	env := sym.Env{0: 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := newFrontier(Generational, 0, nil)
+		f.fold(nil, path, env, 0)
+	}
+}
+
 // TestFrontierMaxDepth: predicates beyond MaxDepth are never scheduled.
 func TestFrontierMaxDepth(t *testing.T) {
 	f := newFrontier(Generational, 2, nil)

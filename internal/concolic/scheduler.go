@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"dice/internal/solver"
-	"dice/internal/sym"
 )
 
 // scheduler drives one exploration round: a pool of Workers goroutines
@@ -146,8 +145,9 @@ func (sch *scheduler) worker(wg *sync.WaitGroup) {
 			return
 		}
 
-		cs := append(append([]sym.Expr(nil), item.prefix...), item.negated)
-		env, res, hit := sv.SolveCached(sch.cache, cs, item.hint)
+		// One conjunction allocation per solved item; the solver reuses
+		// its propagated snapshot of the shared prefix (prefix.go).
+		env, res, hit := sv.SolvePrefixed(sch.cache, item.conjunction(), item.hint)
 		if hit {
 			sch.cacheHits.Add(1)
 		} else {
@@ -176,7 +176,7 @@ func (sch *scheduler) worker(wg *sync.WaitGroup) {
 		// memoized, so the retry costs a cache hit, not a search).
 		if sch.e.opts.State != nil {
 			if completed {
-				sch.e.opts.State.RecordNegation(item.key)
+				sch.e.opts.State.RecordNegation(item)
 			} else {
 				sch.e.opts.State.savePending([]workItem{item})
 			}
@@ -221,7 +221,7 @@ func (sch *scheduler) run() *Report {
 		SolverSat:        int(sch.solverSat.Load()),
 		SolverUnsat:      int(sch.solverUnsat.Load()),
 		CacheHits:        int(sch.cacheHits.Load()),
-		BranchesSeen:     len(sch.front.branches),
+		BranchesSeen:     sch.front.nbranches,
 		SkippedPaths:     sch.front.skippedPaths,
 		SkippedNegations: sch.front.skippedNegations,
 		Budget:           sch.budget,

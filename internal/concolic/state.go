@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"dice/internal/solver"
+	"dice/internal/sym"
 )
 
 // ExploreState is exploration memory that persists across rounds. The
@@ -18,6 +19,11 @@ import (
 //     (counted in Report.SkippedNegations instead of hitting the solver);
 //   - a solver memo cache answers the queries that do repeat (e.g. the
 //     same sub-formula reached through a new path) without search.
+//
+// Keys are 128-bit path fingerprints (see sym.Fingerprint); every entry
+// chains the constraints it stands for and membership checks verify them
+// structurally, so a fingerprint collision can cost a duplicate solve
+// but can never suppress a genuinely new path or negation.
 //
 // Path signatures are derived from the path condition only, so the state
 // is valid as long as the handler's branch structure for a given input is
@@ -35,51 +41,71 @@ import (
 // Safe for concurrent use; DiCE shares one ExploreState per
 // (scenario, peer) across all its rounds.
 type ExploreState struct {
-	mu        sync.Mutex
-	seen      map[PathSig]bool
-	attempted map[string]bool
-	pending   []workItem // frontier left over when a budget stopped a round
-	rounds    int
-	cache     *solver.Cache
+	mu         sync.Mutex
+	seen       map[PathSig][]pathRec
+	attempted  map[sym.Fingerprint][]negRec
+	nPaths     int
+	nNegations int
+	pending    []workItem // frontier left over when a budget stopped a round
+	rounds     int
+	cache      *solver.Cache
 }
 
 // NewExploreState creates empty cross-round exploration state with its
 // own solver memo cache.
 func NewExploreState() *ExploreState {
 	return &ExploreState{
-		seen:      make(map[PathSig]bool),
-		attempted: make(map[string]bool),
+		seen:      make(map[PathSig][]pathRec),
+		attempted: make(map[sym.Fingerprint][]negRec),
 		cache:     solver.NewCache(),
 	}
 }
 
-// RecordPath marks sig as explored and reports whether this is the first
-// round ever to see it.
-func (s *ExploreState) RecordPath(sig PathSig) (first bool) {
+// RecordPath marks the path (assumes, path) as explored under sig and
+// reports whether this is the first round ever to see it.
+func (s *ExploreState) RecordPath(sig PathSig, assumes, path []sym.Expr) (first bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.seen[sig] {
-		return false
+	chain := s.seen[sig]
+	for _, r := range chain {
+		if r.equals(assumes, path) {
+			return false
+		}
 	}
-	s.seen[sig] = true
+	s.seen[sig] = append(chain, pathRec{assumes: assumes, path: path})
+	s.nPaths++
 	return true
 }
 
 // SeenNegation reports whether any round has already issued this
-// negation query.
-func (s *ExploreState) SeenNegation(key string) bool {
+// negation query (structurally verified, not just fingerprint-matched).
+func (s *ExploreState) SeenNegation(key sym.Fingerprint, assumes, path []sym.Expr, depth int, neg sym.Expr) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.attempted[key]
+	for _, r := range s.attempted[key] {
+		if r.equals(assumes, path, depth, neg) {
+			return true
+		}
+	}
+	return false
 }
 
 // RecordNegation marks a negation query as attempted. The scheduler calls
 // it when the query is actually issued — not when it is merely scheduled —
 // so queued work dropped by a budget stop stays retryable in later rounds.
-func (s *ExploreState) RecordNegation(key string) {
+func (s *ExploreState) RecordNegation(it workItem) {
 	s.mu.Lock()
-	s.attempted[key] = true
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	chain := s.attempted[it.key]
+	for _, r := range chain {
+		if r.equals(it.assumes, it.path, it.depth, it.negated) {
+			return
+		}
+	}
+	s.attempted[it.key] = append(chain, negRec{
+		assumes: it.assumes, path: it.path, depth: it.depth, negated: it.negated,
+	})
+	s.nNegations++
 }
 
 // Cache returns the state's solver memo cache (shared across rounds).
@@ -135,8 +161,8 @@ func (s *ExploreState) Stats() ExploreStateStats {
 	s.mu.Lock()
 	st := ExploreStateStats{
 		Rounds:    s.rounds,
-		Paths:     len(s.seen),
-		Negations: len(s.attempted),
+		Paths:     s.nPaths,
+		Negations: s.nNegations,
 	}
 	s.mu.Unlock()
 	st.CacheHits, st.CacheMisses = s.cache.Stats()

@@ -75,13 +75,13 @@ func (v Value) String() string {
 }
 
 // binOp applies op concretely and, if either operand is symbolic, builds
-// the corresponding expression.
+// the corresponding expression. The concrete path allocates nothing.
 func binOp(op sym.BinOp, a, b Value) Value {
 	w := a.width()
 	if b.width() > w {
 		w = b.width()
 	}
-	c := sym.Eval(sym.NewBin(op, sym.NewConst(a.C, w), sym.NewConst(b.C, w)), nil)
+	c := sym.EvalBinOp(op, a.C, b.C, w)
 	if a.S == nil && b.S == nil {
 		return Value{C: c, W: w}
 	}
@@ -118,14 +118,17 @@ func Shl(a, b Value) Value { return binOp(sym.OpShl, a, b) }
 // Shr returns a>>b (0 when b >= width).
 func Shr(a, b Value) Value { return binOp(sym.OpShr, a, b) }
 
-// cmpOp applies an unsigned comparison producing a boolean Value.
+// cmpOp applies an unsigned comparison producing a boolean Value. The
+// concrete path allocates nothing.
 func cmpOp(op sym.CmpOp, a, b Value) Value {
 	w := a.width()
 	if b.width() > w {
 		w = b.width()
 	}
-	cExpr := sym.NewCmp(op, sym.NewConst(a.C, w), sym.NewConst(b.C, w))
-	c, _ := sym.IsConst(cExpr)
+	c := uint64(0)
+	if sym.EvalCmpOp(op, a.C, b.C, w) {
+		c = 1
+	}
 	if a.S == nil && b.S == nil {
 		return Value{C: c, W: 1}
 	}

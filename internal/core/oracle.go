@@ -121,8 +121,8 @@ func DetectHijacks(cfg *config.Config, rep *concolic.Report, table rib.RouteTabl
 			}
 
 			// Exact check: path condition ∧ (announcement ⊆ victim).
-			addrVar := &sym.Var{ID: addrVarID, Name: router.StandardVars.Addr, W: 32}
-			lenVar := &sym.Var{ID: lenVarID, Name: router.StandardVars.Len, W: 8}
+			addrVar := sym.NewVar(addrVarID, router.StandardVars.Addr, 32)
+			lenVar := sym.NewVar(lenVarID, router.StandardVars.Len, 8)
 			contain := []sym.Expr{
 				sym.NewCmp(sym.OpEq,
 					sym.NewBin(sym.OpAnd, addrVar, sym.NewConst(uint64(uint32(netaddr.Mask(v.Prefix.Bits()))), 32)),
@@ -227,7 +227,7 @@ func AcceptedOutsideSpace(rep *concolic.Report, allowed []netaddr.Prefix) []Find
 		}
 		cs := p.Constraints()
 		// Require the announcement to avoid every allowed space.
-		addrVar := &sym.Var{ID: addrVarID, Name: router.StandardVars.Addr, W: 32}
+		addrVar := sym.NewVar(addrVarID, router.StandardVars.Addr, 32)
 		query := append([]sym.Expr(nil), cs...)
 		for _, a := range allowed {
 			query = append(query, sym.NewCmp(sym.OpNe,

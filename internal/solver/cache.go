@@ -6,12 +6,21 @@ import (
 	"dice/internal/sym"
 )
 
-// Cache memoizes Solve results keyed on the canonical rendering of the
-// constraint conjunction (sym.FormatPath — Expr.String is canonical, so
-// structurally identical queries share a key). DiCE's online mode issues
-// the same negation queries over and over: every round re-derives the
-// same path conditions from the same seed, and different scenarios share
-// sub-formulas. A shared Cache answers those repeats without search.
+// Key is the memo key for a constraint conjunction: its 128-bit rolling
+// fingerprint (sym.FingerprintPath). Fingerprinting hashes precomputed
+// node hashes — O(n) integer work, no rendering, no allocation — where
+// the old key was the full string rendering of the conjunction.
+type Key = sym.Fingerprint
+
+// Cache memoizes Solve results keyed on constraint fingerprints. DiCE's
+// online mode issues the same negation queries over and over: every
+// round re-derives the same path conditions from the same seed, and
+// different scenarios share sub-formulas. A shared Cache answers those
+// repeats without search.
+//
+// Each entry keeps the keyed conjunction itself; lookups verify it with
+// sym.PathsEqual (pointer-fast on the interned IR), so a fingerprint
+// collision degrades to a cache miss, never a wrong answer.
 //
 // Sat results are cached with their model (any model is valid regardless
 // of the hint the original query carried); Unsat results are cached as
@@ -21,34 +30,43 @@ import (
 // Safe for concurrent use; one Cache is typically shared by all workers
 // of all rounds exploring a peer.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]cacheEntry
-	hits    uint64
-	misses  uint64
+	mu         sync.Mutex
+	entries    map[Key]cacheEntry
+	hits       uint64
+	misses     uint64
+	collisions uint64
 }
 
 type cacheEntry struct {
-	env sym.Env // nil unless res == Sat
+	cs  []sym.Expr // keyed conjunction, for collision verification
+	env sym.Env    // nil unless res == Sat
 	res Result
 }
 
 // NewCache creates an empty solver memo cache.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[string]cacheEntry)}
+	return &Cache{entries: make(map[Key]cacheEntry)}
 }
 
-// CacheKey returns the canonical memo key for a constraint conjunction.
-func CacheKey(constraints []sym.Expr) string {
-	return sym.FormatPath(constraints)
+// CacheKey returns the memo key for a constraint conjunction.
+func CacheKey(constraints []sym.Expr) Key {
+	return sym.FingerprintPath(constraints)
 }
 
-// Lookup returns the memoized result for key. The returned env is a copy;
+// Lookup returns the memoized result for key, verifying that the stored
+// conjunction structurally equals cs (a mismatching entry — a genuine
+// fingerprint collision — reports a miss). The returned env is a copy;
 // callers may mutate it freely.
-func (c *Cache) Lookup(key string) (sym.Env, Result, bool) {
+func (c *Cache) Lookup(key Key, cs []sym.Expr) (sym.Env, Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[key]
 	if !ok {
+		c.misses++
+		return nil, Unknown, false
+	}
+	if !sym.PathsEqual(e.cs, cs) {
+		c.collisions++
 		c.misses++
 		return nil, Unknown, false
 	}
@@ -63,8 +81,9 @@ func (c *Cache) Lookup(key string) (sym.Env, Result, bool) {
 	return env, e.res, true
 }
 
-// Store memoizes a result. Unknown results are ignored (budget-dependent).
-func (c *Cache) Store(key string, env sym.Env, res Result) {
+// Store memoizes a result for the conjunction cs under key. Unknown
+// results are ignored (budget-dependent).
+func (c *Cache) Store(key Key, cs []sym.Expr, env sym.Env, res Result) {
 	if res == Unknown {
 		return
 	}
@@ -75,8 +94,10 @@ func (c *Cache) Store(key string, env sym.Env, res Result) {
 			copied[k] = v
 		}
 	}
+	stored := make([]sym.Expr, len(cs))
+	copy(stored, cs)
 	c.mu.Lock()
-	c.entries[key] = cacheEntry{env: copied, res: res}
+	c.entries[key] = cacheEntry{cs: stored, env: copied, res: res}
 	c.mu.Unlock()
 }
 
@@ -85,6 +106,15 @@ func (c *Cache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Collisions returns how many lookups found a fingerprint whose stored
+// conjunction failed structural verification (expected ~0; a nonzero
+// count is the collision check earning its keep).
+func (c *Cache) Collisions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.collisions
 }
 
 // Len returns the number of memoized queries.
@@ -103,10 +133,10 @@ func (s *Solver) SolveCached(cache *Cache, constraints []sym.Expr, hint sym.Env)
 		return env, res, false
 	}
 	key := CacheKey(constraints)
-	if env, res, ok := cache.Lookup(key); ok {
+	if env, res, ok := cache.Lookup(key, constraints); ok {
 		return env, res, true
 	}
 	env, res = s.SolveHinted(constraints, hint)
-	cache.Store(key, env, res)
+	cache.Store(key, constraints, env, res)
 	return env, res, false
 }

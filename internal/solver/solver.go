@@ -161,16 +161,24 @@ func (r Result) String() string {
 	return "unknown"
 }
 
-// Solver holds cross-call statistics; methods are not safe for concurrent
-// use — the concolic engine creates one Solver per worker.
+// Solver holds cross-call statistics and the propagated-prefix snapshot
+// chain; methods are not safe for concurrent use — the concolic engine
+// creates one Solver per worker.
 type Solver struct {
 	opts Options
 
+	// Incremental prefix solving (prefix.go): propagated snapshots keyed
+	// by prefix fingerprint, reused across sibling negation queries.
+	prefixes  map[sym.Fingerprint]*prefixEntry
+	fpScratch []sym.Fingerprint
+
 	// Stats accumulate across Solve calls.
-	Calls      int
-	SatCount   int
-	UnsatCount int
-	Nodes      int // total search nodes expanded
+	Calls        int
+	SatCount     int
+	UnsatCount   int
+	Nodes        int // total search nodes expanded
+	PrefixHits   int // queries answered from a cached prefix snapshot
+	PrefixMisses int // queries that had to extend or rebuild the chain
 }
 
 // New creates a solver with the given options.
@@ -767,44 +775,44 @@ func backPropBin(t *sym.Bin, allowed Interval, st *state) (bool, bool) {
 	}
 	yVal, yConst := constOrSingle(t.Y, st)
 	xVal, xConst := constOrSingle(t.X, st)
-	cy := &sym.Const{V: yVal, W: t.W}
-	cx := &sym.Const{V: xVal, W: t.W}
 	w := t.W
 	top := full(w)
+	yVal &= top.Hi
+	xVal &= top.Hi
 
 	switch t.Op {
 	case sym.OpAdd:
 		if yConst {
 			// x + c in [lo,hi]  =>  x in [lo-c, hi-c] when no wrap occurs.
-			if allowed.Lo >= cy.V && allowed.Hi >= cy.V && allowed.Hi <= top.Hi {
-				return backProp(t.X, Interval{allowed.Lo - cy.V, allowed.Hi - cy.V}, st)
+			if allowed.Lo >= yVal && allowed.Hi >= yVal && allowed.Hi <= top.Hi {
+				return backProp(t.X, Interval{allowed.Lo - yVal, allowed.Hi - yVal}, st)
 			}
 		}
 		if xConst {
-			if allowed.Lo >= cx.V && allowed.Hi >= cx.V && allowed.Hi <= top.Hi {
-				return backProp(t.Y, Interval{allowed.Lo - cx.V, allowed.Hi - cx.V}, st)
+			if allowed.Lo >= xVal && allowed.Hi >= xVal && allowed.Hi <= top.Hi {
+				return backProp(t.Y, Interval{allowed.Lo - xVal, allowed.Hi - xVal}, st)
 			}
 		}
 	case sym.OpSub:
 		if yConst {
 			// x - c in [lo,hi] => x in [lo+c, hi+c] when no overflow.
-			lo, ov1 := addOv(allowed.Lo, cy.V)
-			hi, ov2 := addOv(allowed.Hi, cy.V)
+			lo, ov1 := addOv(allowed.Lo, yVal)
+			hi, ov2 := addOv(allowed.Hi, yVal)
 			if !ov1 && !ov2 && hi <= top.Hi {
 				return backProp(t.X, Interval{lo, hi}, st)
 			}
 		}
 		if xConst {
 			// c - y in [lo,hi] => y in [c-hi, c-lo] when no wrap.
-			if cx.V >= allowed.Hi && allowed.Hi >= allowed.Lo {
-				return backProp(t.Y, Interval{cx.V - allowed.Hi, cx.V - allowed.Lo}, st)
+			if xVal >= allowed.Hi && allowed.Hi >= allowed.Lo {
+				return backProp(t.Y, Interval{xVal - allowed.Hi, xVal - allowed.Lo}, st)
 			}
 		}
 	case sym.OpShr:
-		if yConst && cy.V < uint64(w) {
+		if yConst && yVal < uint64(w) {
 			// x >> c in [lo,hi] => x in [lo<<c, ((hi+1)<<c)-1].
-			lo, ov1 := shlOv(allowed.Lo, cy.V)
-			hiBase, ov2 := shlOv(allowed.Hi+1, cy.V)
+			lo, ov1 := shlOv(allowed.Lo, yVal)
+			hiBase, ov2 := shlOv(allowed.Hi+1, yVal)
 			if !ov1 && !ov2 && allowed.Hi < top.Hi {
 				hi := hiBase - 1
 				if hi > top.Hi {
@@ -817,17 +825,17 @@ func backPropBin(t *sym.Bin, allowed Interval, st *state) (bool, bool) {
 			}
 		}
 	case sym.OpShl:
-		if yConst && cy.V < uint64(w) {
+		if yConst && yVal < uint64(w) {
 			// x << c in [lo,hi] => x in [lo>>c, hi>>c] (for the non-wrapped part).
-			return backProp(t.X, Interval{allowed.Lo >> cy.V, top.Hi >> cy.V}, st)
+			return backProp(t.X, Interval{allowed.Lo >> yVal, top.Hi >> yVal}, st)
 		}
 	case sym.OpDiv:
-		if yConst && cy.V > 0 {
+		if yConst && yVal > 0 {
 			// x / c in [lo,hi] => x in [lo*c, hi*c + c - 1].
-			lo, ov1 := mulOv(allowed.Lo, cy.V)
-			hiP, ov2 := mulOv(allowed.Hi, cy.V)
+			lo, ov1 := mulOv(allowed.Lo, yVal)
+			hiP, ov2 := mulOv(allowed.Hi, yVal)
 			if !ov1 && !ov2 {
-				hi, ov3 := addOv(hiP, cy.V-1)
+				hi, ov3 := addOv(hiP, yVal-1)
 				if ov3 || hi > top.Hi {
 					hi = top.Hi
 				}
@@ -835,24 +843,24 @@ func backPropBin(t *sym.Bin, allowed Interval, st *state) (bool, bool) {
 			}
 		}
 	case sym.OpAnd:
-		if yConst && cy.V == top.Hi {
+		if yConst && yVal == top.Hi {
 			return backProp(t.X, allowed, st)
 		}
 		if yConst {
 			// x & m in [lo,hi]: refine only the trivial hi bound x&m <= m.
-			if allowed.Lo > cy.V {
+			if allowed.Lo > yVal {
 				return false, false
 			}
 		}
 	case sym.OpMul:
-		if yConst && cy.V > 0 {
+		if yConst && yVal > 0 {
 			// x * c in [lo,hi] => x in [ceil(lo/c), hi/c] (non-wrapped part only
 			// is unsound to assume in general, so only refine when the forward
 			// interval proved no overflow).
 			fwd := evalBinInterval(t, st)
 			if fwd.Hi <= top.Hi && fwd.Hi >= fwd.Lo {
-				lo := (allowed.Lo + cy.V - 1) / cy.V
-				hi := allowed.Hi / cy.V
+				lo := (allowed.Lo + yVal - 1) / yVal
+				hi := allowed.Hi / yVal
 				if lo > hi {
 					return false, false
 				}
@@ -995,6 +1003,11 @@ func collectComparisonConsts(e sym.Expr, id int, out *[]uint64) {
 
 // collectSideConsts records const values from `other` when `side` mentions
 // variable id (possibly through a const-op), inverting one op level.
+// Every derived candidate is masked to the variable's width: inversions
+// like c-k and c<<k can wrap past the domain, and an out-of-domain
+// candidate is rejected by the interval check downstream — wasting the
+// slot on a value whose in-domain projection would have satisfied the
+// wrapped arithmetic.
 func collectSideConsts(side, other sym.Expr, id int, out *[]uint64) {
 	c, ok := other.(*sym.Const)
 	if !ok {
@@ -1003,7 +1016,7 @@ func collectSideConsts(side, other sym.Expr, id int, out *[]uint64) {
 	switch t := side.(type) {
 	case *sym.Var:
 		if t.ID == id {
-			*out = append(*out, c.V)
+			*out = append(*out, c.V&full(t.W).Hi)
 		}
 	case *sym.Bin:
 		v, vok := t.X.(*sym.Var)
@@ -1011,25 +1024,28 @@ func collectSideConsts(side, other sym.Expr, id int, out *[]uint64) {
 		if !vok || !kok || v.ID != id {
 			return
 		}
+		m := full(v.W).Hi
 		switch t.Op {
 		case sym.OpAdd:
-			*out = append(*out, c.V-k.V)
+			*out = append(*out, (c.V-k.V)&m)
 		case sym.OpSub:
-			*out = append(*out, c.V+k.V)
+			*out = append(*out, (c.V+k.V)&m)
 		case sym.OpAnd:
-			*out = append(*out, c.V, c.V|^k.V)
+			*out = append(*out, c.V&m, (c.V|^k.V)&m)
 		case sym.OpShr:
-			*out = append(*out, c.V<<k.V)
+			if k.V < 64 {
+				*out = append(*out, (c.V<<k.V)&m)
+			}
 		case sym.OpShl:
 			if k.V < 64 {
-				*out = append(*out, c.V>>k.V)
+				*out = append(*out, (c.V>>k.V)&m)
 			}
 		case sym.OpDiv:
 			if k.V != 0 {
-				*out = append(*out, c.V*k.V)
+				*out = append(*out, (c.V*k.V)&m)
 			}
 		case sym.OpMod:
-			*out = append(*out, c.V)
+			*out = append(*out, c.V&m)
 		}
 	}
 }

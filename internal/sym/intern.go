@@ -1,0 +1,329 @@
+package sym
+
+import "sync"
+
+// This file implements hash-consing for the IR: every node carries a
+// precomputed 64-bit structural hash, constructors intern nodes in a
+// sharded table, and Equal decides structural equality with a pointer
+// fast path. The engine's dedup/memo layers key on these hashes (via
+// Fingerprint) instead of rendered strings, so String() is a debug
+// renderer only.
+//
+// Interning is an optimization, not an invariant: the table is bounded
+// (shards reset when they exceed a cap) and genuine 64-bit hash
+// collisions refuse to intern, so two structurally equal expressions are
+// USUALLY — not always — the same pointer. Consumers that need exact
+// equality must call Equal (pointer check first, then hash, then shallow
+// structure), which stays cheap precisely because children usually are
+// pointer-identical.
+
+// mix64 is the splitmix64 finalizer: a fast, well-distributed 64-bit
+// permutation used to combine hash parts.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Type tags keep hashes of different node kinds apart.
+const (
+	tagVar uint64 = 0xa11ce + iota
+	tagConst
+	tagBoolTrue
+	tagBoolFalse
+	tagBin
+	tagCmp
+	tagBoolBin
+	tagNot
+)
+
+// nz maps the (1-in-2^64) zero hash onto a fixed nonzero value: node
+// hash fields use 0 to mean "not computed" for struct-literal nodes.
+func nz(h uint64) uint64 {
+	if h == 0 {
+		return 0x9e3779b97f4a7c15
+	}
+	return h
+}
+
+func hashString(s string) uint64 {
+	// FNV-1a, allocation-free.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func hashVar(id int, name string, w int) uint64 {
+	h := mix64(tagVar ^ mix64(uint64(id)))
+	h = mix64(h ^ hashString(name))
+	return nz(mix64(h ^ uint64(w)))
+}
+
+func hashConst(v uint64, w int) uint64 {
+	h := mix64(tagConst ^ mix64(v))
+	return nz(mix64(h ^ uint64(w)))
+}
+
+func hashBin(op BinOp, x, y Expr, w int) uint64 {
+	h := mix64(tagBin ^ mix64(uint64(op)))
+	h = mix64(h ^ x.Hash())
+	h = mix64(h ^ y.Hash())
+	return nz(mix64(h ^ uint64(w)))
+}
+
+func hashCmp(op CmpOp, x, y Expr) uint64 {
+	h := mix64(tagCmp ^ mix64(uint64(op)))
+	h = mix64(h ^ x.Hash())
+	return nz(mix64(h ^ y.Hash()))
+}
+
+func hashBoolBin(op BoolOp, x, y Expr) uint64 {
+	h := mix64(tagBoolBin ^ mix64(uint64(op)))
+	h = mix64(h ^ x.Hash())
+	return nz(mix64(h ^ y.Hash()))
+}
+
+func hashNot(x Expr) uint64 {
+	return nz(mix64(tagNot ^ x.Hash()))
+}
+
+// --- Intern table -----------------------------------------------------------
+
+const (
+	internShardCount = 64      // power of two
+	internShardCap   = 1 << 14 // entries per shard before reset (~1M nodes total)
+)
+
+type internShard struct {
+	mu sync.Mutex
+	m  map[uint64]Expr
+}
+
+var internTab [internShardCount]internShard
+
+func internShardFor(h uint64) *internShard {
+	return &internTab[h&(internShardCount-1)]
+}
+
+// internPut stores e under h, resetting the shard at the cap. Interned
+// entries are reused by pointer, so a reset only costs future duplicate
+// allocations, never correctness.
+func (s *internShard) put(h uint64, e Expr) {
+	if s.m == nil || len(s.m) >= internShardCap {
+		s.m = make(map[uint64]Expr, 64)
+	}
+	s.m[h] = e
+}
+
+func internVar(id int, name string, w int) *Var {
+	h := hashVar(id, name, w)
+	s := internShardFor(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[h]; ok {
+		if v, ok2 := e.(*Var); ok2 && v.ID == id && v.W == w && v.Name == name {
+			return v
+		}
+	}
+	v := &Var{ID: id, Name: name, W: w, h: h}
+	s.put(h, v)
+	return v
+}
+
+func internConst(v uint64, w int) *Const {
+	h := hashConst(v, w)
+	s := internShardFor(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[h]; ok {
+		if c, ok2 := e.(*Const); ok2 && c.V == v && c.W == w {
+			return c
+		}
+	}
+	c := &Const{V: v, W: w, h: h}
+	s.put(h, c)
+	return c
+}
+
+func internBin(op BinOp, x, y Expr, w int) *Bin {
+	h := hashBin(op, x, y, w)
+	s := internShardFor(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[h]; ok {
+		if b, ok2 := e.(*Bin); ok2 && b.Op == op && b.W == w && Equal(b.X, x) && Equal(b.Y, y) {
+			return b
+		}
+	}
+	b := &Bin{Op: op, X: x, Y: y, W: w, h: h}
+	s.put(h, b)
+	return b
+}
+
+func internCmp(op CmpOp, x, y Expr) *Cmp {
+	h := hashCmp(op, x, y)
+	s := internShardFor(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[h]; ok {
+		if c, ok2 := e.(*Cmp); ok2 && c.Op == op && Equal(c.X, x) && Equal(c.Y, y) {
+			return c
+		}
+	}
+	c := &Cmp{Op: op, X: x, Y: y, h: h}
+	s.put(h, c)
+	return c
+}
+
+func internBoolBin(op BoolOp, x, y Expr) *BoolBin {
+	h := hashBoolBin(op, x, y)
+	s := internShardFor(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[h]; ok {
+		if b, ok2 := e.(*BoolBin); ok2 && b.Op == op && Equal(b.X, x) && Equal(b.Y, y) {
+			return b
+		}
+	}
+	b := &BoolBin{Op: op, X: x, Y: y, h: h}
+	s.put(h, b)
+	return b
+}
+
+func internNot(x Expr) *Not {
+	h := hashNot(x)
+	s := internShardFor(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[h]; ok {
+		if n, ok2 := e.(*Not); ok2 && Equal(n.X, x) {
+			return n
+		}
+	}
+	n := &Not{X: x, h: h}
+	s.put(h, n)
+	return n
+}
+
+// InternedNodes reports the current number of interned nodes (for tests
+// and capacity monitoring).
+func InternedNodes() int {
+	n := 0
+	for i := range internTab {
+		internTab[i].mu.Lock()
+		n += len(internTab[i].m)
+		internTab[i].mu.Unlock()
+	}
+	return n
+}
+
+// --- Structural equality ----------------------------------------------------
+
+// Equal reports structural equality of two expressions. Interned nodes
+// compare by pointer; the hash check rejects almost all unequal pairs
+// before any recursion, and recursion bottoms out fast because interned
+// children are pointer-identical.
+func Equal(a, b Expr) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Hash() != b.Hash() {
+		return false
+	}
+	switch t := a.(type) {
+	case *Var:
+		o, ok := b.(*Var)
+		return ok && t.ID == o.ID && t.W == o.W && t.Name == o.Name
+	case *Const:
+		o, ok := b.(*Const)
+		return ok && t.V == o.V && t.W == o.W
+	case BoolConst:
+		o, ok := b.(BoolConst)
+		return ok && t == o
+	case *Bin:
+		o, ok := b.(*Bin)
+		return ok && t.Op == o.Op && t.W == o.W && Equal(t.X, o.X) && Equal(t.Y, o.Y)
+	case *Cmp:
+		o, ok := b.(*Cmp)
+		return ok && t.Op == o.Op && Equal(t.X, o.X) && Equal(t.Y, o.Y)
+	case *BoolBin:
+		o, ok := b.(*BoolBin)
+		return ok && t.Op == o.Op && Equal(t.X, o.X) && Equal(t.Y, o.Y)
+	case *Not:
+		o, ok := b.(*Not)
+		return ok && Equal(t.X, o.X)
+	}
+	return false
+}
+
+// PathsEqual reports element-wise structural equality of two constraint
+// sequences (the collision-verification step behind fingerprint-keyed
+// dedup).
+func PathsEqual(a, b []Expr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Fingerprints -----------------------------------------------------------
+
+// Fingerprint is a 128-bit order-sensitive rolling hash over a sequence
+// of expressions. It replaces rendered strings as the key for path
+// signatures, negation dedup, and solver memoization: Extend is O(1), so
+// per-branch prefix keys roll along a path instead of being rebuilt from
+// scratch. Two equal sequences always produce equal fingerprints;
+// consumers that must be exact under adversarial collisions pair the
+// fingerprint with a PathsEqual verification of the keyed expressions.
+type Fingerprint struct {
+	Hi, Lo uint64
+}
+
+// Odd multipliers make the rolling step injective in each lane; the two
+// lanes evolve independently, so a collision must happen in both at once.
+const (
+	fpMulLo = 0x9e3779b97f4a7c15
+	fpMulHi = 0xc2b2ae3d27d4eb4f
+)
+
+// Extend returns the fingerprint of the sequence with e appended. O(1).
+func (f Fingerprint) Extend(e Expr) Fingerprint {
+	h := e.Hash()
+	return Fingerprint{
+		Lo: f.Lo*fpMulLo + h,
+		Hi: f.Hi*fpMulHi + mix64(h),
+	}
+}
+
+// Mix folds a domain-separation tag into the fingerprint (e.g. to mark
+// the boundary between assumption and branch constraints in a path key).
+func (f Fingerprint) Mix(tag uint64) Fingerprint {
+	return Fingerprint{
+		Lo: f.Lo*fpMulLo + mix64(tag^tagNot),
+		Hi: f.Hi*fpMulHi + mix64(tag),
+	}
+}
+
+// FingerprintPath fingerprints a whole constraint sequence. Equivalent
+// to extending the zero Fingerprint with each element in order.
+func FingerprintPath(cs []Expr) Fingerprint {
+	var f Fingerprint
+	for _, c := range cs {
+		f = f.Extend(c)
+	}
+	return f
+}

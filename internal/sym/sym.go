@@ -2,9 +2,11 @@
 // engine (the Oasis replacement). Expressions are fixed-width unsigned
 // bitvector terms (width 1..64) plus boolean formulas over comparisons.
 //
-// The IR is immutable: constructors return canonical, lightly simplified
-// expressions, so the same syntactic constraint encountered on two runs
-// compares equal (used for the engine's aggregate branch set).
+// The IR is immutable and hash-consed: constructors return canonical,
+// lightly simplified, interned expressions carrying a precomputed 64-bit
+// structural hash, so structural equality (Equal) is pointer/hash
+// equality in the common case and dedup keys are Fingerprints rather
+// than rendered strings (see intern.go).
 package sym
 
 import (
@@ -20,9 +22,13 @@ type Expr interface {
 	// IsBool reports whether the expression is a boolean formula
 	// (comparison or connective) rather than a bitvector term.
 	IsBool() bool
-	// String renders the expression in a stable, canonical form. Two
-	// structurally identical expressions render identically, so String
-	// doubles as a hash-cons key.
+	// Hash is the node's 64-bit structural hash (never 0 for a valid
+	// node): two structurally equal expressions always hash equal.
+	// Constructors precompute it; struct-literal nodes compute on call.
+	Hash() uint64
+	// String renders the expression for logs and debugging. Structurally
+	// identical expressions render identically, but rendering is O(size)
+	// and allocates — keys on hot paths use Hash/Fingerprint instead.
 	String() string
 }
 
@@ -39,10 +45,22 @@ type Var struct {
 	ID   int    // unique per engine run
 	Name string // human-readable, e.g. "nlri0.prefix"
 	W    int
+	h    uint64 // structural hash; 0 for struct-literal nodes
+}
+
+// NewVar returns the interned variable node for (id, name, w).
+func NewVar(id int, name string, w int) *Var {
+	return internVar(id, name, w)
 }
 
 func (v *Var) Width() int   { return v.W }
 func (v *Var) IsBool() bool { return false }
+func (v *Var) Hash() uint64 {
+	if v.h != 0 {
+		return v.h
+	}
+	return hashVar(v.ID, v.Name, v.W)
+}
 func (v *Var) String() string {
 	return fmt.Sprintf("%s#%d:%d", v.Name, v.ID, v.W)
 }
@@ -51,15 +69,23 @@ func (v *Var) String() string {
 type Const struct {
 	V uint64
 	W int
+	h uint64 // structural hash; 0 for struct-literal nodes
 }
 
-// NewConst returns a constant of the given width, masking the value.
+// NewConst returns the interned constant of the given width, masking the
+// value.
 func NewConst(v uint64, w int) *Const {
-	return &Const{V: v & maskFor(w), W: w}
+	return internConst(v&maskFor(w), w)
 }
 
-func (c *Const) Width() int     { return c.W }
-func (c *Const) IsBool() bool   { return false }
+func (c *Const) Width() int   { return c.W }
+func (c *Const) IsBool() bool { return false }
+func (c *Const) Hash() uint64 {
+	if c.h != 0 {
+		return c.h
+	}
+	return hashConst(c.V, c.W)
+}
 func (c *Const) String() string { return fmt.Sprintf("%d:%d", c.V, c.W) }
 
 // BoolConst is a constant truth value.
@@ -73,6 +99,12 @@ var (
 
 func (b BoolConst) Width() int   { return 1 }
 func (b BoolConst) IsBool() bool { return true }
+func (b BoolConst) Hash() uint64 {
+	if bool(b) {
+		return nz(mix64(tagBoolTrue))
+	}
+	return nz(mix64(tagBoolFalse))
+}
 func (b BoolConst) String() string {
 	if bool(b) {
 		return "true"
@@ -112,10 +144,17 @@ type Bin struct {
 	Op   BinOp
 	X, Y Expr
 	W    int
+	h    uint64 // structural hash; 0 for struct-literal nodes
 }
 
 func (b *Bin) Width() int   { return b.W }
 func (b *Bin) IsBool() bool { return false }
+func (b *Bin) Hash() uint64 {
+	if b.h != 0 {
+		return b.h
+	}
+	return hashBin(b.Op, b.X, b.Y, b.W)
+}
 func (b *Bin) String() string {
 	return fmt.Sprintf("(%s %s %s)", b.Op, b.X, b.Y)
 }
@@ -165,10 +204,17 @@ func (op CmpOp) Negated() CmpOp {
 type Cmp struct {
 	Op   CmpOp
 	X, Y Expr
+	h    uint64 // structural hash; 0 for struct-literal nodes
 }
 
 func (c *Cmp) Width() int   { return 1 }
 func (c *Cmp) IsBool() bool { return true }
+func (c *Cmp) Hash() uint64 {
+	if c.h != 0 {
+		return c.h
+	}
+	return hashCmp(c.Op, c.X, c.Y)
+}
 func (c *Cmp) String() string {
 	return fmt.Sprintf("(%s %s %s)", c.X, c.Op, c.Y)
 }
@@ -193,10 +239,17 @@ func (op BoolOp) String() string {
 type BoolBin struct {
 	Op   BoolOp
 	X, Y Expr
+	h    uint64 // structural hash; 0 for struct-literal nodes
 }
 
 func (b *BoolBin) Width() int   { return 1 }
 func (b *BoolBin) IsBool() bool { return true }
+func (b *BoolBin) Hash() uint64 {
+	if b.h != 0 {
+		return b.h
+	}
+	return hashBoolBin(b.Op, b.X, b.Y)
+}
 func (b *BoolBin) String() string {
 	return fmt.Sprintf("(%s %s %s)", b.X, b.Op, b.Y)
 }
@@ -204,10 +257,17 @@ func (b *BoolBin) String() string {
 // Not is boolean negation.
 type Not struct {
 	X Expr
+	h uint64 // structural hash; 0 for struct-literal nodes
 }
 
-func (n *Not) Width() int     { return 1 }
-func (n *Not) IsBool() bool   { return true }
+func (n *Not) Width() int   { return 1 }
+func (n *Not) IsBool() bool { return true }
+func (n *Not) Hash() uint64 {
+	if n.h != 0 {
+		return n.h
+	}
+	return hashNot(n.X)
+}
 func (n *Not) String() string { return fmt.Sprintf("(not %s)", n.X) }
 
 // --- Constructors with light canonicalization ------------------------------
@@ -265,7 +325,7 @@ func NewBin(op BinOp, x, y Expr) Expr {
 			return y
 		}
 	}
-	return &Bin{Op: op, X: x, Y: y, W: w}
+	return internBin(op, x, y, w)
 }
 
 // NewCmp builds a comparison, constant-folding when possible.
@@ -280,7 +340,7 @@ func NewCmp(op CmpOp, x, y Expr) Expr {
 			return BoolConst(evalCmp(op, cx.V, cy.V))
 		}
 	}
-	return &Cmp{Op: op, X: x, Y: y}
+	return internCmp(op, x, y)
 }
 
 // NewBool builds a boolean connective with short-circuit folding.
@@ -309,7 +369,7 @@ func NewBool(op BoolOp, x, y Expr) Expr {
 		}
 		return x
 	}
-	return &BoolBin{Op: op, X: x, Y: y}
+	return internBoolBin(op, x, y)
 }
 
 // NewNot negates a boolean formula; comparisons flip their operator and
@@ -321,9 +381,9 @@ func NewNot(x Expr) Expr {
 	case *Not:
 		return e.X
 	case *Cmp:
-		return &Cmp{Op: e.Op.Negated(), X: e.X, Y: e.Y}
+		return internCmp(e.Op.Negated(), e.X, e.Y)
 	}
-	return &Not{X: x}
+	return internNot(x)
 }
 
 // --- Evaluation -------------------------------------------------------------
@@ -436,6 +496,17 @@ func Eval(e Expr, env Env) uint64 {
 // EvalBool evaluates a boolean formula under env.
 func EvalBool(e Expr, env Env) bool { return Eval(e, env) != 0 }
 
+// EvalBinOp computes a binary op on concrete values at width w — the
+// concolic layer's concrete fast path, with no expression construction.
+func EvalBinOp(op BinOp, x, y uint64, w int) uint64 { return evalBin(op, x, y, w) }
+
+// EvalCmpOp computes an unsigned comparison on concrete values masked to
+// width w.
+func EvalCmpOp(op CmpOp, x, y uint64, w int) bool {
+	m := maskFor(w)
+	return evalCmp(op, x&m, y&m)
+}
+
 // Vars appends the distinct variables appearing in e to out (deduplicated
 // by ID) and returns the extended slice.
 func Vars(e Expr, out []*Var) []*Var {
@@ -492,7 +563,9 @@ func Conjoin(cs []Expr) Expr {
 	return acc
 }
 
-// FormatPath renders a path-constraint list compactly for logs.
+// FormatPath renders a path-constraint list compactly. Rendering is
+// O(total size) and allocates: it is for logs and debug output only —
+// dedup and memo keys use FingerprintPath.
 func FormatPath(cs []Expr) string {
 	var b strings.Builder
 	for i, c := range cs {

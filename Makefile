@@ -14,10 +14,11 @@ race:
 vet:
 	$(GO) vet ./...
 
-# bench runs the S-series scheduler/solver benchmarks and updates
-# BENCH_PR2.json ("current" section; "baseline" stays frozen).
+# bench runs the S-series scheduler/solver + federated-round benchmarks
+# and updates BENCH_PR3.json ("current" section; "baseline" stays
+# frozen). BENCH_PR2.json is the frozen PR 2 trajectory.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_PR2.json
+	$(GO) run ./cmd/bench -out BENCH_PR3.json
 
 # bench-short is the CI smoke variant: one iteration of every benchmark,
 # no JSON output — it only proves the benchmarks still run.

@@ -306,3 +306,51 @@ func BenchmarkA2CheckpointVsReplay(b *testing.B) {
 		b.ReportMetric(last.SpeedupFactor, "speedup-x")
 	}
 }
+
+// BenchmarkFederatedRound (S4) measures one federated exploration round
+// — per-node checkpoint/clone concolic exploration sharded over a shared
+// worker pool, plus cross-node witness propagation and oracles — on the
+// two built-in shapes: the 3-node line and the 5-node mesh (the mesh
+// explores 20 peerings vs the line's 4 over the same pool). violations
+// and peerings are the headline custom metrics.
+func BenchmarkFederatedRound(b *testing.B) {
+	shapes := []struct {
+		name string
+		topo func() *core.Topology
+	}{
+		{"line-3", func() *core.Topology { return core.LineTopology(3) }},
+		{"mesh-5", func() *core.Topology { return core.MeshTopology(5) }},
+	}
+	for _, sh := range shapes {
+		b.Run(sh.name, func(b *testing.B) {
+			// Fabric build + convergence is setup, not the round under
+			// measurement; cold rounds (no ReuseState) are identical, so
+			// one fabric serves every iteration.
+			fe, err := core.NewFederatedExperiment(sh.topo(), core.FederatedOptions{
+				Engine:  concolic.Options{MaxRuns: 200},
+				Workers: 4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var peerings, violations, runs int
+			for i := 0; i < b.N; i++ {
+				res, err := fe.Round()
+				if err != nil {
+					b.Fatal(err)
+				}
+				peerings, violations, runs = 0, len(res.Violations), 0
+				for _, tr := range res.Targets {
+					if tr.Err == nil {
+						peerings++
+						runs += tr.Result.Report.Runs
+					}
+				}
+			}
+			b.ReportMetric(float64(peerings), "peerings")
+			b.ReportMetric(float64(runs), "runs")
+			b.ReportMetric(float64(violations), "violations")
+		})
+	}
+}

@@ -3,12 +3,13 @@
 // so the perf trajectory is tracked across PRs.
 //
 // The output file keeps two sections: "baseline" — frozen the first time
-// the file is written (for PR 2, the pre-hash-consing engine) — and
-// "current", overwritten on every run. Comparing current against
-// baseline is how the negation-throughput acceptance criteria are
-// checked.
+// the file is written — and "current", overwritten on every run.
+// Comparing current against baseline is how per-PR perf acceptance
+// criteria are checked. Each PR that changes the tracked set writes a
+// fresh file (BENCH_PR2.json froze the pre-hash-consing engine;
+// BENCH_PR3.json adds the federated round benchmarks).
 //
-//	go run ./cmd/bench                 # runs ^BenchmarkS, writes BENCH_PR2.json
+//	go run ./cmd/bench                 # runs the S-series + federated, writes BENCH_PR3.json
 //	go run ./cmd/bench -bench 'S3' -benchtime 10x
 package main
 
@@ -53,8 +54,8 @@ type File struct {
 }
 
 func main() {
-	benchRe := flag.String("bench", "^BenchmarkS[0-9]|^BenchmarkFrontierFold", "benchmark regex passed to go test -bench")
-	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	benchRe := flag.String("bench", "^BenchmarkS[0-9]|^BenchmarkFrontierFold|^BenchmarkFederatedRound", "benchmark regex passed to go test -bench")
+	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
 	pkgs := flag.String("pkgs", "./...", "packages to benchmark")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (optional)")
 	count := flag.Int("count", 1, "go test -count value")

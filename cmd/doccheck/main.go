@@ -1,0 +1,95 @@
+// Command doccheck verifies the repository's markdown documentation:
+// every intra-repo link — [text](relative/path) — must resolve to an
+// existing file or directory. External links (http/https/mailto) and
+// same-document anchors are ignored. CI's docs job runs it so renames
+// and deletions cannot silently break ARCHITECTURE.md, DESIGN.md, the
+// example walkthroughs or the ROADMAP.
+//
+//	go run ./cmd/doccheck            # check the repo rooted at .
+//	go run ./cmd/doccheck -root dir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links: [text](target). Images share the
+// syntax (![alt](target)) and are covered by the same match.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	root := flag.String("root", ".", "repository root to scan")
+	flag.Parse()
+
+	broken := 0
+	err := filepath.WalkDir(*root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		broken += checkFile(path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(1)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d broken intra-repo link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: all intra-repo markdown links resolve")
+}
+
+// checkFile reports the number of broken intra-repo links in one file.
+func checkFile(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", path, err)
+		return 1
+	}
+	broken := 0
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skipTarget(target) {
+				continue
+			}
+			// Drop a trailing #anchor; the file part must still exist.
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+				if target == "" {
+					continue // same-document anchor
+				}
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Fprintf(os.Stderr, "%s:%d: broken link %q (%s does not exist)\n",
+					path, i+1, m[1], resolved)
+				broken++
+			}
+		}
+	}
+	return broken
+}
+
+// skipTarget reports whether the link target is out of doccheck's scope.
+func skipTarget(t string) bool {
+	return strings.Contains(t, "://") ||
+		strings.HasPrefix(t, "mailto:") ||
+		strings.HasPrefix(t, "#")
+}

@@ -15,6 +15,7 @@ import (
 	"log"
 	"time"
 
+	"dice/internal/concolic"
 	"dice/internal/core"
 )
 
@@ -23,7 +24,7 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		exp     = flag.String("exp", "all", "experiment: all|memory|cpu-full|cpu-steady|routeleak|warmstate|ablation-symbolic|ablation-checkpoint|topology")
+		exp     = flag.String("exp", "all", "experiment: all|memory|cpu-full|cpu-steady|routeleak|warmstate|federated|ablation-symbolic|ablation-checkpoint|topology")
 		table   = flag.Int("table", 20000, "routing table size (paper: 319,355)")
 		updates = flag.Int("updates", 250, "incremental updates in the trace (paper rate: ~0.28/s x 15 min)")
 		runs    = flag.Int("runs", 2000, "concolic run budget per round")
@@ -52,6 +53,7 @@ func main() {
 	run("cpu-steady", func() error { return cpuSteady(s, *window) })
 	run("routeleak", func() error { return routeleak(s) })
 	run("warmstate", func() error { return warmState(s) })
+	run("federated", func() error { return federated(s) })
 	run("ablation-symbolic", func() error { return ablationSymbolic(s) })
 	run("ablation-checkpoint", func() error { return ablationCheckpoint(s) })
 }
@@ -216,5 +218,58 @@ func ablationCheckpoint(s core.Scale) error {
 	}
 	fmt.Println("\n  shape check: checkpointing cost is (near) independent of history length;")
 	fmt.Println("  replay cost grows with it — \"prohibitively time-consuming\" at scale (§2.3).")
+	return nil
+}
+
+// federated (S4) runs cold and warm federated rounds over the built-in
+// 3-node line and 5-node mesh topologies: one frontier shard per node
+// over a shared worker pool, concrete witness propagation over a shadow
+// fabric, and the cross-node oracles (route leak, oscillation bound,
+// multi-hop blackhole).
+func federated(s core.Scale) error {
+	fmt.Println("S4 — federated topology exploration (3-node line vs 5-node mesh)")
+	for _, topo := range []*core.Topology{core.LineTopology(3), core.MeshTopology(5)} {
+		fe, err := core.NewFederatedExperiment(topo, core.FederatedOptions{
+			Engine:     concolic.Options{MaxRuns: s.ExploreRuns},
+			Workers:    4,
+			ReuseState: true,
+		})
+		if err != nil {
+			return err
+		}
+		cold, err := fe.Round()
+		if err != nil {
+			return err
+		}
+		warm, err := fe.Round()
+		if err != nil {
+			return err
+		}
+		sum := func(r *core.FederatedResult) (targets, runs, paths, skipped int) {
+			for _, tr := range r.Targets {
+				if tr.Err != nil {
+					continue
+				}
+				targets++
+				runs += tr.Result.Report.Runs
+				paths += len(tr.Result.Report.Paths)
+				skipped += tr.Result.Report.SkippedNegations
+			}
+			return
+		}
+		ct, cr, cp, _ := sum(cold)
+		_, wr, wp, ws := sum(warm)
+		fmt.Printf("\n  %s: %d nodes, %d edges, %d explored peerings\n",
+			topo.Name, len(topo.Nodes), len(topo.Edges), ct)
+		fmt.Printf("    cold round: %d runs, %d paths, %d witnesses, %d violations in %v\n",
+			cr, cp, cold.WitnessesInjected, len(cold.Violations), cold.Elapsed.Round(time.Millisecond))
+		fmt.Printf("    warm round: %d runs, %d new paths, %d negations skipped in %v\n",
+			wr, wp, ws, warm.Elapsed.Round(time.Millisecond))
+		for _, v := range cold.Violations {
+			fmt.Printf("    %s\n", v)
+		}
+	}
+	fmt.Println("\n  shape check: the mesh explores more peerings over the same worker pool;")
+	fmt.Println("  warm rounds skip all known per-node work (the online mode, federated).")
 	return nil
 }

@@ -474,6 +474,15 @@ func decodeASPath(val []byte) (ASPath, error) {
 	return p, nil
 }
 
+// Well-known communities (RFC 1997). A route carrying NO_EXPORT must not
+// be advertised beyond the receiving AS — the policy boundary the
+// federated route-leak oracle checks.
+const (
+	CommunityNoExport    = 0xFFFFFF01
+	CommunityNoAdvertise = 0xFFFFFF02
+	CommunityNoExportSub = 0xFFFFFF03
+)
+
 // Community helpers: communities are conventionally rendered AS:value.
 
 // MakeCommunity packs an (AS, value) pair into a COMMUNITY word.

@@ -256,9 +256,10 @@ func (e *Engine) RunOnce(env sym.Env) PathResult {
 // Explore runs the concolic exploration loop — seed run, then a worker
 // pool draining the frontier of pending negations — and returns its
 // report. The mechanics live in frontier.go (what to try next) and
-// scheduler.go (who tries it); Explore just wires them to this engine.
+// scheduler.go (who tries it); Explore runs this engine as a fleet of
+// one shard (see ExploreFleet for the multi-node form).
 func (e *Engine) Explore() *Report {
-	return newScheduler(e).run()
+	return newScheduler(nil, []*Engine{e}, e.opts.Workers).run()[0]
 }
 
 func cloneEnv(e sym.Env) sym.Env {

@@ -1,0 +1,117 @@
+package concolic
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// fleetHandler records a three-branch path over one variable; 8 feasible
+// paths, fully explorable.
+func fleetHandler(calls *atomic.Int64) Handler {
+	return func(rc *RunContext) any {
+		calls.Add(1)
+		x := rc.Input("x")
+		n := 0
+		for i := 0; i < 3; i++ {
+			bit := Eq(And(Shr(x, Concrete(uint64(i), 32)), Concrete(1, 32)), Concrete(1, 32))
+			if rc.Branch(bit) {
+				n |= 1 << i
+			}
+		}
+		return n
+	}
+}
+
+func newFleetEngine(calls *atomic.Int64, opts Options) *Engine {
+	e := NewEngine(fleetHandler(calls), opts)
+	e.Var("x", 32, 0)
+	return e
+}
+
+// TestExploreFleetMatchesSolo: a fleet member must discover exactly the
+// paths a solo Explore of the same engine finds, regardless of how many
+// members share the pool.
+func TestExploreFleetMatchesSolo(t *testing.T) {
+	var solo atomic.Int64
+	want := newFleetEngine(&solo, Options{}).Explore()
+	if len(want.Paths) != 8 {
+		t.Fatalf("solo explore found %d paths, want 8", len(want.Paths))
+	}
+
+	var calls atomic.Int64
+	members := []FleetMember{
+		{ID: "node-a", Engine: newFleetEngine(&calls, Options{})},
+		{ID: "node-b", Engine: newFleetEngine(&calls, Options{})},
+		{ID: "node-c", Engine: newFleetEngine(&calls, Options{})},
+	}
+	reps := ExploreFleet(members, 4)
+	if len(reps) != 3 {
+		t.Fatalf("got %d reports, want 3", len(reps))
+	}
+	for i, rep := range reps {
+		if len(rep.Paths) != len(want.Paths) {
+			t.Errorf("member %d: %d paths, want %d", i, len(rep.Paths), len(want.Paths))
+		}
+		if rep.Runs != want.Runs {
+			t.Errorf("member %d: %d runs, want %d", i, rep.Runs, want.Runs)
+		}
+	}
+}
+
+// TestExploreFleetPerMemberBudget: one member's exhausted budget must not
+// stop the others.
+func TestExploreFleetPerMemberBudget(t *testing.T) {
+	var calls atomic.Int64
+	members := []FleetMember{
+		{ID: "tiny", Engine: newFleetEngine(&calls, Options{MaxRuns: 2})},
+		{ID: "full", Engine: newFleetEngine(&calls, Options{})},
+	}
+	reps := ExploreFleet(members, 2)
+	if reps[0].Runs > 2 {
+		t.Errorf("tiny member ran %d times, budget was 2", reps[0].Runs)
+	}
+	if reps[0].Budget != "max-runs" {
+		t.Errorf("tiny member budget = %q, want max-runs", reps[0].Budget)
+	}
+	if len(reps[1].Paths) != 8 {
+		t.Errorf("full member found %d paths, want 8 (starved by sibling budget?)", len(reps[1].Paths))
+	}
+	if reps[1].Budget != "" {
+		t.Errorf("full member budget = %q, want none", reps[1].Budget)
+	}
+}
+
+// TestExploreFleetPerNodeState: warm per-node state must make a member's
+// second round incremental without touching its siblings'.
+func TestExploreFleetPerNodeState(t *testing.T) {
+	sm := NewStateMap()
+	var calls atomic.Int64
+	round := func(withB bool) []*Report {
+		members := []FleetMember{
+			{ID: "a", Engine: newFleetEngine(&calls, Options{State: sm.For("a")})},
+		}
+		if withB {
+			members = append(members, FleetMember{ID: "b", Engine: newFleetEngine(&calls, Options{State: sm.For("b")})})
+		}
+		return ExploreFleet(members, 2)
+	}
+
+	first := round(true)
+	if len(first[0].Paths) != 8 || len(first[1].Paths) != 8 {
+		t.Fatalf("cold round paths: a=%d b=%d, want 8/8", len(first[0].Paths), len(first[1].Paths))
+	}
+
+	second := round(false)
+	if len(second[0].Paths) != 0 {
+		t.Errorf("warm round for a reported %d new paths, want 0", len(second[0].Paths))
+	}
+	if second[0].SkippedNegations == 0 {
+		t.Errorf("warm round for a skipped no negations")
+	}
+	if st := sm.Peek("b"); st == nil || st.Stats().Rounds != 1 {
+		t.Errorf("node b state was touched by a's warm round")
+	}
+	if got := sm.NodeIDs(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("NodeIDs = %v, want [a b]", got)
+	}
+}

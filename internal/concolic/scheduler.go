@@ -8,87 +8,128 @@ import (
 	"dice/internal/solver"
 )
 
-// scheduler drives one exploration round: a pool of Workers goroutines
-// drains the frontier, each worker owning one reusable solver. The
-// frontier and the run/seq budget counters live behind a single short
-// mutex; handler executions and solver searches — the expensive parts —
-// run outside it, and solver statistics are atomics so workers never
-// serialize on bookkeeping.
-type scheduler struct {
+// shard is one engine's share of a scheduler run: its frontier, budgets,
+// cross-round state and result accumulators. A classic single-node
+// exploration is a fleet of one shard; a federated round runs one shard
+// per topology node over the same worker pool, so idle capacity on a
+// cheap node's frontier is spent on an expensive node's instead of
+// waiting out the round.
+type shard struct {
+	id    string // display/debug identity (node ID in federated rounds)
 	e     *Engine
 	front *frontier
 	cache *solver.Cache // memo cache for negation queries; may be nil
 
-	mu     sync.Mutex // guards front, runs, seq, budget, paths
-	cond   *sync.Cond
-	active int // items being processed
+	// Guarded by the scheduler mutex.
 	runs   int
 	seq    int
 	budget string
+	done   bool // budget stopped: frontier cleared, no new work accepted
+	active int  // this shard's items currently being processed
 	paths  []PathResult
 
 	deadline time.Time
+	start    time.Time
+	finish   time.Time // when this shard's own work drained (not the fleet's)
 
 	solverCalls, solverSat, solverUnsat, cacheHits atomic.Int64
 }
 
-func newScheduler(e *Engine) *scheduler {
-	cache := e.opts.SolverCache
-	if cache == nil && e.opts.State != nil {
-		cache = e.opts.State.Cache()
-	}
-	sch := &scheduler{
-		e:     e,
-		front: newFrontier(e.opts.Strategy, e.opts.MaxDepth, e.opts.State),
-		cache: cache,
-	}
-	sch.cond = sync.NewCond(&sch.mu)
-	return sch
-}
-
-func (sch *scheduler) cancelled() bool {
-	if sch.e.opts.Cancel == nil {
+func (sh *shard) cancelled() bool {
+	if sh.e.opts.Cancel == nil {
 		return false
 	}
 	select {
-	case <-sch.e.opts.Cancel:
+	case <-sh.e.opts.Cancel:
 		return true
 	default:
 		return false
 	}
 }
 
-// execute runs the handler under an assignment and folds the resulting
-// path into the frontier. Returns false when the run budget is gone.
-func (sch *scheduler) execute(env map[int]uint64, bound int) bool {
+// expired reports whether a per-shard budget forbids more runs, naming
+// the budget. Caller holds the scheduler mutex.
+func (sh *shard) expired() (string, bool) {
+	switch {
+	case sh.cancelled():
+		return "cancelled", true
+	case sh.runs >= sh.e.opts.MaxRuns:
+		return "max-runs", true
+	case !sh.deadline.IsZero() && time.Now().After(sh.deadline):
+		return "time", true
+	}
+	return "", false
+}
+
+// scheduler drives one exploration round over one or more shards: a pool
+// of worker goroutines drains the shards' frontiers, each worker owning
+// reusable solvers. The frontiers and the per-shard run/seq budget
+// counters live behind a single short mutex; handler executions and
+// solver searches — the expensive parts — run outside it, and solver
+// statistics are per-shard atomics so workers never serialize on
+// bookkeeping.
+type scheduler struct {
+	shards  []*shard
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	active int // items being processed across all shards
+	rr     int // round-robin cursor over shards for fairness
+}
+
+func newScheduler(ids []string, engines []*Engine, workers int) *scheduler {
+	shards := make([]*shard, len(engines))
+	for i, e := range engines {
+		cache := e.opts.SolverCache
+		if cache == nil && e.opts.State != nil {
+			cache = e.opts.State.Cache()
+		}
+		id := ""
+		if i < len(ids) {
+			id = ids[i]
+		}
+		shards[i] = &shard{
+			id:    id,
+			e:     e,
+			front: newFrontier(e.opts.Strategy, e.opts.MaxDepth, e.opts.State),
+			cache: cache,
+		}
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	sch := &scheduler{shards: shards, workers: workers}
+	sch.cond = sync.NewCond(&sch.mu)
+	return sch
+}
+
+// execute runs a shard's handler under an assignment and folds the
+// resulting path into that shard's frontier. Returns false when the
+// shard's run budget is gone.
+func (sch *scheduler) execute(sh *shard, env map[int]uint64, bound int) bool {
 	sch.mu.Lock()
-	if sch.cancelled() {
-		sch.budget = "cancelled"
+	if sh.done {
 		sch.mu.Unlock()
 		return false
 	}
-	if sch.runs >= sch.e.opts.MaxRuns {
-		sch.budget = "max-runs"
+	if why, stop := sh.expired(); stop {
+		sh.budget = why
 		sch.mu.Unlock()
 		return false
 	}
-	if !sch.deadline.IsZero() && time.Now().After(sch.deadline) {
-		sch.budget = "time"
-		sch.mu.Unlock()
-		return false
-	}
-	sch.runs++
-	mySeq := sch.seq
-	sch.seq++
+	sh.runs++
+	mySeq := sh.seq
+	sh.seq++
 	sch.mu.Unlock()
 
-	rc := &RunContext{env: env, vars: sch.e.byName}
-	out := sch.e.handler(rc)
+	rc := &RunContext{env: env, vars: sh.e.byName}
+	out := sh.e.handler(rc)
 
 	sch.mu.Lock()
 	defer sch.mu.Unlock()
-	if sch.front.fold(rc.assumes, rc.path, env, bound) {
-		sch.paths = append(sch.paths, PathResult{
+	if sh.front.fold(rc.assumes, rc.path, env, bound) {
+		sh.paths = append(sh.paths, PathResult{
 			Seq:     mySeq,
 			Env:     cloneEnv(env),
 			Path:    rc.path,
@@ -100,64 +141,115 @@ func (sch *scheduler) execute(env map[int]uint64, bound int) bool {
 	return true
 }
 
-// worker drains the frontier until it is empty with no item in flight, or
-// a budget stops exploration. Each worker owns one solver, reused across
-// queries with per-item hints.
+// popLocked removes the next work item, preferring the shard the worker
+// used last (solver prefix-snapshot locality), then scanning round-robin.
+// Caller holds the mutex.
+func (sch *scheduler) popLocked(prefer *shard) (*shard, workItem, bool) {
+	if prefer != nil && !prefer.done {
+		if it, ok := prefer.front.pop(); ok {
+			return prefer, it, true
+		}
+	}
+	for i := 0; i < len(sch.shards); i++ {
+		sh := sch.shards[(sch.rr+i)%len(sch.shards)]
+		if sh.done {
+			continue
+		}
+		if it, ok := sh.front.pop(); ok {
+			sch.rr = (sch.rr + i + 1) % len(sch.shards)
+			return sh, it, true
+		}
+	}
+	return nil, workItem{}, false
+}
+
+// retire marks a shard budget-stopped: its queued work is stowed in the
+// cross-round state (when attached) and the shard accepts no more items.
+// Caller holds the mutex.
+func (sch *scheduler) retire(sh *shard, item workItem) {
+	if sh.e.opts.State != nil {
+		sh.e.opts.State.savePending([]workItem{item})
+	}
+	sh.front.clear()
+	sh.done = true
+	if sh.budget == "" {
+		sh.budget, _ = sh.expired()
+	}
+	sch.noteIdle(sh)
+}
+
+// noteIdle stamps the shard's finish time once its own work has drained:
+// nothing queued and nothing in flight. New work for a shard only ever
+// comes from its own in-flight executions, so the first idle moment is
+// final — per-shard Elapsed measures the shard, not the fleet. Caller
+// holds the mutex.
+func (sch *scheduler) noteIdle(sh *shard) {
+	if sh.finish.IsZero() && sh.active == 0 && (sh.done || sh.front.pending() == 0) {
+		sh.finish = time.Now()
+	}
+}
+
+// worker drains the shards until every frontier is empty with no item in
+// flight. Each worker keeps one reusable solver per node budget so the
+// propagated prefix-snapshot chain (solver/prefix.go) survives across
+// queries, including when the fleet mixes engines with different
+// SolverNodes settings.
 func (sch *scheduler) worker(wg *sync.WaitGroup) {
 	defer wg.Done()
-	sv := solver.New(solver.Options{MaxNodes: sch.e.opts.SolverNodes})
+	solvers := map[int]*solver.Solver{}
+	solverFor := func(sh *shard) *solver.Solver {
+		sv, ok := solvers[sh.e.opts.SolverNodes]
+		if !ok {
+			sv = solver.New(solver.Options{MaxNodes: sh.e.opts.SolverNodes})
+			solvers[sh.e.opts.SolverNodes] = sv
+		}
+		return sv
+	}
+	var last *shard
 	for {
 		sch.mu.Lock()
-		for sch.front.pending() == 0 && sch.active > 0 {
+		sh, item, ok := sch.popLocked(last)
+		for !ok && sch.active > 0 {
 			sch.cond.Wait()
+			sh, item, ok = sch.popLocked(last)
 		}
-		item, ok := sch.front.pop()
 		if !ok {
 			sch.mu.Unlock()
 			sch.cond.Broadcast()
 			return
 		}
+		last = sh
 		sch.active++
-		stop := sch.runs >= sch.e.opts.MaxRuns ||
-			(!sch.deadline.IsZero() && time.Now().After(sch.deadline)) ||
-			sch.cancelled()
+		sh.active++
+		why, stop := sh.expired()
 		sch.mu.Unlock()
 
 		if stop {
 			sch.mu.Lock()
 			sch.active--
-			if sch.e.opts.State != nil {
-				sch.e.opts.State.savePending([]workItem{item})
+			sh.active--
+			if sh.budget == "" {
+				sh.budget = why
 			}
-			sch.front.clear()
-			if sch.budget == "" {
-				switch {
-				case sch.cancelled():
-					sch.budget = "cancelled"
-				case sch.runs >= sch.e.opts.MaxRuns:
-					sch.budget = "max-runs"
-				default:
-					sch.budget = "time"
-				}
-			}
+			sch.retire(sh, item)
 			sch.mu.Unlock()
 			sch.cond.Broadcast()
-			return
+			continue // other shards may still have work
 		}
 
 		// One conjunction allocation per solved item; the solver reuses
 		// its propagated snapshot of the shared prefix (prefix.go).
-		env, res, hit := sv.SolvePrefixed(sch.cache, item.conjunction(), item.hint)
+		env, res, hit := solverFor(sh).SolvePrefixed(sh.cache, item.conjunction(), item.hint)
 		if hit {
-			sch.cacheHits.Add(1)
+			sh.cacheHits.Add(1)
 		} else {
-			sch.solverCalls.Add(1)
+			sh.solverCalls.Add(1)
 		}
 		switch res {
 		case solver.Sat:
-			sch.solverSat.Add(1)
+			sh.solverSat.Add(1)
 		case solver.Unsat:
-			sch.solverUnsat.Add(1)
+			sh.solverUnsat.Add(1)
 		}
 
 		completed := true
@@ -167,65 +259,89 @@ func (sch *scheduler) worker(wg *sync.WaitGroup) {
 			for id, v := range env {
 				merged[id] = v
 			}
-			completed = sch.execute(merged, item.depth+1)
+			completed = sch.execute(sh, merged, item.depth+1)
 		}
 		// The negation counts as attempted for future rounds only once it
 		// was fully processed: answered, and (when Sat) its witness run
 		// executed. An item whose run a budget stop refused goes back to
 		// the state's pending frontier for the next round (its answer is
 		// memoized, so the retry costs a cache hit, not a search).
-		if sch.e.opts.State != nil {
+		if sh.e.opts.State != nil {
 			if completed {
-				sch.e.opts.State.RecordNegation(item)
+				sh.e.opts.State.RecordNegation(item)
 			} else {
-				sch.e.opts.State.savePending([]workItem{item})
+				sh.e.opts.State.savePending([]workItem{item})
 			}
 		}
 
 		sch.mu.Lock()
 		sch.active--
+		sh.active--
+		sch.noteIdle(sh)
 		sch.mu.Unlock()
 		sch.cond.Broadcast()
 	}
 }
 
-// run performs the whole exploration: seed run, then the worker pool.
-func (sch *scheduler) run() *Report {
-	start := time.Now()
-	if sch.e.opts.TimeBudget > 0 {
-		sch.deadline = start.Add(sch.e.opts.TimeBudget)
-	}
-	if sch.e.opts.State != nil {
-		sch.e.opts.State.beginRound()
+// run performs the whole exploration: one seed run per shard, then the
+// shared worker pool, then one report per shard (same order as the
+// engines given to newScheduler).
+func (sch *scheduler) run() []*Report {
+	anyWork := false
+	for _, sh := range sch.shards {
+		sh.start = time.Now()
+		if sh.e.opts.TimeBudget > 0 {
+			sh.deadline = sh.start.Add(sh.e.opts.TimeBudget)
+		}
+		if sh.e.opts.State != nil {
+			sh.e.opts.State.beginRound()
+		}
+		// Seed run explores from the observed input.
+		if sch.execute(sh, cloneEnv(sh.e.seed), 0) {
+			anyWork = true
+			sch.mu.Lock()
+			sch.noteIdle(sh) // a branchless seed may already drain the shard
+			sch.mu.Unlock()
+		} else {
+			// Seed run refused (pre-cancelled / expired budget): stow any
+			// frontier work resumed from a prior round back into the state
+			// instead of silently dropping it.
+			sch.mu.Lock()
+			sh.front.clear()
+			sh.done = true
+			sch.noteIdle(sh)
+			sch.mu.Unlock()
+		}
 	}
 
-	// Seed run explores from the observed input.
-	if sch.execute(cloneEnv(sch.e.seed), 0) {
+	if anyWork {
 		var wg sync.WaitGroup
-		wg.Add(sch.e.opts.Workers)
-		for i := 0; i < sch.e.opts.Workers; i++ {
+		wg.Add(sch.workers)
+		for i := 0; i < sch.workers; i++ {
 			go sch.worker(&wg)
 		}
 		wg.Wait()
-	} else {
-		// Seed run refused (pre-cancelled / expired budget): stow any
-		// frontier work resumed from a prior round back into the state
-		// instead of silently dropping it.
-		sch.front.clear()
 	}
 
-	rep := &Report{
-		Paths:            sch.paths,
-		Runs:             sch.runs,
-		SolverCalls:      int(sch.solverCalls.Load()),
-		SolverSat:        int(sch.solverSat.Load()),
-		SolverUnsat:      int(sch.solverUnsat.Load()),
-		CacheHits:        int(sch.cacheHits.Load()),
-		BranchesSeen:     sch.front.nbranches,
-		SkippedPaths:     sch.front.skippedPaths,
-		SkippedNegations: sch.front.skippedNegations,
-		Budget:           sch.budget,
-		Elapsed:          time.Since(start),
+	reports := make([]*Report, len(sch.shards))
+	for i, sh := range sch.shards {
+		elapsed := time.Since(sh.start)
+		if !sh.finish.IsZero() {
+			elapsed = sh.finish.Sub(sh.start)
+		}
+		reports[i] = &Report{
+			Paths:            sh.paths,
+			Runs:             sh.runs,
+			SolverCalls:      int(sh.solverCalls.Load()),
+			SolverSat:        int(sh.solverSat.Load()),
+			SolverUnsat:      int(sh.solverUnsat.Load()),
+			CacheHits:        int(sh.cacheHits.Load()),
+			BranchesSeen:     sh.front.nbranches,
+			SkippedPaths:     sh.front.skippedPaths,
+			SkippedNegations: sh.front.skippedNegations,
+			Budget:           sh.budget,
+			Elapsed:          elapsed,
+		}
 	}
-	return rep
+	return reports
 }

@@ -1,12 +1,3 @@
-// Package concolic implements the concolic execution engine DiCE uses to
-// systematically exercise a node's code paths (the paper's Oasis
-// replacement). Instrumented handlers compute over Value — a pair of a
-// concrete value and an optional symbolic expression — and report branches
-// through a RunContext, which records the path condition. The Engine then
-// negates recorded predicates one at a time (Figure 1 in the paper),
-// solves for fresh concrete inputs, and re-executes from the same
-// checkpointed state until no unexplored feasible branch remains or the
-// budget is exhausted.
 package concolic
 
 import (

@@ -51,6 +51,19 @@ type Options struct {
 	CloneLock sync.Locker
 	// PageSize for checkpoint accounting (0 = 4096).
 	PageSize int
+	// LeakBoundaryCommunity is the community the routeleak scenario's
+	// oracle treats as the no-export policy boundary (0 = the RFC 1997
+	// well-known NO_EXPORT). Federated experiments set it from the
+	// topology file's no_export_community.
+	LeakBoundaryCommunity uint32
+}
+
+// leakBoundary resolves the routeleak oracle's boundary community.
+func (o Options) leakBoundary() uint32 {
+	if o.LeakBoundaryCommunity != 0 {
+		return o.LeakBoundaryCommunity
+	}
+	return bgp.CommunityNoExport
 }
 
 // MemoryStats reproduces the §4.1 memory measurements.

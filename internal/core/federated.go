@@ -1,0 +1,445 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dice/internal/bgp"
+	"dice/internal/concolic"
+	"dice/internal/netaddr"
+	"dice/internal/netsim"
+	"dice/internal/rib"
+	"dice/internal/router"
+)
+
+// This file is the federated exploration subsystem — the paper's actual
+// system model: online testing across a topology of independently
+// administered nodes, not one router in isolation. A federated round
+//
+//  1. runs per-node checkpoint/clone concolic explorations (one frontier
+//     shard per node over a shared worker pool — concolic.ExploreFleet),
+//  2. propagates the concrete UPDATE/WITHDRAW witnesses the per-node
+//     oracles produce between nodes along topology edges, over a shadow
+//     copy of the fabric so the live nodes stay unperturbed, and
+//  3. evaluates cross-node oracles over the propagated state: route
+//     leak (an advertisement escaping a no-export policy boundary),
+//     persistent oscillation (no convergence within a bounded number of
+//     propagation steps), and multi-hop blackhole (traffic from a remote
+//     node forward-traces to a dead end).
+
+// FederatedScenario is the optional Scenario extension federated rounds
+// use for cross-node confirmation: scenarios that can materialize a
+// finding's concrete witness announcement implement it. Findings of
+// scenarios that do not are still reported locally, just never injected.
+type FederatedScenario interface {
+	Scenario
+	// WitnessUpdate builds the concrete UPDATE the finding's peer would
+	// send — the message injected into the shadow fabric.
+	WitnessUpdate(seed any, f Finding) *bgp.Update
+}
+
+// FederatedOptions configures a FederatedExperiment.
+type FederatedOptions struct {
+	// Engine tunes every node's engine (budgets, strategy). Workers is
+	// ignored here: the pool is shared, sized by Workers below.
+	Engine concolic.Options
+	// Workers is the shared exploration worker pool (0 = 1).
+	Workers int
+	// DefaultScenario applies to explore targets that don't name one
+	// ("" = routeleak).
+	DefaultScenario string
+	// MaxPropagationSteps bounds each witness's shadow propagation;
+	// hitting the bound with deliveries still pending flags
+	// persistent-oscillation (0 = 4096).
+	MaxPropagationSteps int
+	// MaxWitnesses bounds cross-node injections per round (0 = 16).
+	MaxWitnesses int
+	// ReuseState keeps per-node cross-round exploration state, so
+	// repeated federated rounds are incremental per node.
+	ReuseState bool
+}
+
+// FederatedTargetResult is one node's share of a federated round.
+type FederatedTargetResult struct {
+	Node     string
+	Peer     string
+	Scenario string
+	Result   *Result
+	// Err records a skipped defaulted target (e.g. no observed seed on
+	// that peering yet); explicit targets fail the round instead.
+	Err error
+}
+
+// FederatedViolation is one cross-node oracle violation.
+type FederatedViolation struct {
+	// Kind is "route-leak", "persistent-oscillation",
+	// "multi-hop-blackhole" or "stale-route".
+	Kind string
+	// Node is where the violation is observed; Source is the explored
+	// node whose policy let the witness through; Peer sent the witness.
+	Node   string
+	Source string
+	Peer   string
+	Prefix netaddr.Prefix
+	// Hops is the forwarding distance from Node to the trace terminal.
+	Hops   int
+	Detail string
+}
+
+func (v FederatedViolation) String() string {
+	return fmt.Sprintf("%s: %s at %s (witness from %s via %s, %d hops): %s",
+		v.Kind, v.Prefix, v.Node, v.Peer, v.Source, v.Hops, v.Detail)
+}
+
+// FederatedResult is the outcome of one federated round.
+type FederatedResult struct {
+	Targets           []FederatedTargetResult
+	Violations        []FederatedViolation
+	WitnessesInjected int
+	WitnessesSkipped  int // dropped by the MaxWitnesses cap
+	PropagationSteps  int // shadow deliveries across all witnesses
+	Elapsed           time.Duration
+}
+
+// FederatedExperiment drives repeated federated rounds over one fabric.
+type FederatedExperiment struct {
+	Topo   *Topology
+	Fabric *Fabric
+
+	opts     FederatedOptions
+	states   *concolic.StateMap // per-node cross-round state, keyed node/scenario/peer
+	boundary uint32
+}
+
+// NewFederatedExperiment instantiates the topology and prepares rounds.
+func NewFederatedExperiment(t *Topology, opts FederatedOptions) (*FederatedExperiment, error) {
+	if opts.DefaultScenario == "" {
+		opts.DefaultScenario = ScenarioRouteLeak
+	}
+	if opts.MaxPropagationSteps <= 0 {
+		opts.MaxPropagationSteps = 4096
+	}
+	if opts.MaxWitnesses <= 0 {
+		opts.MaxWitnesses = 16
+	}
+	if opts.Engine.State != nil {
+		// One ExploreState shared by every node would let fingerprint-
+		// identical paths on different nodes mask each other's exploration
+		// (structurally identical filters fold to the same signatures).
+		// Per-node memory is what ReuseState provides.
+		return nil, fmt.Errorf("federated: Engine.State cannot be shared across nodes; set ReuseState for per-node state")
+	}
+	boundary, err := t.BoundaryCommunity()
+	if err != nil {
+		return nil, err
+	}
+	fabric, err := t.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &FederatedExperiment{
+		Topo:     t,
+		Fabric:   fabric,
+		opts:     opts,
+		states:   concolic.NewStateMap(),
+		boundary: boundary,
+	}, nil
+}
+
+// State exposes the per-node cross-round state map (nil entries until a
+// ReuseState round ran for that node).
+func (fe *FederatedExperiment) States() *concolic.StateMap { return fe.states }
+
+// fedTarget is a resolved exploration target.
+type fedTarget struct {
+	node, peer, scenario string
+	explicit             bool
+}
+
+// targets resolves the round's exploration targets: the topology's
+// explore list when present, otherwise every edge in both directions.
+func (fe *FederatedExperiment) targets() []fedTarget {
+	var out []fedTarget
+	if len(fe.Topo.Explore) > 0 {
+		for _, x := range fe.Topo.Explore {
+			sc := x.Scenario
+			if sc == "" {
+				sc = fe.opts.DefaultScenario
+			}
+			out = append(out, fedTarget{node: x.Node, peer: x.Peer, scenario: sc, explicit: true})
+		}
+		return out
+	}
+	for _, e := range fe.Topo.Edges {
+		out = append(out, fedTarget{node: e.A, peer: e.B, scenario: fe.opts.DefaultScenario})
+		out = append(out, fedTarget{node: e.B, peer: e.A, scenario: fe.opts.DefaultScenario})
+	}
+	return out
+}
+
+// Round runs one federated exploration round: per-node concolic
+// exploration over the shared worker pool, then cross-node witness
+// propagation and the cross-node oracles.
+func (fe *FederatedExperiment) Round() (*FederatedResult, error) {
+	start := time.Now()
+	res := &FederatedResult{}
+
+	// Phase 1: prepare one engine per target — checkpoint clone of the
+	// live node, scenario seed and symbolic declaration.
+	type prep struct {
+		tg   fedTarget
+		sc   Scenario
+		seed any
+		eng  *concolic.Engine
+		ckpt *router.Router
+		sink *netsim.CaptureSink
+	}
+	var preps []*prep
+	var members []concolic.FleetMember
+	for _, tg := range fe.targets() {
+		sc, ok := LookupScenario(tg.scenario)
+		if !ok {
+			return nil, fmt.Errorf("federated: unknown scenario %q (registered: %v)", tg.scenario, ScenarioNames())
+		}
+		live, ok := fe.Fabric.Routers[tg.node]
+		if !ok {
+			return nil, fmt.Errorf("federated: unknown node %q", tg.node)
+		}
+		seed, err := sc.Seed(live, tg.peer)
+		if err != nil {
+			if tg.explicit {
+				return nil, fmt.Errorf("federated: %s/%s: %w", tg.node, tg.peer, err)
+			}
+			// Defaulted target with nothing observed yet: skip, visibly.
+			res.Targets = append(res.Targets, FederatedTargetResult{
+				Node: tg.node, Peer: tg.peer, Scenario: tg.scenario, Err: err,
+			})
+			continue
+		}
+		sink := netsim.NewCaptureSink()
+		ckpt := live.Clone(sink)
+		handler := func(rc *concolic.RunContext) any {
+			return sc.Execute(rc, ckpt.CloneCOW(sink), tg.peer, seed)
+		}
+		engOpts := fe.opts.Engine
+		if fe.opts.ReuseState {
+			engOpts.State = fe.states.For(tg.node + "/" + tg.scenario + "/" + tg.peer)
+		}
+		eng := concolic.NewEngine(handler, engOpts)
+		if err := sc.Declare(eng, seed); err != nil {
+			return nil, fmt.Errorf("federated: %s/%s: %w", tg.node, tg.peer, err)
+		}
+		preps = append(preps, &prep{tg: tg, sc: sc, seed: seed, eng: eng, ckpt: ckpt, sink: sink})
+		members = append(members, concolic.FleetMember{ID: tg.node, Engine: eng})
+	}
+
+	// Phase 2: one frontier shard per node, one shared worker pool.
+	reports := concolic.ExploreFleet(members, fe.opts.Workers)
+
+	// Phase 3: per-node oracles (each scenario's own Analyze, against the
+	// node's checkpoint-time state), then cross-node witness propagation.
+	type witness struct {
+		node, peer string
+		update     *bgp.Update
+	}
+	var witnesses []witness
+	seenWitness := map[string]bool{}
+	for i, pr := range preps {
+		r := &Result{
+			Scenario:         pr.sc.Name(),
+			Report:           reports[i],
+			CapturedMessages: pr.sink.Count(),
+		}
+		d := New(fe.Fabric.Routers[pr.tg.node], Options{
+			Engine:                fe.opts.Engine,
+			LeakBoundaryCommunity: fe.boundary,
+		})
+		pr.sc.Analyze(d, &Round{Peer: pr.tg.peer, Seed: pr.seed, Engine: pr.eng, Checkpoint: pr.ckpt}, r)
+		res.Targets = append(res.Targets, FederatedTargetResult{
+			Node: pr.tg.node, Peer: pr.tg.peer, Scenario: pr.tg.scenario, Result: r,
+		})
+
+		ws, ok := pr.sc.(FederatedScenario)
+		if !ok {
+			continue
+		}
+		for _, f := range r.Findings {
+			if !f.Validated {
+				continue
+			}
+			u := ws.WitnessUpdate(pr.seed, f)
+			if u == nil || len(u.NLRI) == 0 {
+				continue
+			}
+			key := fmt.Sprintf("%s|%s|%s|%v", pr.tg.node, pr.tg.peer, u.NLRI[0], u.Attrs.Communities)
+			if seenWitness[key] {
+				continue
+			}
+			seenWitness[key] = true
+			witnesses = append(witnesses, witness{node: pr.tg.node, peer: pr.tg.peer, update: u})
+		}
+	}
+
+	for _, w := range witnesses {
+		if res.WitnessesInjected >= fe.opts.MaxWitnesses {
+			// Never truncate silently: the skipped count is part of the
+			// result so a capped round doesn't read as a clean one.
+			res.WitnessesSkipped++
+			continue
+		}
+		res.WitnessesInjected++
+		if err := fe.propagateWitness(res, w.node, w.peer, w.update); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// propagateWitness injects one concrete witness announcement into a
+// fresh shadow fabric, propagates it along topology edges, runs the
+// cross-node oracles, then withdraws it and checks the withdraw
+// propagates cleanly too.
+func (fe *FederatedExperiment) propagateWitness(res *FederatedResult, node, peer string, w *bgp.Update) error {
+	shadow, err := fe.Fabric.Shadow()
+	if err != nil {
+		return err
+	}
+	sender := shadow.Routers[peer]
+	if sender == nil {
+		return fmt.Errorf("federated: witness peer %q missing from shadow", peer)
+	}
+	sess := sender.Session(node)
+	if sess == nil {
+		return fmt.Errorf("federated: no %s→%s session for witness injection", peer, node)
+	}
+	prefix := w.NLRI[0]
+
+	// Snapshot the pre-injection best route per node. The oracles must
+	// attribute violations to the *witness*, not to a pre-existing
+	// legitimate route for the same prefix (the witness often shares the
+	// seed's prefix): a node is affected only if its best route for the
+	// prefix changed when the witness propagated.
+	pre := make(map[string]*rib.Route, len(shadow.Routers))
+	for name, r := range shadow.Routers {
+		pre[name] = r.RIB().Best(prefix)
+	}
+
+	// UPDATE propagation along topology edges.
+	if err := sess.SendUpdate(w); err != nil {
+		return err
+	}
+	steps := shadow.Net.Run(fe.opts.MaxPropagationSteps)
+	res.PropagationSteps += steps
+	if shadow.Net.Pending() > 0 {
+		res.Violations = append(res.Violations, FederatedViolation{
+			Kind: "persistent-oscillation", Node: node, Source: node, Peer: peer, Prefix: prefix,
+			Detail: fmt.Sprintf("no convergence after %d propagation steps (%d deliveries still pending)",
+				fe.opts.MaxPropagationSteps, shadow.Net.Pending()),
+		})
+		return nil // oracle state below would be meaningless mid-churn
+	}
+
+	noExport := false
+	for _, c := range w.Attrs.Communities {
+		if c == fe.boundary {
+			noExport = true
+		}
+	}
+
+	// Cross-node oracles over the converged shadow. installed remembers
+	// each witness-attributed best route for the withdraw check below.
+	installed := make(map[string]*rib.Route)
+	for _, name := range shadow.NodeNames() {
+		if name == node || name == peer {
+			continue
+		}
+		rt := shadow.Routers[name].RIB().Best(prefix)
+		if rt == nil || rt == pre[name] {
+			continue // witness never took hold at this node
+		}
+		installed[name] = rt
+		terminal, hops, delivered := shadow.traceForward(name, prefix)
+		if noExport {
+			res.Violations = append(res.Violations, FederatedViolation{
+				Kind: "route-leak", Node: name, Source: node, Peer: peer, Prefix: prefix, Hops: hops,
+				Detail: fmt.Sprintf("advertisement carrying the no-export community (%d:%d) escaped AS boundary %s and was installed at %s",
+					fe.boundary>>16, fe.boundary&0xffff, node, name),
+			})
+		}
+		if !delivered && hops >= 2 {
+			res.Violations = append(res.Violations, FederatedViolation{
+				Kind: "multi-hop-blackhole", Node: name, Source: node, Peer: peer, Prefix: prefix, Hops: hops,
+				Detail: fmt.Sprintf("traffic from %s forward-traces %d hops and dead-ends at %s", name, hops, terminal),
+			})
+		}
+	}
+
+	// WITHDRAW propagation: the retraction must clean the witness out of
+	// every node it reached. Only witness-installed routes count — a
+	// node falling back to (or keeping) a legitimate route is correct.
+	if err := sess.SendUpdate(&bgp.Update{Withdrawn: []netaddr.Prefix{prefix}}); err != nil {
+		return err
+	}
+	steps = shadow.Net.Run(fe.opts.MaxPropagationSteps)
+	res.PropagationSteps += steps
+	if shadow.Net.Pending() > 0 {
+		// Withdraw still in flight when the bound hit: the stale check
+		// below would misread legitimately-pending cleanup as staleness.
+		res.Violations = append(res.Violations, FederatedViolation{
+			Kind: "persistent-oscillation", Node: node, Source: node, Peer: peer, Prefix: prefix,
+			Detail: fmt.Sprintf("WITHDRAW did not converge within %d propagation steps (%d deliveries still pending)",
+				fe.opts.MaxPropagationSteps, shadow.Net.Pending()),
+		})
+		return nil
+	}
+	stale := []string{}
+	for name, was := range installed {
+		if cur := shadow.Routers[name].RIB().Best(prefix); cur != nil && cur == was {
+			stale = append(stale, name)
+		}
+	}
+	if len(stale) > 0 {
+		sort.Strings(stale)
+		res.Violations = append(res.Violations, FederatedViolation{
+			Kind: "stale-route", Node: stale[0], Source: node, Peer: peer, Prefix: prefix,
+			Detail: fmt.Sprintf("witness route survived its own WITHDRAW at %v", stale),
+		})
+	}
+	return nil
+}
+
+// traceForward follows best-route provenance for p from a node toward
+// the advertising neighbor, hop by hop, until delivery (a locally
+// originated covering route), a dead end (no covering route), or a
+// forwarding loop. It models where traffic for p actually goes — the
+// multi-hop blackhole oracle's core.
+func (f *Fabric) traceForward(from string, p netaddr.Prefix) (terminal string, hops int, delivered bool) {
+	cur := from
+	visited := map[string]bool{}
+	for {
+		if visited[cur] {
+			return cur, hops, false // forwarding loop
+		}
+		visited[cur] = true
+		r := f.Routers[cur]
+		if r == nil {
+			return cur, hops, false
+		}
+		rt := r.RIB().CoveringBest(p)
+		if rt == nil {
+			return cur, hops, false // dead end: no covering route
+		}
+		if rt.Local {
+			return cur, hops, true // delivered to the originating AS
+		}
+		next := r.PeerNameByAddr(rt.PeerRouterID)
+		if next == "" {
+			return cur, hops, false
+		}
+		cur = next
+		hops++
+	}
+}

@@ -95,7 +95,8 @@ func ScenarioNames() []string {
 
 // Built-in scenario names.
 const (
-	ScenarioUpdate   = "update"
-	ScenarioOpen     = "open"
-	ScenarioWithdraw = "withdraw"
+	ScenarioUpdate    = "update"
+	ScenarioOpen      = "open"
+	ScenarioWithdraw  = "withdraw"
+	ScenarioRouteLeak = "routeleak"
 )

@@ -1,7 +1,12 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"dice/internal/bgp"
@@ -245,4 +250,270 @@ func (f *Fig2) ReplayUpdates(records []trace.Record) (int, error) {
 	}
 	f.Net.Run(0)
 	return n, nil
+}
+
+// --- Federated topology files ------------------------------------------------
+
+// The Fig2 topology above is the paper's fixed three-router testbed. The
+// federated subsystem generalizes it: a Topology describes any multi-AS
+// arrangement — independently-administered nodes with private configs,
+// joined by latency-weighted edges — and Build instantiates it over
+// netsim. cmd/dice -topology loads these from JSON files (see
+// examples/routeleak/topo.json for the format).
+
+// TopoNode is one autonomous node. Config is the node's full daemon
+// configuration source (config.Parse format), given as lines so JSON
+// files stay readable; peers must be named after their node names.
+type TopoNode struct {
+	Name   string   `json:"name"`
+	Config []string `json:"config"`
+}
+
+// TopoEdge is one duplex link between two nodes.
+type TopoEdge struct {
+	A         string `json:"a"`
+	B         string `json:"b"`
+	LatencyMS int    `json:"latency_ms,omitempty"` // 0 = 1ms
+}
+
+// ExploreTarget names one per-node exploration: which node explores
+// which of its peerings, under which scenario. An empty Scenario takes
+// the experiment's default.
+type ExploreTarget struct {
+	Node     string `json:"node"`
+	Peer     string `json:"peer"`
+	Scenario string `json:"scenario,omitempty"`
+}
+
+// Topology is the parsed multi-AS topology description.
+type Topology struct {
+	Name string `json:"name"`
+	// NoExportCommunity is the community ("AS:value") marking the
+	// no-export policy boundary the federated route-leak oracle checks.
+	// Empty = the RFC 1997 well-known NO_EXPORT (65535:65281).
+	NoExportCommunity string          `json:"no_export_community,omitempty"`
+	Nodes             []TopoNode      `json:"nodes"`
+	Edges             []TopoEdge      `json:"edges"`
+	Explore           []ExploreTarget `json:"explore,omitempty"`
+}
+
+// ParseTopology parses and validates a topology document.
+func ParseTopology(data []byte) (*Topology, error) {
+	var t Topology
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+	if len(t.Nodes) < 2 {
+		return nil, fmt.Errorf("topology %q: need at least 2 nodes, have %d", t.Name, len(t.Nodes))
+	}
+	names := map[string]bool{}
+	for _, n := range t.Nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("topology %q: node with empty name", t.Name)
+		}
+		if names[n.Name] {
+			return nil, fmt.Errorf("topology %q: duplicate node %q", t.Name, n.Name)
+		}
+		names[n.Name] = true
+		if len(n.Config) == 0 {
+			return nil, fmt.Errorf("topology %q: node %q has no config", t.Name, n.Name)
+		}
+	}
+	if len(t.Edges) == 0 {
+		return nil, fmt.Errorf("topology %q: no edges", t.Name)
+	}
+	for _, e := range t.Edges {
+		if !names[e.A] || !names[e.B] {
+			return nil, fmt.Errorf("topology %q: edge %s-%s references unknown node", t.Name, e.A, e.B)
+		}
+	}
+	for _, x := range t.Explore {
+		if !names[x.Node] || !names[x.Peer] {
+			return nil, fmt.Errorf("topology %q: explore target %s/%s references unknown node", t.Name, x.Node, x.Peer)
+		}
+	}
+	if _, err := t.BoundaryCommunity(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// LoadTopology reads and parses a topology file.
+func LoadTopology(path string) (*Topology, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseTopology(data)
+}
+
+// BoundaryCommunity returns the community word marking the topology's
+// no-export policy boundary.
+func (t *Topology) BoundaryCommunity() (uint32, error) {
+	if t.NoExportCommunity == "" {
+		return bgp.CommunityNoExport, nil
+	}
+	as, val, ok := strings.Cut(t.NoExportCommunity, ":")
+	if ok {
+		a, err1 := strconv.ParseUint(as, 10, 16)
+		v, err2 := strconv.ParseUint(val, 10, 16)
+		if err1 == nil && err2 == nil {
+			return bgp.MakeCommunity(uint16(a), uint16(v)), nil
+		}
+	}
+	return 0, fmt.Errorf("topology %q: bad no_export_community %q (want \"AS:value\")", t.Name, t.NoExportCommunity)
+}
+
+// Fabric is an instantiated topology: live routers on a virtual network.
+type Fabric struct {
+	Topo    *Topology
+	Net     *netsim.Network
+	Routers map[string]*router.Router
+}
+
+// Build instantiates the topology over a fresh netsim network, starts
+// every node and converges the initial announcements.
+func (t *Topology) Build() (*Fabric, error) {
+	net := netsim.New(time.Unix(1_300_000_000, 0))
+	f := &Fabric{Topo: t, Net: net, Routers: make(map[string]*router.Router, len(t.Nodes))}
+	for _, n := range t.Nodes {
+		cfg, err := config.Parse(strings.Join(n.Config, "\n"))
+		if err != nil {
+			return nil, fmt.Errorf("topology %q: node %s: %w", t.Name, n.Name, err)
+		}
+		r := router.New(n.Name, cfg, net)
+		if err := net.AddNode(n.Name, r); err != nil {
+			return nil, err
+		}
+		f.Routers[n.Name] = r
+	}
+	if err := t.connectEdges(net); err != nil {
+		return nil, err
+	}
+	for _, n := range t.Nodes {
+		if err := f.Routers[n.Name].Start(net.Now()); err != nil {
+			return nil, err
+		}
+	}
+	net.Run(0) // converge sessions and initial announcements
+	return f, nil
+}
+
+// connectEdges wires the topology's links into a network — shared by
+// Build and Shadow so live fabric and shadow always agree on link
+// semantics (including the 0-means-1ms latency default).
+func (t *Topology) connectEdges(net *netsim.Network) error {
+	for _, e := range t.Edges {
+		lat := time.Duration(e.LatencyMS) * time.Millisecond
+		if lat == 0 {
+			lat = time.Millisecond
+		}
+		if err := net.Connect(e.A, e.B, lat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Shadow builds an isolated deep copy of the fabric: every router cloned
+// (sessions established, tables copied) onto a fresh virtual network with
+// the same links. Concrete witness messages propagate over the shadow
+// exactly as they would over the live fabric, without perturbing it —
+// the federated analogue of exploring on checkpoint clones.
+func (f *Fabric) Shadow() (*Fabric, error) {
+	net := netsim.New(f.Net.Now())
+	s := &Fabric{Topo: f.Topo, Net: net, Routers: make(map[string]*router.Router, len(f.Routers))}
+	for _, n := range f.Topo.Nodes {
+		clone := f.Routers[n.Name].Clone(net)
+		if err := net.AddNode(n.Name, clone); err != nil {
+			return nil, err
+		}
+		s.Routers[n.Name] = clone
+	}
+	if err := f.Topo.connectEdges(net); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NodeNames returns the fabric's node names, sorted.
+func (f *Fabric) NodeNames() []string {
+	names := make([]string, 0, len(f.Routers))
+	for n := range f.Routers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// --- Built-in federated topologies -------------------------------------------
+
+// builtinNodeConfig renders node i of an n-node generated topology: AS
+// 65001+i originating 10.(16+i).0.0/16, importing from every peer through
+// a leak-prone multi-clause filter (the §4.2 misconfiguration class: a
+// too-wide second accept), exporting everything (the missing NO_EXPORT
+// check the routeleak oracle flags).
+func builtinNodeConfig(i int, peers []int) TopoNode {
+	name := builtinNodeName(i)
+	cfg := []string{
+		fmt.Sprintf("router id 10.0.0.%d;", i+1),
+		fmt.Sprintf("local as %d;", 65001+i),
+		fmt.Sprintf("network 10.%d.0.0/16;", 16+i),
+		"filter peer_in {",
+		"    if bgp_path.len > 12 then reject;",
+		"    if net ~ 10.16.0.0/12 then accept;",
+		"    if net ~ 10.0.0.0/8{24,32} then accept;",
+		"    reject;",
+		"}",
+	}
+	for _, j := range peers {
+		cfg = append(cfg, fmt.Sprintf("peer %s { remote 10.0.0.%d as %d; import filter peer_in; }",
+			builtinNodeName(j), j+1, 65001+j))
+	}
+	return TopoNode{Name: name, Config: cfg}
+}
+
+func builtinNodeName(i int) string { return fmt.Sprintf("as%d", 65001+i) }
+
+// LineTopology generates an n-node chain (as65001 — as65002 — ...): the
+// BenchmarkFederatedRound baseline shape.
+func LineTopology(n int) *Topology {
+	t := &Topology{Name: fmt.Sprintf("line-%d", n)}
+	for i := 0; i < n; i++ {
+		var peers []int
+		if i > 0 {
+			peers = append(peers, i-1)
+		}
+		if i < n-1 {
+			peers = append(peers, i+1)
+		}
+		t.Nodes = append(t.Nodes, builtinNodeConfig(i, peers))
+	}
+	for i := 0; i+1 < n; i++ {
+		t.Edges = append(t.Edges, TopoEdge{A: builtinNodeName(i), B: builtinNodeName(i + 1)})
+	}
+	return t
+}
+
+// MeshTopology generates an n-node full mesh, the BGP44mesh-style
+// workload: every node peers with every other.
+func MeshTopology(n int) *Topology {
+	t := &Topology{Name: fmt.Sprintf("mesh-%d", n)}
+	for i := 0; i < n; i++ {
+		var peers []int
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers = append(peers, j)
+			}
+		}
+		t.Nodes = append(t.Nodes, builtinNodeConfig(i, peers))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			t.Edges = append(t.Edges, TopoEdge{A: builtinNodeName(i), B: builtinNodeName(j)})
+		}
+	}
+	return t
 }

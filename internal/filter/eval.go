@@ -34,9 +34,18 @@ type Subject struct {
 	LocalPref concolic.Value // 32-bit
 	MED       concolic.Value // 32-bit
 
-	// Communities stay concrete: set membership over an unbounded list
-	// is not usefully symbolic for the DiCE input model.
+	// Communities is the route's concrete community set; membership
+	// tests over it never record constraints.
 	Communities []uint32
+
+	// SymCommunity is an optional extra community slot whose 32-bit value
+	// is symbolic (the routeleak scenario's input model: the community
+	// crossing a policy edge becomes one engine-chosen word). W == 0
+	// means the slot is absent and community tests stay fully concrete.
+	// By convention the materialized message carries the slot's concrete
+	// value only when it is non-zero, so the solver can express "no
+	// matching community" by choosing 0.
+	SymCommunity concolic.Value
 }
 
 // SubjectFromRoute lifts concrete route data into a Subject.
@@ -182,12 +191,18 @@ func evalExpr(e Expr, subj *Subject) concolic.Value {
 		leHi := concolic.Le(subj.NetLen, concolic.Concrete(uint64(t.HiLen), 8))
 		return concolic.BoolAnd(inNet, concolic.BoolAnd(geLo, leHi))
 	case *CommunityExpr:
-		// Concrete set membership (communities are not symbolic inputs).
+		// Concrete set membership first; a hit needs no constraint.
 		want := bgp.MakeCommunity(t.AS, t.Value)
 		for _, c := range subj.Communities {
 			if c == want {
 				return concolic.Bool(true)
 			}
+		}
+		// The symbolic slot turns the residual membership test into an
+		// explorable equality: the engine can steer the slot onto (or off)
+		// any community a policy tests.
+		if subj.SymCommunity.W != 0 {
+			return concolic.Eq(subj.SymCommunity, concolic.Concrete(uint64(want), 32))
 		}
 		return concolic.Bool(false)
 	}

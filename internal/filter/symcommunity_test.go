@@ -1,0 +1,77 @@
+package filter
+
+import (
+	"testing"
+
+	"dice/internal/bgp"
+	"dice/internal/concolic"
+)
+
+// TestSymbolicCommunityExplorable: with the SymCommunity slot set, a
+// community-conditioned clause becomes a negatable branch — exploration
+// must discover both the rejecting (community present) and accepting
+// (absent) paths from a seed that carries no community.
+func TestSymbolicCommunityExplorable(t *testing.T) {
+	f, err := Parse(`filter no_export_out {
+		if community (65535,65281) then reject;
+		accept;
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	handler := func(rc *concolic.RunContext) any {
+		subj := &Subject{SymCommunity: rc.Input("community")}
+		v := Run(f, subj, rc)
+		return v.Disposition == Accept
+	}
+	eng := concolic.NewEngine(handler, concolic.Options{})
+	eng.Var("community", 32, 0) // seed: no community
+
+	rep := eng.Explore()
+	if len(rep.Paths) != 2 {
+		t.Fatalf("explored %d paths, want 2 (community set / unset)", len(rep.Paths))
+	}
+	sawReject := false
+	for _, p := range rep.Paths {
+		accepted := p.Output.(bool)
+		carried := uint32(p.Env[0]) == bgp.CommunityNoExport
+		if carried && accepted {
+			t.Errorf("env %v: NO_EXPORT carried but filter accepted", p.Env)
+		}
+		if carried {
+			sawReject = true
+		}
+	}
+	if !sawReject {
+		t.Error("exploration never steered the community slot onto NO_EXPORT")
+	}
+}
+
+// TestSymbolicCommunityConcreteHit: a concrete membership hit must stay
+// constraint-free even when the symbolic slot is present.
+func TestSymbolicCommunityConcreteHit(t *testing.T) {
+	f, err := Parse(`filter x {
+		if community (65001,7) then accept;
+		reject;
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := func(rc *concolic.RunContext) any {
+		subj := &Subject{
+			Communities:  []uint32{bgp.MakeCommunity(65001, 7)},
+			SymCommunity: rc.Input("community"),
+		}
+		return Run(f, subj, rc).Disposition == Accept
+	}
+	eng := concolic.NewEngine(handler, concolic.Options{})
+	eng.Var("community", 32, 0)
+	rep := eng.Explore()
+	if len(rep.Paths) != 1 {
+		t.Fatalf("explored %d paths, want 1 (concrete hit records no branch)", len(rep.Paths))
+	}
+	if !rep.Paths[0].Output.(bool) {
+		t.Error("concrete community hit did not accept")
+	}
+}

@@ -140,6 +140,19 @@ func (r *Router) LastObserved(peer string) *bgp.Update {
 	return r.lastObserved[peer]
 }
 
+// PeerNameByAddr returns the configured peer whose remote address is a
+// ("" if none) — the reverse of the RIB's PeerRouterID provenance, used
+// by the federated forward-trace oracle to walk a route back toward the
+// neighbor that advertised it.
+func (r *Router) PeerNameByAddr(a netaddr.Addr) string {
+	for name, ps := range r.peers {
+		if ps.peer.Addr == a {
+			return name
+		}
+	}
+	return ""
+}
+
 // Start begins all peering sessions at virtual time now.
 func (r *Router) Start(now time.Time) error {
 	for name, ps := range r.peers {

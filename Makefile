@@ -15,10 +15,11 @@ vet:
 	$(GO) vet ./...
 
 # bench runs the S-series scheduler/solver + federated-round benchmarks
-# and updates BENCH_PR3.json ("current" section; "baseline" stays
-# frozen). BENCH_PR2.json is the frozen PR 2 trajectory.
+# and updates BENCH_PR4.json ("current" section; "baseline" stays
+# frozen — it holds the pre-COW-Shadow federated round). BENCH_PR2.json
+# and BENCH_PR3.json are the frozen PR 2 / PR 3 trajectories.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_PR3.json
+	$(GO) run ./cmd/bench -out BENCH_PR4.json
 
 # bench-short is the CI smoke variant: one iteration of every benchmark,
 # no JSON output — it only proves the benchmarks still run.

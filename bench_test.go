@@ -320,6 +320,10 @@ func BenchmarkFederatedRound(b *testing.B) {
 	}{
 		{"line-3", func() *core.Topology { return core.LineTopology(3) }},
 		{"mesh-5", func() *core.Topology { return core.MeshTopology(5) }},
+		// line-3-dense: 256 extra /24s per node, so every shadow copies
+		// ~2300 routes — the table-scale regime where Fabric.Shadow's
+		// per-witness cost dominates and COW sharing pays.
+		{"line-3-dense", func() *core.Topology { return core.DenseLineTopology(3, 256) }},
 	}
 	for _, sh := range shapes {
 		b.Run(sh.name, func(b *testing.B) {

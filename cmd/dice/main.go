@@ -21,6 +21,12 @@
 //
 //	dice -scenario routeleak -topology examples/routeleak/topo.json
 //	dice -topology topo.json -rounds 3   # warm per-node state across rounds
+//
+// Distributed mode runs the same federated rounds against node agents
+// in separate processes (cmd/dicenode), one per administrative domain,
+// over the dist wire protocol (see examples/distributed/README.md):
+//
+//	dice -topology topo.json -distributed 127.0.0.1:7411,127.0.0.1:7412,127.0.0.1:7413
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 
 	"dice/internal/concolic"
 	"dice/internal/core"
+	"dice/internal/dist"
 	"dice/internal/filter"
 	"dice/internal/netaddr"
 	"dice/internal/trace"
@@ -60,6 +67,7 @@ func main() {
 		listScenarios = flag.Bool("list-scenarios", false, "list registered scenarios and exit")
 		topologyFile  = flag.String("topology", "", "federated mode: JSON multi-AS topology file to explore instead of the Fig. 2 testbed")
 		propSteps     = flag.Int("propagation-steps", 0, "federated mode: max shadow propagation steps per witness (0 = 4096)")
+		distributed   = flag.String("distributed", "", "distributed mode: comma-separated dicenode agent addresses (requires -topology; one agent per node)")
 	)
 	flag.Parse()
 
@@ -81,6 +89,9 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *distributed != "" && *topologyFile == "" {
+		log.Fatal("-distributed requires -topology (the coordinator resolves targets and links from the topology file)")
+	}
 	if *topologyFile != "" {
 		// The default scenario for targets that don't name one: what the
 		// user asked for with an explicit -scenario, else the federated
@@ -94,10 +105,15 @@ func main() {
 		if defaultScenario != "" && len(scenarios) > 1 {
 			log.Printf("federated mode uses one default scenario; taking %q (topology explore entries may still name others)", defaultScenario)
 		}
-		runFederated(*topologyFile, defaultScenario, concolic.Options{
+		engOpts := concolic.Options{
 			MaxRuns:  *runs,
 			Strategy: strat,
-		}, *workers, *rounds, *propSteps, *verbose)
+		}
+		if *distributed != "" {
+			runDistributed(*topologyFile, *distributed, defaultScenario, engOpts, *workers, *rounds, *propSteps, *verbose)
+		} else {
+			runFederated(*topologyFile, defaultScenario, engOpts, *workers, *rounds, *propSteps, *verbose)
+		}
 		return
 	}
 
@@ -264,25 +280,107 @@ func runFederated(path, defaultScenario string, engOpts concolic.Options, worker
 			}
 			printResult(label+" "+tr.Scenario, tr.Result, verbose)
 		}
-		fmt.Printf("\n== cross-node propagation ==\n")
-		fmt.Printf("%d witness(es) injected into the shadow fabric, %d deliveries propagated\n",
-			res.WitnessesInjected, res.PropagationSteps)
-		if res.WitnessesSkipped > 0 {
-			fmt.Printf("%d witness(es) dropped by the per-round cap\n", res.WitnessesSkipped)
-		}
-		if len(res.Violations) == 0 {
-			fmt.Println("no cross-node oracle violations")
-			continue
-		}
-		fmt.Printf("%d CONFIRMED cross-node oracle violation(s):\n", len(res.Violations))
-		for _, v := range res.Violations {
-			fmt.Printf("  %s\n", v)
-		}
-		confirmed += len(res.Violations)
+		confirmed += printCrossNodeSummary("cross-node propagation",
+			fmt.Sprintf("%d witness(es) injected into the shadow fabric, %d deliveries propagated",
+				res.WitnessesInjected, res.PropagationSteps),
+			res.WitnessesSkipped, res.Violations)
 	}
 	if rounds > 1 {
 		fmt.Printf("\n%d violation(s) confirmed across %d rounds\n", confirmed, rounds)
 	}
+}
+
+// runDistributed is the -distributed mode: the same federated rounds as
+// runFederated, but each node lives in its own dicenode agent process
+// and every per-node operation crosses the dist wire protocol.
+func runDistributed(path, addrs, defaultScenario string, engOpts concolic.Options, workers, rounds, propSteps int, verbose bool) {
+	topo, err := core.LoadTopology(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var dialers []dist.Dialer
+	for _, addr := range strings.Split(addrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		dialers = append(dialers, dist.TCPDialer{Addr: addr})
+	}
+	coord, err := dist.Connect(topo, core.FederatedOptions{
+		Engine:              engOpts,
+		Workers:             workers,
+		DefaultScenario:     defaultScenario,
+		MaxPropagationSteps: propSteps,
+		ReuseState:          rounds > 1,
+	}, dialers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Close()
+
+	fmt.Printf("distributed topology %q: %d nodes across %d agents, %d edges\n",
+		topo.Name, len(topo.Nodes), len(dialers), len(topo.Edges))
+
+	confirmed := 0
+	for round := 1; round <= rounds; round++ {
+		if rounds > 1 {
+			fmt.Printf("\n======== distributed round %d/%d ========\n", round, rounds)
+		}
+		res, err := coord.Round()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, tr := range res.Targets {
+			label := fmt.Sprintf("%s←%s", tr.Node, tr.Peer)
+			if tr.Skipped != "" {
+				fmt.Printf("\n[%s] skipped: %s\n", label, tr.Skipped)
+				continue
+			}
+			ex := tr.Explore
+			printExploreStats(label+" "+tr.Scenario, ex.Runs, ex.NewPaths, ex.BranchesSeen,
+				time.Duration(ex.ElapsedNS), ex.SolverCalls, ex.CacheHits, ex.SolverSat,
+				ex.SolverUnsat, ex.SkippedPaths, ex.SkippedNegations, ex.CapturedMessages)
+			if len(ex.Findings) > 0 {
+				fmt.Printf("%d finding(s):\n", len(ex.Findings))
+				for _, f := range ex.Findings {
+					fmt.Printf("  %s\n", f.Rendered)
+					if verbose {
+						// Per-path envs stay on the agent; the concrete
+						// witness assignment is what crosses the wire.
+						fmt.Printf("    witness input: %v\n", f.Input)
+					}
+				}
+			}
+		}
+		confirmed += printCrossNodeSummary("cross-domain propagation",
+			fmt.Sprintf("%d witness(es) relayed between agents, %d deliveries propagated",
+				res.WitnessesInjected, res.PropagationSteps),
+			res.WitnessesSkipped, res.Violations)
+	}
+	if rounds > 1 {
+		fmt.Printf("\n%d violation(s) confirmed across %d rounds\n", confirmed, rounds)
+	}
+}
+
+// printCrossNodeSummary renders a round's witness-propagation summary
+// and its violations — shared by the in-process and distributed modes
+// (the CI walkthrough smokes grep this output, so there is exactly one
+// copy of it). It returns the number of violations printed.
+func printCrossNodeSummary(header, witnessLine string, skipped int, violations []core.FederatedViolation) int {
+	fmt.Printf("\n== %s ==\n", header)
+	fmt.Println(witnessLine)
+	if skipped > 0 {
+		fmt.Printf("%d witness(es) dropped by the per-round cap\n", skipped)
+	}
+	if len(violations) == 0 {
+		fmt.Println("no cross-node oracle violations")
+		return 0
+	}
+	fmt.Printf("%d CONFIRMED cross-node oracle violation(s):\n", len(violations))
+	for _, v := range violations {
+		fmt.Printf("  %s\n", v)
+	}
+	return len(violations)
 }
 
 // resolveScenarios expands the -scenario flag (plus the legacy -open
@@ -320,20 +418,30 @@ func resolveScenarios(flagVal string, openFSM bool) ([]string, error) {
 	return names, nil
 }
 
+// printExploreStats renders the per-target exploration stat lines —
+// one copy shared by the local/federated printResult and the
+// distributed mode (whose stats arrive as wire fields, not a Report).
+func printExploreStats(label string, runs, newPaths, branches int, elapsed time.Duration,
+	solverCalls, cacheHits, sat, unsat, skippedPaths, skippedNegations, captured int) {
+	fmt.Printf("\n[%s] exploration: %d runs, %d new paths, %d branches seen, %v\n",
+		label, runs, newPaths, branches, elapsed.Round(time.Millisecond))
+	fmt.Printf("[%s] solver: %d queries solved, %d cache hits (%d sat, %d unsat)\n",
+		label, solverCalls, cacheHits, sat, unsat)
+	if skippedPaths+skippedNegations > 0 {
+		fmt.Printf("[%s] warm state: %d known paths and %d known negations skipped\n",
+			label, skippedPaths, skippedNegations)
+	}
+	fmt.Printf("[%s] isolation: %d messages produced by clones, all intercepted\n",
+		label, captured)
+}
+
 // printResult renders one round's outcome: the shared exploration stats,
 // then the scenario-specific report.
 func printResult(name string, res *core.Result, verbose bool) {
 	rep := res.Report
-	fmt.Printf("\n[%s] exploration: %d runs, %d new paths, %d branches seen, %v\n",
-		name, rep.Runs, len(rep.Paths), rep.BranchesSeen, rep.Elapsed.Round(time.Millisecond))
-	fmt.Printf("[%s] solver: %d queries solved, %d cache hits (%d sat, %d unsat)\n",
-		name, rep.SolverCalls, rep.CacheHits, rep.SolverSat, rep.SolverUnsat)
-	if rep.SkippedPaths+rep.SkippedNegations > 0 {
-		fmt.Printf("[%s] warm state: %d known paths and %d known negations skipped\n",
-			name, rep.SkippedPaths, rep.SkippedNegations)
-	}
-	fmt.Printf("[%s] isolation: %d messages produced by clones, all intercepted\n",
-		name, res.CapturedMessages)
+	printExploreStats(name, rep.Runs, len(rep.Paths), rep.BranchesSeen, rep.Elapsed,
+		rep.SolverCalls, rep.CacheHits, rep.SolverSat, rep.SolverUnsat,
+		rep.SkippedPaths, rep.SkippedNegations, res.CapturedMessages)
 
 	if verbose {
 		for _, p := range rep.Paths {

@@ -1,0 +1,57 @@
+// Command dicenode is the DiCE node agent: it administers ONE node of a
+// federated topology and serves the distributed wire protocol for it —
+// checkpoint snapshots, concolic exploration of its own policy surface,
+// shadow clones for witness propagation, and the narrow cross-domain
+// oracle queries. A coordinator (dice -distributed) orchestrates a fleet
+// of these into federated rounds; see internal/dist and
+// examples/distributed/README.md.
+//
+// Each administrative domain runs its own agent:
+//
+//	dicenode -topology topo.json -node provider -listen 127.0.0.1:7411
+//
+// The agent instantiates the topology locally (deterministic
+// convergence gives every agent the identical fabric picture) but
+// exposes only the named node over the wire.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"dice/internal/core"
+	"dice/internal/dist"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dicenode: ")
+
+	var (
+		topologyFile = flag.String("topology", "", "JSON multi-AS topology file (required)")
+		node         = flag.String("node", "", "topology node this agent administers (required)")
+		listen       = flag.String("listen", "127.0.0.1:7411", "TCP address to serve the wire protocol on")
+	)
+	flag.Parse()
+
+	if *topologyFile == "" || *node == "" {
+		log.Fatal("both -topology and -node are required")
+	}
+	topo, err := core.LoadTopology(*topologyFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agent, err := dist.NewAgent(topo, *node)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("agent for node %q of topology %q listening on %s", *node, topo.Name, ln.Addr())
+	if err := agent.ListenAndServe(ln); err != nil {
+		log.Fatal(err)
+	}
+}

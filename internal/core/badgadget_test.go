@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"dice/internal/concolic"
+)
+
+// The examples/badgadget fixture is Griffin's BAD GADGET dispute wheel:
+// three routers around a hub, each steering local_pref by path shape so
+// it prefers the route THROUGH its clockwise neighbor exactly when that
+// neighbor uses its own direct route (bgp_path.len = 3 on {17,32}
+// more-specifics). No stable routing exists for such a configuration,
+// so once a more-specific witness enters the wheel the shadow fabric
+// churns forever — the persistent-oscillation oracle must fire because
+// the system genuinely diverges, not because a step bound was tuned
+// down. The initial /16 convergence is untouched (the steering clause
+// gates on more-specific prefixes), so the fixture builds and explores
+// normally.
+
+// TestBadGadgetOscillation: a federated round over the fixture topology
+// confirms persistent oscillation at a generous propagation bound.
+func TestBadGadgetOscillation(t *testing.T) {
+	topo, err := LoadTopology("../../examples/badgadget/topo.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFederatedExperiment(topo, FederatedOptions{
+		Engine:  concolic.Options{MaxRuns: 1000},
+		Workers: 2,
+		// A bound ~5x the default: divergence must survive it. A fixture
+		// that only "oscillates" against a tight bound would converge
+		// somewhere in here and the assertion below would catch it.
+		MaxPropagationSteps: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fe.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Targets) != 1 || res.Targets[0].Err != nil {
+		t.Fatalf("targets: %+v", res.Targets)
+	}
+	if len(res.Targets[0].Result.Findings) == 0 {
+		t.Fatal("exploration found no leak witnesses to inject")
+	}
+	if res.WitnessesInjected == 0 {
+		t.Fatal("no witnesses injected")
+	}
+
+	osc := 0
+	for _, v := range res.Violations {
+		if v.Kind == "persistent-oscillation" {
+			osc++
+			if v.Node != "hub" || v.Peer != "stub" {
+				t.Errorf("oscillation attributed to %s/%s, want hub/stub: %s", v.Node, v.Peer, v)
+			}
+		}
+	}
+	if osc == 0 {
+		t.Fatalf("dispute wheel produced no persistent-oscillation at a 20000-step bound; violations: %v", res.Violations)
+	}
+}
+
+// TestBadGadgetConvergesWithoutSteering: the same topology with the
+// steering clauses removed must converge — proving the oscillation
+// comes from the dispute wheel's preferences, not from the shape of the
+// fabric or the witness itself.
+func TestBadGadgetConvergesWithoutSteering(t *testing.T) {
+	topo, err := LoadTopology("../../examples/badgadget/topo.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range topo.Nodes {
+		cfg := topo.Nodes[i].Config
+		out := cfg[:0]
+		for _, line := range cfg {
+			if line == "    if net ~ 10.96.0.0/11{17,32} && bgp_path.len = 3 then set local_pref 200;" {
+				continue // drop the dispute-wheel preference
+			}
+			out = append(out, line)
+		}
+		topo.Nodes[i].Config = out
+	}
+	fe, err := NewFederatedExperiment(topo, FederatedOptions{
+		Engine:  concolic.Options{MaxRuns: 1000},
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fe.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		if v.Kind == "persistent-oscillation" {
+			t.Errorf("steering-free wheel still oscillates: %s", v)
+		}
+	}
+}

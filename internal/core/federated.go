@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -151,31 +152,140 @@ func NewFederatedExperiment(t *Topology, opts FederatedOptions) (*FederatedExper
 // ReuseState round ran for that node).
 func (fe *FederatedExperiment) States() *concolic.StateMap { return fe.states }
 
-// fedTarget is a resolved exploration target.
-type fedTarget struct {
-	node, peer, scenario string
-	explicit             bool
+// ResolvedTarget is one resolved exploration target of a federated round.
+type ResolvedTarget struct {
+	Node, Peer, Scenario string
+	// Explicit targets come from the topology's explore list; a seed
+	// failure on one fails the round, while defaulted targets skip.
+	Explicit bool
 }
 
-// targets resolves the round's exploration targets: the topology's
+// ResolveTargets resolves a round's exploration targets: the topology's
 // explore list when present, otherwise every edge in both directions.
-func (fe *FederatedExperiment) targets() []fedTarget {
-	var out []fedTarget
-	if len(fe.Topo.Explore) > 0 {
-		for _, x := range fe.Topo.Explore {
+// Targets with an empty scenario take defaultScenario. Both the
+// in-process FederatedExperiment and the distributed coordinator
+// (internal/dist) resolve through here, so the two backends agree on
+// what a round explores.
+func (t *Topology) ResolveTargets(defaultScenario string) []ResolvedTarget {
+	var out []ResolvedTarget
+	if len(t.Explore) > 0 {
+		for _, x := range t.Explore {
 			sc := x.Scenario
 			if sc == "" {
-				sc = fe.opts.DefaultScenario
+				sc = defaultScenario
 			}
-			out = append(out, fedTarget{node: x.Node, peer: x.Peer, scenario: sc, explicit: true})
+			out = append(out, ResolvedTarget{Node: x.Node, Peer: x.Peer, Scenario: sc, Explicit: true})
 		}
 		return out
 	}
-	for _, e := range fe.Topo.Edges {
-		out = append(out, fedTarget{node: e.A, peer: e.B, scenario: fe.opts.DefaultScenario})
-		out = append(out, fedTarget{node: e.B, peer: e.A, scenario: fe.opts.DefaultScenario})
+	for _, e := range t.Edges {
+		out = append(out, ResolvedTarget{Node: e.A, Peer: e.B, Scenario: defaultScenario})
+		out = append(out, ResolvedTarget{Node: e.B, Peer: e.A, Scenario: defaultScenario})
 	}
 	return out
+}
+
+// SeedUnavailableError marks a target whose scenario found nothing to
+// seed from (e.g. no observed UPDATE on that peering yet). Callers
+// treat it as "skip" for defaulted targets and as a round failure for
+// explicit ones.
+type SeedUnavailableError struct{ Err error }
+
+func (e *SeedUnavailableError) Error() string { return e.Err.Error() }
+func (e *SeedUnavailableError) Unwrap() error { return e.Err }
+
+// TargetPrep is one resolved target's prepared exploration: the
+// checkpoint clone of the live node, the scenario seed, and a declared
+// engine whose handler executes against COW forks of the checkpoint.
+// Both federated backends — the in-process FederatedExperiment and the
+// distributed node agent (internal/dist) — prepare targets through
+// PrepareTarget, so the per-target pipeline (and with it the parity
+// contract) lives in exactly one place.
+type TargetPrep struct {
+	Target     ResolvedTarget
+	Scenario   Scenario
+	Seed       any
+	Engine     *concolic.Engine
+	Checkpoint *router.Router
+	Sink       *netsim.CaptureSink
+}
+
+// PrepareTarget performs the shared per-target prep: scenario lookup,
+// seed derivation from the live node (a missing seed returns
+// *SeedUnavailableError), checkpoint clone with capture sink, handler
+// over COW clones, warm cross-round state attachment (states keyed
+// node/scenario/peer when reuse is set), and symbolic declaration.
+// The returned engine is ready to explore — solo (Engine.Explore, the
+// agent's path) or as a fleet member (the in-process path).
+func PrepareTarget(live *router.Router, tg ResolvedTarget, engOpts concolic.Options, states *concolic.StateMap, reuse bool) (*TargetPrep, error) {
+	sc, ok := LookupScenario(tg.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("unknown scenario %q (registered: %v)", tg.Scenario, ScenarioNames())
+	}
+	seed, err := sc.Seed(live, tg.Peer)
+	if err != nil {
+		return nil, &SeedUnavailableError{Err: err}
+	}
+	sink := netsim.NewCaptureSink()
+	ckpt := live.Clone(sink)
+	handler := func(rc *concolic.RunContext) any {
+		return sc.Execute(rc, ckpt.CloneCOW(sink), tg.Peer, seed)
+	}
+	if reuse {
+		engOpts.State = states.For(tg.Node + "/" + tg.Scenario + "/" + tg.Peer)
+	}
+	eng := concolic.NewEngine(handler, engOpts)
+	if err := sc.Declare(eng, seed); err != nil {
+		return nil, err
+	}
+	return &TargetPrep{Target: tg, Scenario: sc, Seed: seed, Engine: eng, Checkpoint: ckpt, Sink: sink}, nil
+}
+
+// Analyze runs the scenario's oracles over a finished exploration and
+// returns the target's Result — the shared tail of the per-target
+// pipeline (boundary plumbed to the routeleak oracle, checkpoint-time
+// state as the comparison baseline, witness validation inside).
+func (p *TargetPrep) Analyze(live *router.Router, engOpts concolic.Options, boundary uint32, rep *concolic.Report) *Result {
+	r := &Result{
+		Scenario:         p.Scenario.Name(),
+		Report:           rep,
+		CapturedMessages: p.Sink.Count(),
+	}
+	d := New(live, Options{Engine: engOpts, LeakBoundaryCommunity: boundary})
+	p.Scenario.Analyze(d, &Round{Peer: p.Target.Peer, Seed: p.Seed, Engine: p.Engine, Checkpoint: p.Checkpoint}, r)
+	return r
+}
+
+// WitnessUpdates materializes the analyzed result's validated findings
+// as concrete announcements, in finding order (nil when the scenario is
+// not federated). Deduplication is round-level and stays with the
+// caller (WitnessKey).
+func (p *TargetPrep) WitnessUpdates(r *Result) []*bgp.Update {
+	ws, ok := p.Scenario.(FederatedScenario)
+	if !ok {
+		return nil
+	}
+	var out []*bgp.Update
+	for _, f := range r.Findings {
+		if !f.Validated {
+			continue
+		}
+		u := ws.WitnessUpdate(p.Seed, f)
+		if u == nil || len(u.NLRI) == 0 {
+			continue
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// WitnessKey identifies a concrete witness for per-round deduplication:
+// the explored (node, peer) edge plus the announcement's leading prefix
+// and community set. The in-process backend and the distributed
+// coordinator (internal/dist) must dedup identically — both key through
+// here.
+func WitnessKey(node, peer string, u *bgp.Update) string {
+	return fmt.Sprintf("%s|%s|%s|%v", node, peer, u.NLRI[0], u.Attrs.Communities)
 }
 
 // Round runs one federated exploration round: per-node concolic
@@ -186,52 +296,38 @@ func (fe *FederatedExperiment) Round() (*FederatedResult, error) {
 	res := &FederatedResult{}
 
 	// Phase 1: prepare one engine per target — checkpoint clone of the
-	// live node, scenario seed and symbolic declaration.
+	// live node, scenario seed and symbolic declaration (PrepareTarget,
+	// shared with the distributed agent).
 	type prep struct {
-		tg   fedTarget
-		sc   Scenario
-		seed any
-		eng  *concolic.Engine
-		ckpt *router.Router
-		sink *netsim.CaptureSink
+		*TargetPrep
+		slot int // index into res.Targets (Targets keep resolution order)
 	}
 	var preps []*prep
 	var members []concolic.FleetMember
-	for _, tg := range fe.targets() {
-		sc, ok := LookupScenario(tg.scenario)
+	for _, tg := range fe.Topo.ResolveTargets(fe.opts.DefaultScenario) {
+		live, ok := fe.Fabric.Routers[tg.Node]
 		if !ok {
-			return nil, fmt.Errorf("federated: unknown scenario %q (registered: %v)", tg.scenario, ScenarioNames())
+			return nil, fmt.Errorf("federated: unknown node %q", tg.Node)
 		}
-		live, ok := fe.Fabric.Routers[tg.node]
-		if !ok {
-			return nil, fmt.Errorf("federated: unknown node %q", tg.node)
-		}
-		seed, err := sc.Seed(live, tg.peer)
+		// Targets report in resolution order whether they run or skip —
+		// the distributed coordinator keeps the same order, so the two
+		// backends' result lists zip index by index.
+		slot := len(res.Targets)
+		res.Targets = append(res.Targets, FederatedTargetResult{
+			Node: tg.Node, Peer: tg.Peer, Scenario: tg.Scenario,
+		})
+		tp, err := PrepareTarget(live, tg, fe.opts.Engine, fe.states, fe.opts.ReuseState)
 		if err != nil {
-			if tg.explicit {
-				return nil, fmt.Errorf("federated: %s/%s: %w", tg.node, tg.peer, err)
+			var seedErr *SeedUnavailableError
+			if errors.As(err, &seedErr) && !tg.Explicit {
+				// Defaulted target with nothing observed yet: skip, visibly.
+				res.Targets[slot].Err = seedErr.Err
+				continue
 			}
-			// Defaulted target with nothing observed yet: skip, visibly.
-			res.Targets = append(res.Targets, FederatedTargetResult{
-				Node: tg.node, Peer: tg.peer, Scenario: tg.scenario, Err: err,
-			})
-			continue
+			return nil, fmt.Errorf("federated: %s/%s: %w", tg.Node, tg.Peer, err)
 		}
-		sink := netsim.NewCaptureSink()
-		ckpt := live.Clone(sink)
-		handler := func(rc *concolic.RunContext) any {
-			return sc.Execute(rc, ckpt.CloneCOW(sink), tg.peer, seed)
-		}
-		engOpts := fe.opts.Engine
-		if fe.opts.ReuseState {
-			engOpts.State = fe.states.For(tg.node + "/" + tg.scenario + "/" + tg.peer)
-		}
-		eng := concolic.NewEngine(handler, engOpts)
-		if err := sc.Declare(eng, seed); err != nil {
-			return nil, fmt.Errorf("federated: %s/%s: %w", tg.node, tg.peer, err)
-		}
-		preps = append(preps, &prep{tg: tg, sc: sc, seed: seed, eng: eng, ckpt: ckpt, sink: sink})
-		members = append(members, concolic.FleetMember{ID: tg.node, Engine: eng})
+		preps = append(preps, &prep{TargetPrep: tp, slot: slot})
+		members = append(members, concolic.FleetMember{ID: tg.Node, Engine: tp.Engine})
 	}
 
 	// Phase 2: one frontier shard per node, one shared worker pool.
@@ -246,38 +342,16 @@ func (fe *FederatedExperiment) Round() (*FederatedResult, error) {
 	var witnesses []witness
 	seenWitness := map[string]bool{}
 	for i, pr := range preps {
-		r := &Result{
-			Scenario:         pr.sc.Name(),
-			Report:           reports[i],
-			CapturedMessages: pr.sink.Count(),
-		}
-		d := New(fe.Fabric.Routers[pr.tg.node], Options{
-			Engine:                fe.opts.Engine,
-			LeakBoundaryCommunity: fe.boundary,
-		})
-		pr.sc.Analyze(d, &Round{Peer: pr.tg.peer, Seed: pr.seed, Engine: pr.eng, Checkpoint: pr.ckpt}, r)
-		res.Targets = append(res.Targets, FederatedTargetResult{
-			Node: pr.tg.node, Peer: pr.tg.peer, Scenario: pr.tg.scenario, Result: r,
-		})
-
-		ws, ok := pr.sc.(FederatedScenario)
-		if !ok {
-			continue
-		}
-		for _, f := range r.Findings {
-			if !f.Validated {
-				continue
-			}
-			u := ws.WitnessUpdate(pr.seed, f)
-			if u == nil || len(u.NLRI) == 0 {
-				continue
-			}
-			key := fmt.Sprintf("%s|%s|%s|%v", pr.tg.node, pr.tg.peer, u.NLRI[0], u.Attrs.Communities)
+		tg := pr.Target
+		r := pr.Analyze(fe.Fabric.Routers[tg.Node], fe.opts.Engine, fe.boundary, reports[i])
+		res.Targets[pr.slot].Result = r
+		for _, u := range pr.WitnessUpdates(r) {
+			key := WitnessKey(tg.Node, tg.Peer, u)
 			if seenWitness[key] {
 				continue
 			}
 			seenWitness[key] = true
-			witnesses = append(witnesses, witness{node: pr.tg.node, peer: pr.tg.peer, update: u})
+			witnesses = append(witnesses, witness{node: tg.Node, peer: tg.Peer, update: u})
 		}
 	}
 

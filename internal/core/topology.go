@@ -417,16 +417,21 @@ func (t *Topology) connectEdges(net *netsim.Network) error {
 	return nil
 }
 
-// Shadow builds an isolated deep copy of the fabric: every router cloned
-// (sessions established, tables copied) onto a fresh virtual network with
-// the same links. Concrete witness messages propagate over the shadow
-// exactly as they would over the live fabric, without perturbing it —
-// the federated analogue of exploring on checkpoint clones.
+// Shadow builds an isolated copy of the fabric: every router cloned
+// (sessions established, tables shared copy-on-write through
+// rib.Overlay) onto a fresh virtual network with the same links.
+// Concrete witness messages propagate over the shadow exactly as they
+// would over the live fabric, without perturbing it — the federated
+// analogue of exploring on checkpoint clones. Creation is O(peers) per
+// node instead of O(table): a witness only dirties the prefixes it
+// touches, so at full-table scale a shadow costs what fork()'s COW
+// would. The live fabric must stay quiescent while shadows are alive
+// (it does: nothing runs the live network during witness propagation).
 func (f *Fabric) Shadow() (*Fabric, error) {
 	net := netsim.New(f.Net.Now())
 	s := &Fabric{Topo: f.Topo, Net: net, Routers: make(map[string]*router.Router, len(f.Routers))}
 	for _, n := range f.Topo.Nodes {
-		clone := f.Routers[n.Name].Clone(net)
+		clone := f.Routers[n.Name].CloneCOW(net)
 		if err := net.AddNode(n.Name, clone); err != nil {
 			return nil, err
 		}
@@ -455,19 +460,31 @@ func (f *Fabric) NodeNames() []string {
 // a leak-prone multi-clause filter (the §4.2 misconfiguration class: a
 // too-wide second accept), exporting everything (the missing NO_EXPORT
 // check the routeleak oracle flags).
-func builtinNodeConfig(i int, peers []int) TopoNode {
+func builtinNodeConfig(i int, peers []int, extraNets int) TopoNode {
 	name := builtinNodeName(i)
 	cfg := []string{
 		fmt.Sprintf("router id 10.0.0.%d;", i+1),
 		fmt.Sprintf("local as %d;", 65001+i),
 		fmt.Sprintf("network 10.%d.0.0/16;", 16+i),
+	}
+	// Extra originated /24s bulk up every node's table (the dense
+	// full-table-ish benchmark shape); they stay inside the node's own
+	// /16 so the peer_in filter admits them everywhere. A /16 holds 256
+	// distinct /24s — more would silently duplicate, so clamp.
+	if extraNets > 256 {
+		extraNets = 256
+	}
+	for k := 0; k < extraNets; k++ {
+		cfg = append(cfg, fmt.Sprintf("network 10.%d.%d.0/24;", 16+i, k))
+	}
+	cfg = append(cfg,
 		"filter peer_in {",
 		"    if bgp_path.len > 12 then reject;",
 		"    if net ~ 10.16.0.0/12 then accept;",
 		"    if net ~ 10.0.0.0/8{24,32} then accept;",
 		"    reject;",
 		"}",
-	}
+	)
 	for _, j := range peers {
 		cfg = append(cfg, fmt.Sprintf("peer %s { remote 10.0.0.%d as %d; import filter peer_in; }",
 			builtinNodeName(j), j+1, 65001+j))
@@ -479,8 +496,19 @@ func builtinNodeName(i int) string { return fmt.Sprintf("as%d", 65001+i) }
 
 // LineTopology generates an n-node chain (as65001 — as65002 — ...): the
 // BenchmarkFederatedRound baseline shape.
-func LineTopology(n int) *Topology {
-	t := &Topology{Name: fmt.Sprintf("line-%d", n)}
+func LineTopology(n int) *Topology { return DenseLineTopology(n, 0) }
+
+// DenseLineTopology generates an n-node chain whose nodes each
+// originate extraNets additional /24 networks (clamped to the 256 a
+// node's /16 can hold). With non-trivial tables the per-witness
+// Fabric.Shadow cost dominates a federated round — the shape the
+// COW-sharing work is measured against.
+func DenseLineTopology(n, extraNets int) *Topology {
+	name := fmt.Sprintf("line-%d", n)
+	if extraNets > 0 {
+		name = fmt.Sprintf("line-%d-dense-%d", n, extraNets)
+	}
+	t := &Topology{Name: name}
 	for i := 0; i < n; i++ {
 		var peers []int
 		if i > 0 {
@@ -489,7 +517,7 @@ func LineTopology(n int) *Topology {
 		if i < n-1 {
 			peers = append(peers, i+1)
 		}
-		t.Nodes = append(t.Nodes, builtinNodeConfig(i, peers))
+		t.Nodes = append(t.Nodes, builtinNodeConfig(i, peers, extraNets))
 	}
 	for i := 0; i+1 < n; i++ {
 		t.Edges = append(t.Edges, TopoEdge{A: builtinNodeName(i), B: builtinNodeName(i + 1)})
@@ -508,7 +536,7 @@ func MeshTopology(n int) *Topology {
 				peers = append(peers, j)
 			}
 		}
-		t.Nodes = append(t.Nodes, builtinNodeConfig(i, peers))
+		t.Nodes = append(t.Nodes, builtinNodeConfig(i, peers, 0))
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {

@@ -1,0 +1,392 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dice/internal/bgp"
+	"dice/internal/checkpoint"
+	"dice/internal/concolic"
+	"dice/internal/core"
+	"dice/internal/netaddr"
+	"dice/internal/netsim"
+	"dice/internal/rib"
+	"dice/internal/router"
+)
+
+// Agent administers one node of a federated topology and serves the
+// wire protocol for it. It instantiates the topology locally — netsim
+// convergence is deterministic, so every agent of the same topology file
+// arrives at an identical converged fabric — but exposes only its own
+// node over the wire: exploration runs on its node's checkpoint clones,
+// witness messages are delivered to its node's shadow clones, and oracle
+// queries answer facts about its node alone. The other nodes' state
+// never crosses the RPC boundary; the coordinator composes the
+// cross-node picture purely from the narrow per-node answers.
+type Agent struct {
+	topo     *core.Topology
+	node     string
+	fabric   *core.Fabric
+	self     *router.Router
+	boundary uint32
+
+	states *concolic.StateMap // per-(scenario, peer) warm exploration state
+	store  *checkpoint.Store  // page-deduplicating snapshot store
+
+	// reqMu serializes request handling across connections: routers and
+	// shadow clones are not thread-safe, and one request at a time is
+	// all the coordinator ever issues per agent anyway (its parallelism
+	// is across agents, not within one).
+	reqMu sync.Mutex
+
+	mu       sync.Mutex
+	shadows  map[uint64]*shadowClone
+	nextID   uint64
+	lastSnap *checkpoint.Snapshot
+}
+
+// shadowClone is one witness-propagation clone of the agent's node: a
+// COW copy whose outbound traffic lands in a capture sink the agent
+// drains back to the coordinator per delivery. routeIDs tokenizes the
+// *rib.Route pointers returned by oracle queries, so the coordinator's
+// pre/post comparisons carry the in-process backend's exact
+// pointer-identity semantics across the wire (a byte-identical
+// reinstall still changes the token, exactly as it changes the
+// pointer).
+type shadowClone struct {
+	r    *router.Router
+	sink *netsim.CaptureSink
+	read int // sink messages already returned
+
+	routeIDs  map[*rib.Route]uint64
+	nextRoute uint64
+}
+
+// routeToken returns the shadow-scoped stable token for a route object.
+func (sh *shadowClone) routeToken(rt *rib.Route) uint64 {
+	id, ok := sh.routeIDs[rt]
+	if !ok {
+		sh.nextRoute++
+		id = sh.nextRoute
+		sh.routeIDs[rt] = id
+	}
+	return id
+}
+
+// NewAgent builds the agent's local fabric and takes ownership of node.
+func NewAgent(topo *core.Topology, node string) (*Agent, error) {
+	boundary, err := topo.BoundaryCommunity()
+	if err != nil {
+		return nil, err
+	}
+	fabric, err := topo.Build()
+	if err != nil {
+		return nil, err
+	}
+	self, ok := fabric.Routers[node]
+	if !ok {
+		return nil, fmt.Errorf("dist: topology %q has no node %q (nodes: %v)", topo.Name, node, fabric.NodeNames())
+	}
+	return &Agent{
+		topo:     topo,
+		node:     node,
+		fabric:   fabric,
+		self:     self,
+		boundary: boundary,
+		states:   concolic.NewStateMap(),
+		store:    checkpoint.NewStore(0),
+		shadows:  make(map[uint64]*shadowClone),
+	}, nil
+}
+
+// Node returns the node this agent administers.
+func (a *Agent) Node() string { return a.node }
+
+// ServeConn answers requests on one connection until it closes. Each
+// connection is served sequentially, and requests from concurrent
+// connections serialize on the agent (reqMu) — the node's routers and
+// shadow clones are single-threaded state.
+func (a *Agent) ServeConn(conn io.ReadWriteCloser) error {
+	defer conn.Close()
+	for {
+		var req request
+		if err := readFrame(conn, &req); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		resp := response{ID: req.ID}
+		result, err := a.handle(req.Method, req.Params)
+		if err != nil {
+			resp.Error = err.Error()
+		} else if result != nil {
+			body, err := json.Marshal(result)
+			if err != nil {
+				resp.Error = fmt.Sprintf("dist: encode %s result: %v", req.Method, err)
+			} else {
+				resp.Result = body
+			}
+		}
+		if err := writeFrame(conn, resp); err != nil {
+			return err
+		}
+	}
+}
+
+// ListenAndServe accepts connections until the listener closes.
+func (a *Agent) ListenAndServe(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go a.ServeConn(conn) //nolint:errcheck // per-conn errors end that conn only
+	}
+}
+
+// handle dispatches one request, one at a time per agent.
+func (a *Agent) handle(method string, params json.RawMessage) (any, error) {
+	a.reqMu.Lock()
+	defer a.reqMu.Unlock()
+	switch method {
+	case MethodHello:
+		return a.hello(), nil
+	case MethodCheckpoint:
+		return a.checkpoint()
+	case MethodExplore:
+		var p ExploreParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		return a.explore(p)
+	case MethodShadowOpen:
+		return a.shadowOpen(), nil
+	case MethodInjectWitness:
+		var p InjectParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		return a.inject(p)
+	case MethodShadowClose:
+		var p ShadowCloseParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		a.shadowClose(p.ShadowID)
+		return struct{}{}, nil
+	case MethodQueryOracle:
+		var p QueryOracleParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		return a.queryOracle(p)
+	}
+	return nil, fmt.Errorf("dist: unknown method %q", method)
+}
+
+func (a *Agent) hello() HelloResult {
+	return HelloResult{
+		Node:     a.node,
+		Topology: a.topo.Name,
+		AS:       a.self.Config().LocalAS,
+		Prefixes: a.self.RIB().Prefixes(),
+	}
+}
+
+// checkpoint serializes the node's state into the page store and returns
+// the bytes. Successive checkpoints share unchanged pages; only the
+// latest snapshot is retained.
+func (a *Agent) checkpoint() (*CheckpointResult, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	before := a.store.Stats()
+	snap := a.store.TakeChunks(fmt.Sprintf("%s-ckpt", a.node), a.self.EncodeStateChunks())
+	after := a.store.Stats()
+	if a.lastSnap != nil {
+		a.lastSnap.Release()
+	}
+	a.lastSnap = snap
+	ingested := int(after.Ingested - before.Ingested)
+	shared := int(after.SharedHits - before.SharedHits)
+	return &CheckpointResult{
+		State:       snap.Bytes(),
+		Pages:       snap.Pages(),
+		UniquePages: ingested - shared,
+	}, nil
+}
+
+// explore runs one concolic exploration round on the agent's node
+// through the same per-target pipeline the in-process federated
+// backend uses (core.PrepareTarget / Analyze / WitnessUpdates — the
+// parity contract lives there), exploring the engine solo instead of
+// as a fleet member.
+func (a *Agent) explore(p ExploreParams) (*ExploreResult, error) {
+	strat, err := parseStrategy(p.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	engOpts := concolic.Options{
+		Strategy:    strat,
+		MaxRuns:     p.MaxRuns,
+		MaxDepth:    p.MaxDepth,
+		Workers:     p.Workers,
+		SolverNodes: p.SolverNodes,
+		TimeBudget:  time.Duration(p.TimeBudgetNS),
+	}
+	tg := core.ResolvedTarget{Node: a.node, Peer: p.Peer, Scenario: p.Scenario, Explicit: p.Explicit}
+	tp, err := core.PrepareTarget(a.self, tg, engOpts, a.states, p.ReuseState)
+	if err != nil {
+		var seedErr *core.SeedUnavailableError
+		if errors.As(err, &seedErr) && !p.Explicit {
+			return &ExploreResult{Skipped: seedErr.Err.Error(), Scenario: p.Scenario}, nil
+		}
+		return nil, fmt.Errorf("dist: %s/%s: %w", a.node, p.Peer, err)
+	}
+	rep := tp.Engine.Explore()
+	r := tp.Analyze(a.self, engOpts, a.boundary, rep)
+
+	out := &ExploreResult{
+		Scenario:          r.Scenario,
+		Runs:              rep.Runs,
+		NewPaths:          len(rep.Paths),
+		BranchesSeen:      rep.BranchesSeen,
+		SolverCalls:       rep.SolverCalls,
+		SolverSat:         rep.SolverSat,
+		SolverUnsat:       rep.SolverUnsat,
+		CacheHits:         rep.CacheHits,
+		SkippedPaths:      rep.SkippedPaths,
+		SkippedNegations:  rep.SkippedNegations,
+		ElapsedNS:         rep.Elapsed.Nanoseconds(),
+		CapturedMessages:  r.CapturedMessages,
+		WitnessesRejected: r.WitnessesRejected,
+	}
+	for _, f := range r.Findings {
+		wf := WireFinding{
+			Kind:      f.Kind,
+			Peer:      f.Peer,
+			Prefix:    f.Prefix.String(),
+			LeakRange: f.LeakRange,
+			OriginAS:  f.OriginAS,
+			VictimAS:  f.VictimAS,
+			Seq:       f.Seq,
+			Validated: f.Validated,
+			SpreadTo:  f.SpreadTo,
+			Input:     f.Input,
+			Rendered:  f.String(),
+		}
+		if f.VictimPrefix != (netaddr.Prefix{}) {
+			wf.VictimPrefix = f.VictimPrefix.String()
+		}
+		out.Findings = append(out.Findings, wf)
+	}
+	for _, u := range tp.WitnessUpdates(r) {
+		wire, err := bgp.Encode(u)
+		if err != nil {
+			return nil, fmt.Errorf("dist: encode witness for %s: %w", u.NLRI[0], err)
+		}
+		out.Witnesses = append(out.Witnesses, wire)
+	}
+	return out, nil
+}
+
+// shadowOpen clones the node for witness propagation. The clone is COW
+// (O(peers) creation) and its traffic lands in a private capture sink.
+func (a *Agent) shadowOpen() *ShadowOpenResult {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.nextID++
+	sink := netsim.NewCaptureSink()
+	a.shadows[a.nextID] = &shadowClone{
+		r:        a.self.CloneCOW(sink),
+		sink:     sink,
+		routeIDs: make(map[*rib.Route]uint64),
+	}
+	return &ShadowOpenResult{ShadowID: a.nextID}
+}
+
+func (a *Agent) shadow(id uint64) (*shadowClone, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sh, ok := a.shadows[id]
+	if !ok {
+		return nil, fmt.Errorf("dist: %s has no shadow %d", a.node, id)
+	}
+	return sh, nil
+}
+
+func (a *Agent) shadowClose(id uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.shadows, id)
+}
+
+// inject delivers one BGP message into a shadow clone as if sent by the
+// named peer, and returns the messages the node emitted in response —
+// the coordinator relays them onward, replacing netsim as the
+// inter-domain scheduler.
+func (a *Agent) inject(p InjectParams) (*InjectResult, error) {
+	sh, err := a.shadow(p.ShadowID)
+	if err != nil {
+		return nil, err
+	}
+	if a.self.Session(p.From) == nil {
+		return nil, fmt.Errorf("dist: %s has no peer %q", a.node, p.From)
+	}
+	sh.r.Deliver(a.fabric.Net.Now(), p.From, p.Msg)
+	msgs := sh.sink.Messages()
+	out := &InjectResult{}
+	for _, m := range msgs[sh.read:] {
+		out.Emitted = append(out.Emitted, WireEmission{To: m.To, Msg: m.Data})
+	}
+	sh.read = len(msgs)
+	return out, nil
+}
+
+// queryOracle answers the narrow cross-domain route questions about one
+// prefix in one shadow: exact-best presence with its shadow-scoped
+// route token (pointer identity over the wire — see shadowClone), and
+// the covering route's forwarding facts.
+func (a *Agent) queryOracle(p QueryOracleParams) (*QueryOracleResult, error) {
+	prefix, err := netaddr.ParsePrefix(p.Prefix)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := a.shadow(p.ShadowID)
+	if err != nil {
+		return nil, err
+	}
+	r := sh.r
+	out := &QueryOracleResult{}
+	if best := r.RIB().Best(prefix); best != nil {
+		out.HasBest = true
+		out.BestFP = fmt.Sprintf("r%d", sh.routeToken(best))
+	}
+	if cov := r.RIB().CoveringBest(prefix); cov != nil {
+		out.HasCovering = true
+		out.CoveringLocal = cov.Local
+		if !cov.Local {
+			out.CoveringNextPeer = r.PeerNameByAddr(cov.PeerRouterID)
+		}
+	}
+	return out, nil
+}
+
+// parseStrategy maps the wire strategy name back to the engine constant
+// ("" selects the generational default).
+func parseStrategy(s string) (concolic.Strategy, error) {
+	switch s {
+	case "", "generational":
+		return concolic.Generational, nil
+	case "dfs":
+		return concolic.DFS, nil
+	case "bfs":
+		return concolic.BFS, nil
+	}
+	return 0, fmt.Errorf("dist: unknown strategy %q", s)
+}

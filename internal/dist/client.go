@@ -1,0 +1,60 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Client speaks the wire protocol to one agent. Calls are serialized:
+// one request is in flight per connection at a time, which is all the
+// coordinator needs (parallelism comes from one connection per agent).
+type Client struct {
+	mu   sync.Mutex
+	conn io.ReadWriteCloser
+	next uint64
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn io.ReadWriteCloser) *Client {
+	return &Client{conn: conn}
+}
+
+// Call invokes method with params, decoding the response into result
+// (which may be nil when the caller only cares about success).
+func (c *Client) Call(method string, params, result any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	req := request{ID: c.next, Method: method}
+	if params != nil {
+		body, err := json.Marshal(params)
+		if err != nil {
+			return fmt.Errorf("dist: encode %s params: %w", method, err)
+		}
+		req.Params = body
+	}
+	if err := writeFrame(c.conn, req); err != nil {
+		return fmt.Errorf("dist: send %s: %w", method, err)
+	}
+	var resp response
+	if err := readFrame(c.conn, &resp); err != nil {
+		return fmt.Errorf("dist: recv %s: %w", method, err)
+	}
+	if resp.ID != req.ID {
+		return fmt.Errorf("dist: %s response id %d, want %d", method, resp.ID, req.ID)
+	}
+	if resp.Error != "" {
+		return fmt.Errorf("dist: %s: %s", method, resp.Error)
+	}
+	if result != nil && resp.Result != nil {
+		if err := json.Unmarshal(resp.Result, result); err != nil {
+			return fmt.Errorf("dist: decode %s result: %w", method, err)
+		}
+	}
+	return nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,557 @@
+package dist
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dice/internal/bgp"
+	"dice/internal/core"
+	"dice/internal/netaddr"
+)
+
+// Coordinator drives federated exploration rounds over node agents. It
+// is the distributed counterpart of core.FederatedExperiment: the same
+// target resolution, witness dedup/cap policy, propagation bounds and
+// cross-node oracles — but every per-node operation crosses the wire
+// protocol instead of touching a router in-process, and witness
+// propagation is relayed message by message between agents through a
+// latency-ordered event queue that mirrors netsim's delivery order.
+type Coordinator struct {
+	Topo *core.Topology
+
+	opts     core.FederatedOptions
+	clients  map[string]*Client
+	nodes    []string // sorted node names
+	latency  map[string]time.Duration
+	boundary uint32 // no-export community, resolved once at Connect
+}
+
+// TargetResult is one node's share of a distributed round.
+type TargetResult struct {
+	Node     string
+	Peer     string
+	Scenario string
+	// Skipped records a defaulted target with no observed seed (the
+	// distributed form of core.FederatedTargetResult.Err).
+	Skipped string
+	// Explore carries the agent's exploration stats.
+	Explore *ExploreResult
+	// Findings are the local oracle findings, reassembled from the wire.
+	Findings []core.Finding
+}
+
+// RoundResult is the outcome of one distributed federated round.
+// Violations reuse the in-process type, so the two backends' verdicts
+// compare directly (the parity test depends on this).
+type RoundResult struct {
+	Targets           []TargetResult
+	Violations        []core.FederatedViolation
+	WitnessesInjected int
+	WitnessesSkipped  int
+	PropagationSteps  int
+	Elapsed           time.Duration
+}
+
+// Connect dials one agent per dialer, identifies each, and checks the
+// set exactly covers the topology: every node independently
+// administered, none orphaned, none doubled.
+func Connect(topo *core.Topology, opts core.FederatedOptions, dialers []Dialer) (*Coordinator, error) {
+	if opts.DefaultScenario == "" {
+		opts.DefaultScenario = core.ScenarioRouteLeak
+	}
+	if opts.MaxPropagationSteps <= 0 {
+		opts.MaxPropagationSteps = 4096
+	}
+	if opts.MaxWitnesses <= 0 {
+		opts.MaxWitnesses = 16
+	}
+	if opts.Engine.State != nil {
+		return nil, fmt.Errorf("dist: Engine.State cannot be shared across nodes; set ReuseState for per-node agent state")
+	}
+	if opts.Engine.Cancel != nil || opts.Engine.SolverCache != nil {
+		// Process-local handles cannot cross the wire; refusing beats
+		// silently exploring unbounded/uncached on the agents.
+		return nil, fmt.Errorf("dist: Engine.Cancel and Engine.SolverCache are process-local and cannot be used distributed")
+	}
+	boundary, err := topo.BoundaryCommunity()
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		Topo:     topo,
+		opts:     opts,
+		clients:  make(map[string]*Client, len(dialers)),
+		latency:  make(map[string]time.Duration, len(topo.Edges)),
+		boundary: boundary,
+	}
+	for _, e := range topo.Edges {
+		lat := time.Duration(e.LatencyMS) * time.Millisecond
+		if lat == 0 {
+			lat = time.Millisecond // netsim's 0-means-1ms default
+		}
+		c.latency[edgeKey(e.A, e.B)] = lat
+	}
+	for _, d := range dialers {
+		conn, err := d.Dial()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		cl := NewClient(conn)
+		var hello HelloResult
+		if err := cl.Call(MethodHello, nil, &hello); err != nil {
+			cl.Close()
+			c.Close()
+			return nil, err
+		}
+		if hello.Topology != topo.Name {
+			cl.Close()
+			c.Close()
+			return nil, fmt.Errorf("dist: agent for %q administers topology %q, coordinator drives %q",
+				hello.Node, hello.Topology, topo.Name)
+		}
+		if _, dup := c.clients[hello.Node]; dup {
+			cl.Close()
+			c.Close()
+			return nil, fmt.Errorf("dist: two agents claim node %q", hello.Node)
+		}
+		c.clients[hello.Node] = cl
+	}
+	for _, n := range topo.Nodes {
+		if _, ok := c.clients[n.Name]; !ok {
+			c.Close()
+			return nil, fmt.Errorf("dist: no agent for node %q", n.Name)
+		}
+		c.nodes = append(c.nodes, n.Name)
+	}
+	sort.Strings(c.nodes)
+	return c, nil
+}
+
+// Close closes every agent connection.
+func (c *Coordinator) Close() error {
+	var first error
+	for _, cl := range c.clients {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func edgeKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// linkLatency returns the edge's latency, or ok=false when the two
+// nodes share no link (sends between them are dropped, like netsim's
+// unplugged cable).
+func (c *Coordinator) linkLatency(a, b string) (time.Duration, bool) {
+	lat, ok := c.latency[edgeKey(a, b)]
+	return lat, ok
+}
+
+// Round runs one distributed federated round: parallel per-agent
+// exploration, then cross-domain witness propagation and oracles.
+func (c *Coordinator) Round() (*RoundResult, error) {
+	start := time.Now()
+	res := &RoundResult{}
+
+	// Phase 1: fan Explore out to the owning agents, one goroutine per
+	// target (calls to the same agent serialize on its connection).
+	targets := c.Topo.ResolveTargets(c.opts.DefaultScenario)
+	outs := make([]*ExploreResult, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, tg := range targets {
+		cl, ok := c.clients[tg.Node]
+		if !ok {
+			return nil, fmt.Errorf("dist: no agent for node %q", tg.Node)
+		}
+		wg.Add(1)
+		go func(i int, tg core.ResolvedTarget) {
+			defer wg.Done()
+			params := ExploreParams{
+				Peer:         tg.Peer,
+				Scenario:     tg.Scenario,
+				Explicit:     tg.Explicit,
+				MaxRuns:      c.opts.Engine.MaxRuns,
+				MaxDepth:     c.opts.Engine.MaxDepth,
+				Workers:      c.opts.Workers,
+				SolverNodes:  c.opts.Engine.SolverNodes,
+				Strategy:     c.opts.Engine.Strategy.String(),
+				TimeBudgetNS: c.opts.Engine.TimeBudget.Nanoseconds(),
+				ReuseState:   c.opts.ReuseState,
+			}
+			var out ExploreResult
+			if err := cl.Call(MethodExplore, params, &out); err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i] = &out
+		}(i, tg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: collect results in target order; decode, dedup and cap
+	// the concrete witnesses exactly like the in-process backend.
+	type witness struct {
+		node, peer string
+		update     *bgp.Update
+	}
+	var witnesses []witness
+	seenWitness := map[string]bool{}
+	for i, tg := range targets {
+		out := outs[i]
+		tr := TargetResult{Node: tg.Node, Peer: tg.Peer, Scenario: tg.Scenario, Explore: out, Skipped: out.Skipped}
+		for _, wf := range out.Findings {
+			f, err := decodeFinding(wf)
+			if err != nil {
+				return nil, err
+			}
+			tr.Findings = append(tr.Findings, f)
+		}
+		res.Targets = append(res.Targets, tr)
+		for _, wireMsg := range out.Witnesses {
+			m, err := bgp.Decode(wireMsg)
+			if err != nil {
+				return nil, fmt.Errorf("dist: %s/%s witness: %w", tg.Node, tg.Peer, err)
+			}
+			u, ok := m.(*bgp.Update)
+			if !ok || len(u.NLRI) == 0 {
+				continue
+			}
+			key := core.WitnessKey(tg.Node, tg.Peer, u)
+			if seenWitness[key] {
+				continue
+			}
+			seenWitness[key] = true
+			witnesses = append(witnesses, witness{node: tg.Node, peer: tg.Peer, update: u})
+		}
+	}
+
+	for _, w := range witnesses {
+		if res.WitnessesInjected >= c.opts.MaxWitnesses {
+			res.WitnessesSkipped++
+			continue
+		}
+		res.WitnessesInjected++
+		if err := c.propagateWitness(res, w.node, w.peer, w.update); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// decodeFinding reassembles a core.Finding from its wire form.
+func decodeFinding(wf WireFinding) (core.Finding, error) {
+	prefix, err := netaddr.ParsePrefix(wf.Prefix)
+	if err != nil {
+		return core.Finding{}, fmt.Errorf("dist: finding prefix %q: %w", wf.Prefix, err)
+	}
+	f := core.Finding{
+		Kind:      wf.Kind,
+		Peer:      wf.Peer,
+		Prefix:    prefix,
+		LeakRange: wf.LeakRange,
+		OriginAS:  wf.OriginAS,
+		VictimAS:  wf.VictimAS,
+		Seq:       wf.Seq,
+		Validated: wf.Validated,
+		SpreadTo:  wf.SpreadTo,
+		Input:     wf.Input,
+	}
+	if wf.VictimPrefix != "" {
+		vp, err := netaddr.ParsePrefix(wf.VictimPrefix)
+		if err != nil {
+			return core.Finding{}, fmt.Errorf("dist: finding victim prefix %q: %w", wf.VictimPrefix, err)
+		}
+		f.VictimPrefix = vp
+	}
+	return f, nil
+}
+
+// relayEvent is one in-flight message between domains.
+type relayEvent struct {
+	at       time.Duration // virtual delivery time from injection
+	seq      uint64        // FIFO tiebreak, mirroring netsim
+	from, to string
+	msg      []byte
+}
+
+type relayQueue []*relayEvent
+
+func (q relayQueue) Len() int { return len(q) }
+func (q relayQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q relayQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *relayQueue) Push(x any)   { *q = append(*q, x.(*relayEvent)) }
+func (q *relayQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// shadowSet tracks one shadow clone per agent for a witness's lifetime.
+type shadowSet map[string]uint64
+
+// openShadows opens one shadow per node; closeShadows tears them down.
+func (c *Coordinator) openShadows() (shadowSet, error) {
+	shadows := make(shadowSet, len(c.nodes))
+	for _, n := range c.nodes {
+		var out ShadowOpenResult
+		if err := c.clients[n].Call(MethodShadowOpen, nil, &out); err != nil {
+			c.closeShadows(shadows)
+			return nil, err
+		}
+		shadows[n] = out.ShadowID
+	}
+	return shadows, nil
+}
+
+func (c *Coordinator) closeShadows(shadows shadowSet) {
+	for n, id := range shadows {
+		// Best-effort: a failed close leaks one clone on that agent, it
+		// does not invalidate the round.
+		_ = c.clients[n].Call(MethodShadowClose, ShadowCloseParams{ShadowID: id}, nil)
+	}
+}
+
+// query asks one node's oracle view of prefix in its shadow.
+func (c *Coordinator) query(shadows shadowSet, node string, prefix netaddr.Prefix) (*QueryOracleResult, error) {
+	var out QueryOracleResult
+	err := c.clients[node].Call(MethodQueryOracle,
+		QueryOracleParams{ShadowID: shadows[node], Prefix: prefix.String()}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// relay drives one message wave through the agents: deliveries pop in
+// (virtual-latency, FIFO) order, each delivery's emissions are enqueued
+// with their link latency, and the wave ends when the queue drains or
+// the step bound hits. It returns delivered count and queue backlog —
+// the distributed Run/Pending pair.
+func (c *Coordinator) relay(shadows shadowSet, queue *relayQueue, maxSteps int) (steps, pending int, err error) {
+	// Initial events carry seqs 1..Len (both callers enqueue exactly
+	// one); relayed emissions continue the sequence from there.
+	seq := uint64(queue.Len())
+	for queue.Len() > 0 && steps < maxSteps {
+		e := heap.Pop(queue).(*relayEvent)
+		var out InjectResult
+		err := c.clients[e.to].Call(MethodInjectWitness,
+			InjectParams{ShadowID: shadows[e.to], From: e.from, Msg: e.msg}, &out)
+		if err != nil {
+			return steps, queue.Len(), err
+		}
+		steps++
+		for _, em := range out.Emitted {
+			lat, linked := c.linkLatency(e.to, em.To)
+			if !linked {
+				continue // no link: dropped, like netsim's unplugged cable
+			}
+			seq++
+			heap.Push(queue, &relayEvent{at: e.at + lat, seq: seq, from: e.to, to: em.To, msg: em.Msg})
+		}
+	}
+	return steps, queue.Len(), nil
+}
+
+// propagateWitness is the distributed form of the in-process
+// propagateWitness: inject one concrete witness at the explored node as
+// if its peer sent it, relay the resulting message waves between the
+// agents' shadow clones, and run the cross-node oracles over the
+// converged state — then withdraw it and check the retraction cleans up.
+func (c *Coordinator) propagateWitness(res *RoundResult, node, peer string, w *bgp.Update) error {
+	lat, linked := c.linkLatency(peer, node)
+	if !linked {
+		return fmt.Errorf("dist: no %s→%s link for witness injection", peer, node)
+	}
+	prefix := w.NLRI[0]
+
+	shadows, err := c.openShadows()
+	if err != nil {
+		return err
+	}
+	defer c.closeShadows(shadows)
+
+	// Pre-injection best routes, for witness attribution. The explored
+	// node and the sending peer are excluded from every oracle below,
+	// so their pre-state is never consulted — don't pay the RPCs.
+	pre := make(map[string]*QueryOracleResult, len(c.nodes))
+	for _, n := range c.nodes {
+		if n == node || n == peer {
+			continue
+		}
+		q, err := c.query(shadows, n, prefix)
+		if err != nil {
+			return err
+		}
+		pre[n] = q
+	}
+
+	// UPDATE wave.
+	wire, err := bgp.Encode(w)
+	if err != nil {
+		return err
+	}
+	queue := &relayQueue{}
+	heap.Push(queue, &relayEvent{at: lat, seq: 1, from: peer, to: node, msg: wire})
+	steps, pending, err := c.relay(shadows, queue, c.opts.MaxPropagationSteps)
+	res.PropagationSteps += steps
+	if err != nil {
+		return err
+	}
+	if pending > 0 {
+		res.Violations = append(res.Violations, core.FederatedViolation{
+			Kind: "persistent-oscillation", Node: node, Source: node, Peer: peer, Prefix: prefix,
+			Detail: fmt.Sprintf("no convergence after %d propagation steps (%d deliveries still pending)",
+				c.opts.MaxPropagationSteps, pending),
+		})
+		return nil // oracle state below would be meaningless mid-churn
+	}
+
+	boundary := c.boundary
+	noExport := false
+	for _, cm := range w.Attrs.Communities {
+		if cm == boundary {
+			noExport = true
+		}
+	}
+
+	// Cross-node oracles over the converged shadows.
+	installed := make(map[string]string) // node → witness-attributed best FP
+	for _, name := range c.nodes {
+		if name == node || name == peer {
+			continue
+		}
+		q, err := c.query(shadows, name, prefix)
+		if err != nil {
+			return err
+		}
+		if !q.HasBest || (pre[name].HasBest && q.BestFP == pre[name].BestFP) {
+			continue // witness never took hold at this node
+		}
+		installed[name] = q.BestFP
+		terminal, hops, delivered, err := c.traceForward(shadows, name, prefix)
+		if err != nil {
+			return err
+		}
+		if noExport {
+			res.Violations = append(res.Violations, core.FederatedViolation{
+				Kind: "route-leak", Node: name, Source: node, Peer: peer, Prefix: prefix, Hops: hops,
+				Detail: fmt.Sprintf("advertisement carrying the no-export community (%d:%d) escaped AS boundary %s and was installed at %s",
+					boundary>>16, boundary&0xffff, node, name),
+			})
+		}
+		if !delivered && hops >= 2 {
+			res.Violations = append(res.Violations, core.FederatedViolation{
+				Kind: "multi-hop-blackhole", Node: name, Source: node, Peer: peer, Prefix: prefix, Hops: hops,
+				Detail: fmt.Sprintf("traffic from %s forward-traces %d hops and dead-ends at %s", name, hops, terminal),
+			})
+		}
+	}
+
+	// WITHDRAW wave: the retraction must clean the witness out of every
+	// node it reached.
+	wdWire, err := bgp.Encode(&bgp.Update{Withdrawn: []netaddr.Prefix{prefix}})
+	if err != nil {
+		return err
+	}
+	queue = &relayQueue{}
+	heap.Push(queue, &relayEvent{at: lat, seq: 1, from: peer, to: node, msg: wdWire})
+	steps, pending, err = c.relay(shadows, queue, c.opts.MaxPropagationSteps)
+	res.PropagationSteps += steps
+	if err != nil {
+		return err
+	}
+	if pending > 0 {
+		res.Violations = append(res.Violations, core.FederatedViolation{
+			Kind: "persistent-oscillation", Node: node, Source: node, Peer: peer, Prefix: prefix,
+			Detail: fmt.Sprintf("WITHDRAW did not converge within %d propagation steps (%d deliveries still pending)",
+				c.opts.MaxPropagationSteps, pending),
+		})
+		return nil
+	}
+	stale := []string{}
+	for name, fp := range installed {
+		q, err := c.query(shadows, name, prefix)
+		if err != nil {
+			return err
+		}
+		if q.HasBest && q.BestFP == fp {
+			stale = append(stale, name)
+		}
+	}
+	if len(stale) > 0 {
+		sort.Strings(stale)
+		res.Violations = append(res.Violations, core.FederatedViolation{
+			Kind: "stale-route", Node: stale[0], Source: node, Peer: peer, Prefix: prefix,
+			Detail: fmt.Sprintf("witness route survived its own WITHDRAW at %v", stale),
+		})
+	}
+	return nil
+}
+
+// traceForward walks best-route provenance for prefix hop by hop across
+// the agents' shadows — the distributed multi-hop blackhole core. Each
+// hop is one QueryOracle call; no node reveals more than its own
+// forwarding decision.
+func (c *Coordinator) traceForward(shadows shadowSet, from string, prefix netaddr.Prefix) (terminal string, hops int, delivered bool, err error) {
+	cur := from
+	visited := map[string]bool{}
+	for {
+		if visited[cur] {
+			return cur, hops, false, nil // forwarding loop
+		}
+		visited[cur] = true
+		if _, ok := c.clients[cur]; !ok {
+			return cur, hops, false, nil
+		}
+		q, err := c.query(shadows, cur, prefix)
+		if err != nil {
+			return cur, hops, false, err
+		}
+		if !q.HasCovering {
+			return cur, hops, false, nil // dead end: no covering route
+		}
+		if q.CoveringLocal {
+			return cur, hops, true, nil // delivered to the originating AS
+		}
+		if q.CoveringNextPeer == "" {
+			return cur, hops, false, nil
+		}
+		cur = q.CoveringNextPeer
+		hops++
+	}
+}
+
+// SkippedErr converts a TargetResult's Skipped reason into an error for
+// callers that want core.FederatedTargetResult-shaped reporting.
+func (t TargetResult) SkippedErr() error {
+	if t.Skipped == "" {
+		return nil
+	}
+	return errors.New(t.Skipped)
+}

@@ -1,0 +1,260 @@
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dice/internal/core"
+)
+
+// The wire protocol is a minimal length-prefixed JSON-RPC: each frame is
+// a 4-byte big-endian payload length followed by one JSON document. A
+// request names a method and carries its parameters; the response echoes
+// the request ID with either a result or an error string. One request is
+// in flight per connection at a time (the client serializes calls), so
+// the framing needs no interleaving rules.
+//
+// Binary payloads (serialized router state, BGP wire messages) ride
+// inside the JSON as base64 via encoding/json's []byte convention.
+
+// maxFrame bounds a single frame; a full-table router checkpoint is a
+// few MB, so 64 MiB leaves ample headroom while still catching a
+// corrupted length prefix before it turns into an OOM.
+const maxFrame = 64 << 20
+
+// request is one RPC call.
+type request struct {
+	ID     uint64          `json:"id"`
+	Method string          `json:"method"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// response answers one request.
+type response struct {
+	ID     uint64          `json:"id"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// writeFrame sends one length-prefixed JSON document.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("dist: frame of %d bytes exceeds the %d byte limit", len(body), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame receives one length-prefixed JSON document into v.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("dist: incoming frame of %d bytes exceeds the %d byte limit", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// --- Method names ------------------------------------------------------------
+
+const (
+	// MethodHello identifies the agent: which node it administers.
+	MethodHello = "hello"
+	// MethodCheckpoint snapshots the agent's node state (serialized,
+	// page-deduplicated) and returns the bytes — the §2.4 "checkpoint
+	// their state and process these messages in isolation" surface; the
+	// returned state round-trips through core.ExploreSnapshot.
+	MethodCheckpoint = "checkpoint"
+	// MethodExplore runs one concolic exploration round on the agent's
+	// node (checkpoint clone, scenario seed, per-node warm state) and
+	// returns findings plus materialized witness announcements.
+	MethodExplore = "explore"
+	// MethodShadowOpen clones the agent's node for witness propagation;
+	// MethodInjectWitness delivers one message into a shadow clone and
+	// returns what the node would emit in response; MethodShadowClose
+	// discards the clone.
+	MethodShadowOpen    = "shadow_open"
+	MethodInjectWitness = "inject_witness"
+	MethodShadowClose   = "shadow_close"
+	// MethodQueryOracle is the narrow cross-domain query interface: best
+	// and covering route facts about one prefix in one shadow, enough
+	// for the coordinator's cross-node oracles and forward tracing —
+	// and nothing more.
+	MethodQueryOracle = "query_oracle"
+)
+
+// --- Method payloads ---------------------------------------------------------
+
+// HelloResult describes the agent.
+type HelloResult struct {
+	// Node is the topology node this agent administers.
+	Node string `json:"node"`
+	// Topology echoes the agent's topology name, so a coordinator
+	// driving the wrong fabric fails fast instead of mis-propagating.
+	Topology string `json:"topology"`
+	AS       uint16 `json:"as"`
+	// Prefixes is the node's converged Loc-RIB size (a cheap liveness
+	// and convergence cross-check).
+	Prefixes int `json:"prefixes"`
+}
+
+// CheckpointResult is one serialized node snapshot.
+type CheckpointResult struct {
+	// State is the complete serialized node state
+	// (router.EncodeState format; router.DecodeState restores it).
+	State []byte `json:"state"`
+	// Pages/UniquePages account the snapshot in the agent's page store:
+	// pages it holds, and how many were new vs shared with earlier
+	// snapshots of this node (the fork-COW accounting of §4.1).
+	Pages       int `json:"pages"`
+	UniquePages int `json:"unique_pages"`
+}
+
+// ExploreParams asks the agent to run one exploration round.
+type ExploreParams struct {
+	// Peer and Scenario select the target; Explicit mirrors
+	// core.ResolvedTarget (an explicit target's seed failure is a round
+	// error; a defaulted one just reports Skipped).
+	Peer     string `json:"peer"`
+	Scenario string `json:"scenario"`
+	Explicit bool   `json:"explicit"`
+	// Engine knobs (the serializable subset of concolic.Options —
+	// Connect rejects the process-local rest: State, Cancel,
+	// SolverCache).
+	MaxRuns      int    `json:"max_runs,omitempty"`
+	MaxDepth     int    `json:"max_depth,omitempty"`
+	Workers      int    `json:"workers,omitempty"`
+	SolverNodes  int    `json:"solver_nodes,omitempty"`
+	Strategy     string `json:"strategy,omitempty"`
+	TimeBudgetNS int64  `json:"time_budget_ns,omitempty"`
+	// ReuseState keeps per-(node, scenario, peer) exploration state on
+	// the agent across rounds — warm rounds skip known paths without the
+	// state ever crossing the wire.
+	ReuseState bool `json:"reuse_state,omitempty"`
+}
+
+// WireFinding is one local oracle finding, flattened for the wire. It
+// carries every core.Finding field (prefixes as strings, the leak range
+// structurally), so distributed findings lose nothing the in-process
+// backend reports.
+type WireFinding struct {
+	Kind         string            `json:"kind"`
+	Peer         string            `json:"peer"`
+	Prefix       string            `json:"prefix"`
+	LeakRange    core.RangeDesc    `json:"leak_range,omitempty"`
+	OriginAS     uint16            `json:"origin_as,omitempty"`
+	VictimAS     uint16            `json:"victim_as,omitempty"`
+	VictimPrefix string            `json:"victim_prefix,omitempty"`
+	Seq          int               `json:"seq,omitempty"`
+	Validated    bool              `json:"validated"`
+	SpreadTo     []string          `json:"spread_to,omitempty"`
+	Input        map[string]uint64 `json:"input,omitempty"`
+	// Rendered is the finding's operator-facing String() — the agent
+	// formats it so the coordinator never needs the scenario's internals.
+	Rendered string `json:"rendered"`
+}
+
+// ExploreResult is the agent's share of a federated round.
+type ExploreResult struct {
+	// Skipped is set (with the reason) when a defaulted target had no
+	// observed seed; the coordinator reports it like the in-process
+	// backend reports a FederatedTargetResult.Err.
+	Skipped string `json:"skipped,omitempty"`
+
+	Scenario         string `json:"scenario"`
+	Runs             int    `json:"runs"`
+	NewPaths         int    `json:"new_paths"`
+	BranchesSeen     int    `json:"branches_seen"`
+	SolverCalls      int    `json:"solver_calls"`
+	SolverSat        int    `json:"solver_sat"`
+	SolverUnsat      int    `json:"solver_unsat"`
+	CacheHits        int    `json:"cache_hits"`
+	SkippedPaths     int    `json:"skipped_paths"`
+	SkippedNegations int    `json:"skipped_negations"`
+	ElapsedNS        int64  `json:"elapsed_ns"`
+
+	CapturedMessages  int           `json:"captured_messages"`
+	WitnessesRejected int           `json:"witnesses_rejected"`
+	Findings          []WireFinding `json:"findings,omitempty"`
+
+	// Witnesses are the validated findings' concrete announcements
+	// (BGP wire encoding), in finding order — what the coordinator
+	// propagates between domains.
+	Witnesses [][]byte `json:"witnesses,omitempty"`
+}
+
+// ShadowOpenResult names a fresh shadow clone.
+type ShadowOpenResult struct {
+	ShadowID uint64 `json:"shadow_id"`
+}
+
+// InjectParams delivers one BGP message into a shadow clone, as if sent
+// by the named peer. The initial witness injection and every relayed
+// propagation hop use the same method: an injection IS a delivery.
+type InjectParams struct {
+	ShadowID uint64 `json:"shadow_id"`
+	// From is the sending peer (must be a configured peer of the node).
+	From string `json:"from"`
+	// Msg is the BGP wire message (bgp.Encode framing).
+	Msg []byte `json:"msg"`
+}
+
+// WireEmission is one message the shadow node emitted in response.
+type WireEmission struct {
+	To  string `json:"to"`
+	Msg []byte `json:"msg"`
+}
+
+// InjectResult lists what the delivery caused the node to send.
+type InjectResult struct {
+	Emitted []WireEmission `json:"emitted,omitempty"`
+}
+
+// ShadowCloseParams discards a shadow clone.
+type ShadowCloseParams struct {
+	ShadowID uint64 `json:"shadow_id"`
+}
+
+// QueryOracleParams asks route facts about one prefix in one shadow.
+type QueryOracleParams struct {
+	ShadowID uint64 `json:"shadow_id"`
+	Prefix   string `json:"prefix"`
+}
+
+// QueryOracleResult is the narrow per-node oracle view: whether a best
+// route exists for the exact prefix (with a shadow-scoped identity
+// token so the coordinator can tell witness-installed routes from
+// pre-existing ones), and the covering best route's forwarding facts
+// for the trace oracle.
+type QueryOracleResult struct {
+	HasBest bool `json:"has_best"`
+	// BestFP is the shadow-scoped identity token of the exact-prefix
+	// best route object. Pre/post comparison carries the in-process
+	// backend's pointer-identity check across the wire: any
+	// re-installation — even of byte-identical content — yields a new
+	// token, exactly as it yields a new pointer.
+	BestFP string `json:"best_fp,omitempty"`
+	// Covering facts drive the forward trace: is traffic for the prefix
+	// routed at all, delivered locally, or handed to a neighbor?
+	HasCovering      bool   `json:"has_covering"`
+	CoveringLocal    bool   `json:"covering_local"`
+	CoveringNextPeer string `json:"covering_next_peer,omitempty"`
+}

@@ -27,6 +27,14 @@
 // over the dist wire protocol (see examples/distributed/README.md):
 //
 //	dice -topology topo.json -distributed 127.0.0.1:7411,127.0.0.1:7412,127.0.0.1:7413
+//
+// The regression harness replays a recorded trace through the topology,
+// minimizes every violating witness, and diffs the round's finding set
+// against a committed golden snapshot (non-zero exit on mismatch — see
+// examples/replay/README.md):
+//
+//	dice -topology topo.json -replay trace.mrtl -minimize -golden findings.golden
+//	dice -topology topo.json -minimize -golden findings.golden -update-golden
 package main
 
 import (
@@ -42,7 +50,9 @@ import (
 	"dice/internal/core"
 	"dice/internal/dist"
 	"dice/internal/filter"
+	"dice/internal/minimize"
 	"dice/internal/netaddr"
+	"dice/internal/regress"
 	"dice/internal/trace"
 )
 
@@ -68,6 +78,12 @@ func main() {
 		topologyFile  = flag.String("topology", "", "federated mode: JSON multi-AS topology file to explore instead of the Fig. 2 testbed")
 		propSteps     = flag.Int("propagation-steps", 0, "federated mode: max shadow propagation steps per witness (0 = 4096)")
 		distributed   = flag.String("distributed", "", "distributed mode: comma-separated dicenode agent addresses (requires -topology; one agent per node)")
+		replayFile    = flag.String("replay", "", "federated mode: replay this recorded trace into the fabric before rounds run (see -replay-ingress)")
+		replayIngress = flag.String("replay-ingress", "", "replay ingress as 'node<-peer' (default: the topology's first explore target)")
+		minimizeFlag  = flag.Bool("minimize", false, "federated mode: delta-debug every violating witness to a minimal still-failing announcement")
+		minimizeBudg  = flag.Int("minimize-budget", 0, "candidate re-injections per witness under -minimize (0 = 256)")
+		goldenFile    = flag.String("golden", "", "federated mode: diff the last round's finding snapshot against this golden file; exit non-zero on mismatch")
+		updateGolden  = flag.Bool("update-golden", false, "rewrite -golden from the last round instead of comparing")
 	)
 	flag.Parse()
 
@@ -89,8 +105,33 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *rounds < 1 {
+		log.Fatalf("-rounds %d: need at least one round", *rounds)
+	}
 	if *distributed != "" && *topologyFile == "" {
 		log.Fatal("-distributed requires -topology (the coordinator resolves targets and links from the topology file)")
+	}
+	if *topologyFile == "" {
+		for name, set := range map[string]bool{
+			"-replay":          *replayFile != "",
+			"-replay-ingress":  *replayIngress != "",
+			"-minimize":        *minimizeFlag,
+			"-minimize-budget": *minimizeBudg != 0,
+			"-golden":          *goldenFile != "",
+		} {
+			if set {
+				log.Fatalf("%s requires -topology (it is part of the federated regression harness)", name)
+			}
+		}
+	}
+	if *updateGolden && *goldenFile == "" {
+		log.Fatal("-update-golden requires -golden (the file to rewrite)")
+	}
+	if *replayIngress != "" && *replayFile == "" {
+		log.Fatal("-replay-ingress requires -replay (the trace to feed through that ingress)")
+	}
+	if *minimizeBudg != 0 && !*minimizeFlag {
+		log.Fatal("-minimize-budget requires -minimize (the loop it budgets)")
 	}
 	if *topologyFile != "" {
 		// The default scenario for targets that don't name one: what the
@@ -105,14 +146,28 @@ func main() {
 		if defaultScenario != "" && len(scenarios) > 1 {
 			log.Printf("federated mode uses one default scenario; taking %q (topology explore entries may still name others)", defaultScenario)
 		}
-		engOpts := concolic.Options{
-			MaxRuns:  *runs,
-			Strategy: strat,
+		run := fedRun{
+			topoPath:        *topologyFile,
+			defaultScenario: defaultScenario,
+			engOpts: concolic.Options{
+				MaxRuns:  *runs,
+				Strategy: strat,
+			},
+			workers:        *workers,
+			rounds:         *rounds,
+			propSteps:      *propSteps,
+			verbose:        *verbose,
+			minimize:       *minimizeFlag,
+			minimizeBudget: *minimizeBudg,
+			replayFile:     *replayFile,
+			replayIngress:  *replayIngress,
+			goldenFile:     *goldenFile,
+			updateGolden:   *updateGolden,
 		}
 		if *distributed != "" {
-			runDistributed(*topologyFile, *distributed, defaultScenario, engOpts, *workers, *rounds, *propSteps, *verbose)
+			runDistributed(run, *distributed)
 		} else {
-			runFederated(*topologyFile, defaultScenario, engOpts, *workers, *rounds, *propSteps, *verbose)
+			runFederated(run)
 		}
 		return
 	}
@@ -236,22 +291,114 @@ func parseStrategy(name string) (concolic.Strategy, error) {
 	return 0, fmt.Errorf("unknown -strategy %q", name)
 }
 
-// runFederated is the -topology mode: instantiate the multi-AS topology,
-// run federated rounds (per-node concolic exploration over a shared
-// worker pool, cross-node witness propagation, cross-node oracles) and
-// report both the per-node results and the cross-node violations.
-func runFederated(path, defaultScenario string, engOpts concolic.Options, workers, rounds, propSteps int, verbose bool) {
-	topo, err := core.LoadTopology(path)
+// fedRun carries the federated/distributed mode configuration: the
+// exploration knobs plus the regression-harness additions (trace
+// replay, witness minimization, golden-file comparison).
+type fedRun struct {
+	topoPath        string
+	defaultScenario string
+	engOpts         concolic.Options
+	workers         int
+	rounds          int
+	propSteps       int
+	verbose         bool
+	minimize        bool
+	minimizeBudget  int
+	replayFile      string
+	replayIngress   string
+	goldenFile      string
+	updateGolden    bool
+}
+
+func (r fedRun) options() core.FederatedOptions {
+	return core.FederatedOptions{
+		Engine:              r.engOpts,
+		Workers:             r.workers,
+		DefaultScenario:     r.defaultScenario,
+		MaxPropagationSteps: r.propSteps,
+		ReuseState:          r.rounds > 1,
+		Minimize:            r.minimize,
+		MinimizeBudget:      r.minimizeBudget,
+	}
+}
+
+// ingress resolves the -replay-ingress flag ("node<-peer") against the
+// topology, defaulting to the first resolved explore target — the
+// peering the recorded history is assumed captured on.
+func (r fedRun) ingress(topo *core.Topology) (node, peer string, err error) {
+	if r.replayIngress != "" {
+		parts := strings.SplitN(r.replayIngress, "<-", 2)
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			return "", "", fmt.Errorf("-replay-ingress %q: want 'node<-peer'", r.replayIngress)
+		}
+		return parts[0], parts[1], nil
+	}
+	targets := topo.ResolveTargets(r.defaultScenario)
+	if len(targets) == 0 {
+		return "", "", fmt.Errorf("-replay: topology has no explore targets to default the ingress from; use -replay-ingress")
+	}
+	return targets[0].Node, targets[0].Peer, nil
+}
+
+// readReplay loads the -replay trace file (nil when the flag is unset).
+func (r fedRun) readReplay() []trace.Record {
+	if r.replayFile == "" {
+		return nil
+	}
+	f, err := os.Open(r.replayFile)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fe, err := core.NewFederatedExperiment(topo, core.FederatedOptions{
-		Engine:              engOpts,
-		Workers:             workers,
-		DefaultScenario:     defaultScenario,
-		MaxPropagationSteps: propSteps,
-		ReuseState:          rounds > 1,
-	})
+	defer f.Close()
+	records, err := trace.Read(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return records
+}
+
+// checkGolden diffs the last round's canonical finding snapshot against
+// -golden (or rewrites it under -update-golden). A mismatch is fatal:
+// the harness exits non-zero naming the first divergent finding.
+func (r fedRun) checkGolden(snapshot []string) {
+	if r.goldenFile == "" {
+		return
+	}
+	if err := regress.Check(r.goldenFile, snapshot, r.updateGolden); err != nil {
+		log.Fatal(err)
+	}
+	if r.updateGolden {
+		fmt.Printf("\nwrote %s (%d lines)\n", r.goldenFile, len(snapshot))
+	} else {
+		fmt.Printf("\nfinding snapshot matches %s\n", r.goldenFile)
+	}
+}
+
+// printMinimization renders a target's witness-minimization outcome —
+// one copy shared by the in-process and distributed modes.
+func printMinimization(findings []core.Finding, st *minimize.Stats) {
+	for _, f := range findings {
+		if f.MinimalWitness != nil {
+			fmt.Printf("  minimal witness: %s\n", minimize.Render(f.MinimalWitness))
+		}
+	}
+	if st != nil {
+		fmt.Printf("minimization: %s\n", st)
+	}
+}
+
+// runFederated is the -topology mode: instantiate the multi-AS topology,
+// optionally replay a recorded trace into it, run federated rounds
+// (per-node concolic exploration over a shared worker pool, cross-node
+// witness propagation, cross-node oracles, optional witness
+// minimization) and report both the per-node results and the cross-node
+// violations; -golden then diffs the final round's finding snapshot.
+func runFederated(run fedRun) {
+	topo, err := core.LoadTopology(run.topoPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fe, err := core.NewFederatedExperiment(topo, run.options())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -263,38 +410,57 @@ func runFederated(path, defaultScenario string, engOpts concolic.Options, worker
 			name, r.Config().LocalAS, r.RIB().Prefixes())
 	}
 
+	if records := run.readReplay(); records != nil {
+		node, peer, err := run.ingress(topo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := fe.Replay(node, peer, records)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replayed %d trace record(s) into %s←%s (%s: %d prefixes after replay)\n",
+			n, node, peer, node, fe.Fabric.Routers[node].RIB().Prefixes())
+	}
+
 	confirmed := 0
-	for round := 1; round <= rounds; round++ {
-		if rounds > 1 {
-			fmt.Printf("\n======== federated round %d/%d ========\n", round, rounds)
+	var last *core.FederatedResult
+	for round := 1; round <= run.rounds; round++ {
+		if run.rounds > 1 {
+			fmt.Printf("\n======== federated round %d/%d ========\n", round, run.rounds)
 		}
 		res, err := fe.Round()
 		if err != nil {
 			log.Fatal(err)
 		}
+		last = res
 		for _, tr := range res.Targets {
 			label := fmt.Sprintf("%s←%s", tr.Node, tr.Peer)
 			if tr.Err != nil {
 				fmt.Printf("\n[%s] skipped: %v\n", label, tr.Err)
 				continue
 			}
-			printResult(label+" "+tr.Scenario, tr.Result, verbose)
+			printResult(label+" "+tr.Scenario, tr.Result, run.verbose)
+			printMinimization(tr.Result.Findings, tr.Result.Minimization)
 		}
 		confirmed += printCrossNodeSummary("cross-node propagation",
 			fmt.Sprintf("%d witness(es) injected into the shadow fabric, %d deliveries propagated",
 				res.WitnessesInjected, res.PropagationSteps),
 			res.WitnessesSkipped, res.Violations)
 	}
-	if rounds > 1 {
-		fmt.Printf("\n%d violation(s) confirmed across %d rounds\n", confirmed, rounds)
+	if run.rounds > 1 {
+		fmt.Printf("\n%d violation(s) confirmed across %d rounds\n", confirmed, run.rounds)
 	}
+	run.checkGolden(last.Snapshot())
 }
 
 // runDistributed is the -distributed mode: the same federated rounds as
 // runFederated, but each node lives in its own dicenode agent process
-// and every per-node operation crosses the dist wire protocol.
-func runDistributed(path, addrs, defaultScenario string, engOpts concolic.Options, workers, rounds, propSteps int, verbose bool) {
-	topo, err := core.LoadTopology(path)
+// and every per-node operation — including trace replay and the
+// candidate re-injections behind -minimize — crosses the dist wire
+// protocol.
+func runDistributed(run fedRun, addrs string) {
+	topo, err := core.LoadTopology(run.topoPath)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -306,13 +472,7 @@ func runDistributed(path, addrs, defaultScenario string, engOpts concolic.Option
 		}
 		dialers = append(dialers, dist.TCPDialer{Addr: addr})
 	}
-	coord, err := dist.Connect(topo, core.FederatedOptions{
-		Engine:              engOpts,
-		Workers:             workers,
-		DefaultScenario:     defaultScenario,
-		MaxPropagationSteps: propSteps,
-		ReuseState:          rounds > 1,
-	}, dialers)
+	coord, err := dist.Connect(topo, run.options(), dialers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -321,15 +481,33 @@ func runDistributed(path, addrs, defaultScenario string, engOpts concolic.Option
 	fmt.Printf("distributed topology %q: %d nodes across %d agents, %d edges\n",
 		topo.Name, len(topo.Nodes), len(dialers), len(topo.Edges))
 
+	if run.replayFile != "" {
+		node, peer, err := run.ingress(topo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		raw, err := os.ReadFile(run.replayFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := coord.Replay(node, peer, raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replayed %d trace record(s) into %s←%s on every agent\n", n, node, peer)
+	}
+
 	confirmed := 0
-	for round := 1; round <= rounds; round++ {
-		if rounds > 1 {
-			fmt.Printf("\n======== distributed round %d/%d ========\n", round, rounds)
+	var last *dist.RoundResult
+	for round := 1; round <= run.rounds; round++ {
+		if run.rounds > 1 {
+			fmt.Printf("\n======== distributed round %d/%d ========\n", round, run.rounds)
 		}
 		res, err := coord.Round()
 		if err != nil {
 			log.Fatal(err)
 		}
+		last = res
 		for _, tr := range res.Targets {
 			label := fmt.Sprintf("%s←%s", tr.Node, tr.Peer)
 			if tr.Skipped != "" {
@@ -344,22 +522,24 @@ func runDistributed(path, addrs, defaultScenario string, engOpts concolic.Option
 				fmt.Printf("%d finding(s):\n", len(ex.Findings))
 				for _, f := range ex.Findings {
 					fmt.Printf("  %s\n", f.Rendered)
-					if verbose {
+					if run.verbose {
 						// Per-path envs stay on the agent; the concrete
 						// witness assignment is what crosses the wire.
 						fmt.Printf("    witness input: %v\n", f.Input)
 					}
 				}
 			}
+			printMinimization(tr.Findings, tr.Minimization)
 		}
 		confirmed += printCrossNodeSummary("cross-domain propagation",
 			fmt.Sprintf("%d witness(es) relayed between agents, %d deliveries propagated",
 				res.WitnessesInjected, res.PropagationSteps),
 			res.WitnessesSkipped, res.Violations)
 	}
-	if rounds > 1 {
-		fmt.Printf("\n%d violation(s) confirmed across %d rounds\n", confirmed, rounds)
+	if run.rounds > 1 {
+		fmt.Printf("\n%d violation(s) confirmed across %d rounds\n", confirmed, run.rounds)
 	}
+	run.checkGolden(last.Snapshot())
 }
 
 // printCrossNodeSummary renders a round's witness-propagation summary

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	tracegen -out trace.mrtl -table 319355 -updates 15000 -minutes 15
+//
+// Small deterministic traces double as replay-harness fixtures (see
+// examples/replay/README.md): the committed examples/replay/trace.mrtl
+// was generated with
+//
+//	tracegen -out examples/replay/trace.mrtl -table 64 -updates 16 -minutes 1 -seed 7 -peer-as 64900
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"dice/internal/netaddr"
 	"dice/internal/trace"
 )
 
@@ -30,6 +37,8 @@ func main() {
 		minutes  = flag.Int("minutes", 15, "update trace duration in minutes")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		withdraw = flag.Float64("withdraw", 0.1, "withdraw fraction of updates")
+		peerAS   = flag.Uint("peer-as", 0, "first AS on every path (0 = generator default; match the replay ingress peer's AS)")
+		nextHop  = flag.String("nexthop", "", "next-hop on announcements (default: generator default)")
 	)
 	flag.Parse()
 
@@ -39,6 +48,19 @@ func main() {
 	cfg.Duration = time.Duration(*minutes) * time.Minute
 	cfg.Seed = *seed
 	cfg.WithdrawFraction = *withdraw
+	if *peerAS != 0 {
+		if *peerAS > 65535 {
+			log.Fatalf("-peer-as %d: 2-byte ASNs only (max 65535)", *peerAS)
+		}
+		cfg.PeerAS = uint16(*peerAS)
+	}
+	if *nextHop != "" {
+		a, err := netaddr.ParseAddr(*nextHop)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.NextHop = a
+	}
 
 	start := time.Now()
 	records := trace.Generate(cfg)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"dice/internal/concolic"
@@ -56,6 +57,39 @@ func TestBadGadgetOscillation(t *testing.T) {
 			osc++
 			if v.Node != "hub" || v.Peer != "stub" {
 				t.Errorf("oscillation attributed to %s/%s, want hub/stub: %s", v.Node, v.Peer, v)
+			}
+
+			// Per-wave delivery telemetry: genuine divergence shows a
+			// SUSTAINED tail — the final waves keep delivering at a
+			// steady clip right up to the bound. A decaying tail would
+			// mean the wheel was converging (slowly) when the bound hit,
+			// i.e. a tuned-down bound masquerading as divergence.
+			if v.Waves == 0 {
+				t.Errorf("oscillation carries no wave count: %s", v)
+			}
+			if len(v.WaveTail) != WaveTailLen {
+				t.Fatalf("wave tail has %d entries, want %d: %v", len(v.WaveTail), WaveTailLen, v.WaveTail)
+			}
+			for i, n := range v.WaveTail {
+				if n == 0 {
+					t.Errorf("wave tail entry %d is empty — deliveries decayed, system was converging: %v", i, v.WaveTail)
+				}
+			}
+			// The wheel's churn is periodic: the tail repeats one steady
+			// per-wave delivery count, it does not taper. The final wave
+			// may be truncated mid-flight by the step bound itself, so it
+			// only has to stay within the steady rate, not match it.
+			steady := v.WaveTail[0]
+			for _, n := range v.WaveTail[1 : len(v.WaveTail)-1] {
+				if n != steady {
+					t.Errorf("wave tail not steady-state: %v", v.WaveTail)
+				}
+			}
+			if last := v.WaveTail[len(v.WaveTail)-1]; last > steady {
+				t.Errorf("truncated final wave exceeds the steady rate: %v", v.WaveTail)
+			}
+			if !strings.Contains(v.Detail, "waves, tail deliveries") {
+				t.Errorf("oscillation detail does not surface the wave telemetry: %s", v.Detail)
 			}
 		}
 	}

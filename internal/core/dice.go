@@ -27,6 +27,7 @@ import (
 	"dice/internal/bgp"
 	"dice/internal/checkpoint"
 	"dice/internal/concolic"
+	"dice/internal/minimize"
 	"dice/internal/netsim"
 	"dice/internal/router"
 )
@@ -100,8 +101,12 @@ type Result struct {
 	// WitnessesRejected counts oracle findings whose witness failed
 	// validation by re-execution (dropped from Findings).
 	WitnessesRejected int
-	Memory            MemoryStats
-	Elapsed           time.Duration
+	// Minimization aggregates witness-minimization work over this
+	// target's findings (nil unless a federated round ran with
+	// FederatedOptions.Minimize and a witness triggered violations).
+	Minimization *minimize.Stats
+	Memory       MemoryStats
+	Elapsed      time.Duration
 }
 
 // DiCE drives exploration for one live router.

@@ -8,6 +8,7 @@ import (
 
 	"dice/internal/bgp"
 	"dice/internal/concolic"
+	"dice/internal/minimize"
 	"dice/internal/netaddr"
 	"dice/internal/netsim"
 	"dice/internal/rib"
@@ -59,6 +60,14 @@ type FederatedOptions struct {
 	// ReuseState keeps per-node cross-round exploration state, so
 	// repeated federated rounds are incremental per node.
 	ReuseState bool
+	// Minimize delta-debugs every injected witness that triggered
+	// cross-node violations down to a minimal still-failing announcement
+	// (internal/minimize), re-validating each candidate by shadow
+	// injection; the result lands in Finding.MinimalWitness and the
+	// reduction stats in the target's Result.Minimization.
+	Minimize bool
+	// MinimizeBudget bounds candidate injections per witness (0 = 256).
+	MinimizeBudget int
 }
 
 // FederatedTargetResult is one node's share of a federated round.
@@ -86,6 +95,13 @@ type FederatedViolation struct {
 	// Hops is the forwarding distance from Node to the trace terminal.
 	Hops   int
 	Detail string
+	// Waves counts the distinct virtual-time delivery waves the bounded
+	// propagation ran (persistent-oscillation only); WaveTail holds the
+	// per-wave delivery counts of the final waves (up to WaveTailLen).
+	// A sustained tail means the system genuinely diverges; a decaying
+	// one means it was still converging — slowly — when the bound hit.
+	Waves    int
+	WaveTail []int
 }
 
 func (v FederatedViolation) String() string {
@@ -256,17 +272,26 @@ func (p *TargetPrep) Analyze(live *router.Router, engOpts concolic.Options, boun
 	return r
 }
 
-// WitnessUpdates materializes the analyzed result's validated findings
-// as concrete announcements, in finding order (nil when the scenario is
+// WitnessRef is one materialized witness announcement together with the
+// index of the finding it came from, so per-witness artifacts (the
+// minimal witness, in particular) land back on the right finding.
+type WitnessRef struct {
+	// Finding indexes Result.Findings.
+	Finding int
+	Update  *bgp.Update
+}
+
+// WitnessRefs materializes the analyzed result's validated findings as
+// concrete announcements, in finding order (nil when the scenario is
 // not federated). Deduplication is round-level and stays with the
 // caller (WitnessKey).
-func (p *TargetPrep) WitnessUpdates(r *Result) []*bgp.Update {
+func (p *TargetPrep) WitnessRefs(r *Result) []WitnessRef {
 	ws, ok := p.Scenario.(FederatedScenario)
 	if !ok {
 		return nil
 	}
-	var out []*bgp.Update
-	for _, f := range r.Findings {
+	var out []WitnessRef
+	for i, f := range r.Findings {
 		if !f.Validated {
 			continue
 		}
@@ -274,7 +299,7 @@ func (p *TargetPrep) WitnessUpdates(r *Result) []*bgp.Update {
 		if u == nil || len(u.NLRI) == 0 {
 			continue
 		}
-		out = append(out, u)
+		out = append(out, WitnessRef{Finding: i, Update: u})
 	}
 	return out
 }
@@ -338,6 +363,8 @@ func (fe *FederatedExperiment) Round() (*FederatedResult, error) {
 	type witness struct {
 		node, peer string
 		update     *bgp.Update
+		finding    *Finding // the validated finding behind the update
+		result     *Result  // its target's result (minimization stats)
 	}
 	var witnesses []witness
 	seenWitness := map[string]bool{}
@@ -345,13 +372,16 @@ func (fe *FederatedExperiment) Round() (*FederatedResult, error) {
 		tg := pr.Target
 		r := pr.Analyze(fe.Fabric.Routers[tg.Node], fe.opts.Engine, fe.boundary, reports[i])
 		res.Targets[pr.slot].Result = r
-		for _, u := range pr.WitnessUpdates(r) {
-			key := WitnessKey(tg.Node, tg.Peer, u)
+		for _, wr := range pr.WitnessRefs(r) {
+			key := WitnessKey(tg.Node, tg.Peer, wr.Update)
 			if seenWitness[key] {
 				continue
 			}
 			seenWitness[key] = true
-			witnesses = append(witnesses, witness{node: tg.Node, peer: tg.Peer, update: u})
+			witnesses = append(witnesses, witness{
+				node: tg.Node, peer: tg.Peer, update: wr.Update,
+				finding: &r.Findings[wr.Finding], result: r,
+			})
 		}
 	}
 
@@ -363,8 +393,23 @@ func (fe *FederatedExperiment) Round() (*FederatedResult, error) {
 			continue
 		}
 		res.WitnessesInjected++
-		if err := fe.propagateWitness(res, w.node, w.peer, w.update); err != nil {
+		w.finding.Witness = w.update
+		out, err := fe.CheckWitness(w.node, w.peer, w.update)
+		if err != nil {
 			return nil, err
+		}
+		res.PropagationSteps += out.Steps
+		res.Violations = append(res.Violations, out.Violations...)
+		if fe.opts.Minimize && len(out.Violations) > 0 {
+			min, st, err := MinimizeWitness(fe, w.node, w.peer, w.update, out.Violations, fe.opts.MinimizeBudget)
+			if err != nil {
+				return nil, fmt.Errorf("federated: minimize %s/%s witness %s: %w", w.node, w.peer, w.update.NLRI[0], err)
+			}
+			w.finding.MinimalWitness = min
+			if w.result.Minimization == nil {
+				w.result.Minimization = &minimize.Stats{}
+			}
+			w.result.Minimization.Add(st)
 		}
 	}
 
@@ -372,22 +417,133 @@ func (fe *FederatedExperiment) Round() (*FederatedResult, error) {
 	return res, nil
 }
 
-// propagateWitness injects one concrete witness announcement into a
-// fresh shadow fabric, propagates it along topology edges, runs the
+// WitnessChecker re-executes one concrete witness end to end — shadow
+// injection, bounded propagation, cross-node oracles, withdraw check —
+// and reports what it triggered. Both federated backends implement it
+// (FederatedExperiment over a COW Fabric.Shadow, dist.Coordinator over
+// the shadow_open/inject_witness/query_oracle RPC sequence), which is
+// what lets witness minimization re-validate candidates identically on
+// either side.
+type WitnessChecker interface {
+	CheckWitness(node, peer string, w *bgp.Update) (*WitnessOutcome, error)
+}
+
+// WitnessOutcome is one candidate injection's verdict.
+type WitnessOutcome struct {
+	Violations []FederatedViolation
+	// Steps counts the shadow deliveries the bounded propagation ran
+	// (UPDATE and WITHDRAW waves together).
+	Steps int
+}
+
+// ViolationFingerprint identifies a violation for witness minimization:
+// the oracle kind and its attribution (observing node, source node,
+// sending peer) — everything except the witness-dependent prefix, hop
+// count and detail text, which legitimately change as the witness
+// shrinks.
+func ViolationFingerprint(v FederatedViolation) string {
+	return v.Kind + "|" + v.Node + "|" + v.Source + "|" + v.Peer
+}
+
+// CoversFingerprints reports whether got reproduces every violation in
+// want (by attribution fingerprint). Minimization accepts a candidate
+// only under this condition: the minimal witness must still demonstrate
+// everything the original did.
+func CoversFingerprints(got []FederatedViolation, want map[string]bool) bool {
+	have := make(map[string]bool, len(got))
+	for _, v := range got {
+		have[ViolationFingerprint(v)] = true
+	}
+	for fp := range want {
+		if !have[fp] {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimizeWitness delta-debugs one confirmed witness against a backend's
+// CheckWitness, accepting a candidate only if every violation the
+// original triggered still fires with the same attribution fingerprint.
+// Shared by the in-process Round and the distributed coordinator so the
+// two backends minimize identically.
+func MinimizeWitness(ck WitnessChecker, node, peer string, w *bgp.Update, vs []FederatedViolation, budget int) (*bgp.Update, *minimize.Stats, error) {
+	want := make(map[string]bool, len(vs))
+	for _, v := range vs {
+		want[ViolationFingerprint(v)] = true
+	}
+	oracle := func(cand *bgp.Update) (bool, error) {
+		out, err := ck.CheckWitness(node, peer, cand)
+		if err != nil {
+			return false, err
+		}
+		return CoversFingerprints(out.Violations, want), nil
+	}
+	return minimize.Witness(w, oracle, minimize.Options{MaxCandidates: budget})
+}
+
+// WaveTailLen bounds the per-wave delivery counts kept on a
+// persistent-oscillation violation: the tail is what distinguishes
+// genuine divergence from slow convergence, so only the final waves are
+// retained.
+const WaveTailLen = 8
+
+// WaveTail returns the final (up to WaveTailLen) entries of waves.
+// Shared by both backends so their oscillation verdicts render — and
+// compare — identically.
+func WaveTail(waves []int) []int {
+	if len(waves) > WaveTailLen {
+		waves = waves[len(waves)-WaveTailLen:]
+	}
+	return append([]int(nil), waves...)
+}
+
+// runWaves drains the shadow network like netsim's Run(limit), but
+// groups the deliveries into virtual-time waves: consecutive deliveries
+// sharing one virtual timestamp are one wave. The per-wave counts feed
+// the oscillation oracle's diverges-vs-converges-slowly telemetry.
+func runWaves(net *netsim.Network, limit int) (steps int, waves []int) {
+	var last time.Time
+	for limit <= 0 || steps < limit {
+		if !net.Step() {
+			break
+		}
+		steps++
+		now := net.Now()
+		if len(waves) == 0 || !now.Equal(last) {
+			waves = append(waves, 0)
+			last = now
+		}
+		waves[len(waves)-1]++
+	}
+	return steps, waves
+}
+
+// OscillationDetail renders the bounded-propagation verdict one way for
+// both backends (the parity tests compare violation strings verbatim).
+func OscillationDetail(phase string, maxSteps, pending int, waves []int) string {
+	return fmt.Sprintf("%s after %d propagation steps (%d deliveries still pending); %d waves, tail deliveries %v",
+		phase, maxSteps, pending, len(waves), WaveTail(waves))
+}
+
+// CheckWitness injects one concrete witness announcement into a fresh
+// shadow fabric, propagates it along topology edges, runs the
 // cross-node oracles, then withdraws it and checks the withdraw
-// propagates cleanly too.
-func (fe *FederatedExperiment) propagateWitness(res *FederatedResult, node, peer string, w *bgp.Update) error {
+// propagates cleanly too. Round calls it for every injected witness;
+// witness minimization calls it for every candidate.
+func (fe *FederatedExperiment) CheckWitness(node, peer string, w *bgp.Update) (*WitnessOutcome, error) {
+	res := &WitnessOutcome{}
 	shadow, err := fe.Fabric.Shadow()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sender := shadow.Routers[peer]
 	if sender == nil {
-		return fmt.Errorf("federated: witness peer %q missing from shadow", peer)
+		return nil, fmt.Errorf("federated: witness peer %q missing from shadow", peer)
 	}
 	sess := sender.Session(node)
 	if sess == nil {
-		return fmt.Errorf("federated: no %s→%s session for witness injection", peer, node)
+		return nil, fmt.Errorf("federated: no %s→%s session for witness injection", peer, node)
 	}
 	prefix := w.NLRI[0]
 
@@ -403,17 +559,17 @@ func (fe *FederatedExperiment) propagateWitness(res *FederatedResult, node, peer
 
 	// UPDATE propagation along topology edges.
 	if err := sess.SendUpdate(w); err != nil {
-		return err
+		return nil, err
 	}
-	steps := shadow.Net.Run(fe.opts.MaxPropagationSteps)
-	res.PropagationSteps += steps
-	if shadow.Net.Pending() > 0 {
+	steps, waves := runWaves(shadow.Net, fe.opts.MaxPropagationSteps)
+	res.Steps += steps
+	if pending := shadow.Net.Pending(); pending > 0 {
 		res.Violations = append(res.Violations, FederatedViolation{
 			Kind: "persistent-oscillation", Node: node, Source: node, Peer: peer, Prefix: prefix,
-			Detail: fmt.Sprintf("no convergence after %d propagation steps (%d deliveries still pending)",
-				fe.opts.MaxPropagationSteps, shadow.Net.Pending()),
+			Detail: OscillationDetail("no convergence", fe.opts.MaxPropagationSteps, pending, waves),
+			Waves:  len(waves), WaveTail: WaveTail(waves),
 		})
-		return nil // oracle state below would be meaningless mid-churn
+		return res, nil // oracle state below would be meaningless mid-churn
 	}
 
 	noExport := false
@@ -455,19 +611,19 @@ func (fe *FederatedExperiment) propagateWitness(res *FederatedResult, node, peer
 	// every node it reached. Only witness-installed routes count — a
 	// node falling back to (or keeping) a legitimate route is correct.
 	if err := sess.SendUpdate(&bgp.Update{Withdrawn: []netaddr.Prefix{prefix}}); err != nil {
-		return err
+		return nil, err
 	}
-	steps = shadow.Net.Run(fe.opts.MaxPropagationSteps)
-	res.PropagationSteps += steps
-	if shadow.Net.Pending() > 0 {
+	steps, waves = runWaves(shadow.Net, fe.opts.MaxPropagationSteps)
+	res.Steps += steps
+	if pending := shadow.Net.Pending(); pending > 0 {
 		// Withdraw still in flight when the bound hit: the stale check
 		// below would misread legitimately-pending cleanup as staleness.
 		res.Violations = append(res.Violations, FederatedViolation{
 			Kind: "persistent-oscillation", Node: node, Source: node, Peer: peer, Prefix: prefix,
-			Detail: fmt.Sprintf("WITHDRAW did not converge within %d propagation steps (%d deliveries still pending)",
-				fe.opts.MaxPropagationSteps, shadow.Net.Pending()),
+			Detail: OscillationDetail("WITHDRAW did not converge", fe.opts.MaxPropagationSteps, pending, waves),
+			Waves:  len(waves), WaveTail: WaveTail(waves),
 		})
-		return nil
+		return res, nil
 	}
 	stale := []string{}
 	for name, was := range installed {
@@ -482,7 +638,7 @@ func (fe *FederatedExperiment) propagateWitness(res *FederatedResult, node, peer
 			Detail: fmt.Sprintf("witness route survived its own WITHDRAW at %v", stale),
 		})
 	}
-	return nil
+	return res, nil
 }
 
 // traceForward follows best-route provenance for p from a node toward

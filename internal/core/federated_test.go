@@ -264,6 +264,13 @@ func TestFederatedOscillationBound(t *testing.T) {
 	for _, v := range res.Violations {
 		if v.Kind == "persistent-oscillation" {
 			osc++
+			// The wave telemetry separates this case — a healthy line
+			// cut off by an absurdly tight bound — from genuine
+			// divergence: only a single delivery wave ever ran, where
+			// examples/badgadget shows a long steady-state tail.
+			if v.Waves != 1 || len(v.WaveTail) != 1 {
+				t.Errorf("1-step bound should record exactly one wave: waves=%d tail=%v", v.Waves, v.WaveTail)
+			}
 		}
 	}
 	if osc == 0 {

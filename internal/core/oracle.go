@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dice/internal/bgp"
 	"dice/internal/concolic"
 	"dice/internal/config"
 	"dice/internal/netaddr"
@@ -41,6 +42,16 @@ type Finding struct {
 	// to: a hijack that spreads beyond the provider is Internet-affecting
 	// (the YouTube incident required PCCW to propagate it).
 	SpreadTo []string
+	// Witness is the concrete announcement a federated round injected
+	// for this finding (nil outside federated rounds, or when the
+	// witness was dropped by dedup or the per-round cap).
+	Witness *bgp.Update
+	// MinimalWitness is the delta-debugged form of Witness: the smallest
+	// announcement (AS-path length, community count, prefix specificity,
+	// optional attributes) that still triggers the same cross-node
+	// oracle with the same attribution when re-injected. Set only when
+	// minimization ran and the witness triggered cross-node violations.
+	MinimalWitness *bgp.Update
 }
 
 // RangeDesc is an over-approximated description of an input region.

@@ -22,12 +22,12 @@ func (updateScenario) Description() string {
 }
 
 func (updateScenario) Seed(live *router.Router, peer string) (any, error) {
-	seed := live.LastObserved(peer)
+	// The most recent announcement, not the most recent message: a
+	// replayed history ending in a withdraw must still leave a usable
+	// announcement template.
+	seed := live.LastAnnounced(peer)
 	if seed == nil {
 		return nil, fmt.Errorf("dice: no observed UPDATE from peer %q to explore from", peer)
-	}
-	if len(seed.NLRI) == 0 {
-		return nil, fmt.Errorf("dice: seed UPDATE for %q carries no NLRI", peer)
 	}
 	return seed, nil
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"dice/internal/netsim"
 	"dice/internal/rib"
 	"dice/internal/router"
+	"dice/internal/trace"
 )
 
 // Agent administers one node of a federated topology and serves the
@@ -186,6 +188,12 @@ func (a *Agent) handle(method string, params json.RawMessage) (any, error) {
 			return nil, err
 		}
 		return a.queryOracle(p)
+	case MethodReplay:
+		var p ReplayParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		return a.replay(p)
 	}
 	return nil, fmt.Errorf("dist: unknown method %q", method)
 }
@@ -223,7 +231,7 @@ func (a *Agent) checkpoint() (*CheckpointResult, error) {
 
 // explore runs one concolic exploration round on the agent's node
 // through the same per-target pipeline the in-process federated
-// backend uses (core.PrepareTarget / Analyze / WitnessUpdates — the
+// backend uses (core.PrepareTarget / Analyze / WitnessRefs — the
 // parity contract lives there), exploring the engine solo instead of
 // as a fleet member.
 func (a *Agent) explore(p ExploreParams) (*ExploreResult, error) {
@@ -285,14 +293,31 @@ func (a *Agent) explore(p ExploreParams) (*ExploreResult, error) {
 		}
 		out.Findings = append(out.Findings, wf)
 	}
-	for _, u := range tp.WitnessUpdates(r) {
-		wire, err := bgp.Encode(u)
+	for _, wr := range tp.WitnessRefs(r) {
+		wire, err := bgp.Encode(wr.Update)
 		if err != nil {
-			return nil, fmt.Errorf("dist: encode witness for %s: %w", u.NLRI[0], err)
+			return nil, fmt.Errorf("dist: encode witness for %s: %w", wr.Update.NLRI[0], err)
 		}
-		out.Witnesses = append(out.Witnesses, wire)
+		out.Witnesses = append(out.Witnesses, WireWitness{Finding: wr.Finding, Msg: wire})
 	}
 	return out, nil
+}
+
+// replay feeds a recorded trace into the agent's live local fabric. The
+// fabric is deterministic, so every agent replaying the same trace —
+// the coordinator fans it to all of them — converges on the same state,
+// and subsequent explorations seed from the replayed history exactly as
+// the in-process backend's do.
+func (a *Agent) replay(p ReplayParams) (*ReplayResult, error) {
+	records, err := trace.Read(bytes.NewReader(p.Trace))
+	if err != nil {
+		return nil, err
+	}
+	n, err := a.fabric.ReplayTrace(p.Node, p.Peer, records)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %s replay: %w", a.node, err)
+	}
+	return &ReplayResult{Delivered: n, Prefixes: a.self.RIB().Prefixes()}, nil
 }
 
 // shadowOpen clones the node for witness propagation. The clone is COW

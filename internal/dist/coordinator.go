@@ -10,6 +10,7 @@ import (
 
 	"dice/internal/bgp"
 	"dice/internal/core"
+	"dice/internal/minimize"
 	"dice/internal/netaddr"
 )
 
@@ -41,7 +42,14 @@ type TargetResult struct {
 	// Explore carries the agent's exploration stats.
 	Explore *ExploreResult
 	// Findings are the local oracle findings, reassembled from the wire.
+	// Witness/MinimalWitness land here after cross-domain propagation,
+	// exactly as on the in-process backend's Result.Findings.
 	Findings []core.Finding
+	// Minimization aggregates witness-minimization work over this
+	// target's findings (nil unless the round ran with
+	// FederatedOptions.Minimize and a witness triggered violations) —
+	// the distributed form of core.Result.Minimization.
+	Minimization *minimize.Stats
 }
 
 // RoundResult is the outcome of one distributed federated round.
@@ -54,6 +62,17 @@ type RoundResult struct {
 	WitnessesSkipped  int
 	PropagationSteps  int
 	Elapsed           time.Duration
+}
+
+// Snapshot renders the round canonically for golden-file comparison —
+// the distributed counterpart of core.FederatedResult.Snapshot, built
+// from the same core helpers so one golden file checks either backend.
+func (res *RoundResult) Snapshot() []string {
+	lines := []string{core.SnapshotHeader}
+	for _, tr := range res.Targets {
+		lines = append(lines, core.SnapshotTarget(tr.Node, tr.Peer, tr.Scenario, tr.Skipped, tr.Findings)...)
+	}
+	return append(lines, core.SnapshotTail(res.Violations, res.WitnessesInjected, res.WitnessesSkipped, res.PropagationSteps)...)
 }
 
 // Connect dials one agent per dialer, identifies each, and checks the
@@ -206,10 +225,14 @@ func (c *Coordinator) Round() (*RoundResult, error) {
 	}
 
 	// Phase 2: collect results in target order; decode, dedup and cap
-	// the concrete witnesses exactly like the in-process backend.
+	// the concrete witnesses exactly like the in-process backend. Each
+	// witness keeps its (target, finding) linkage so per-witness
+	// artifacts land back on the right finding.
 	type witness struct {
 		node, peer string
 		update     *bgp.Update
+		target     int // index into res.Targets
+		finding    int // index into that target's Findings
 	}
 	var witnesses []witness
 	seenWitness := map[string]bool{}
@@ -224,8 +247,8 @@ func (c *Coordinator) Round() (*RoundResult, error) {
 			tr.Findings = append(tr.Findings, f)
 		}
 		res.Targets = append(res.Targets, tr)
-		for _, wireMsg := range out.Witnesses {
-			m, err := bgp.Decode(wireMsg)
+		for _, ww := range out.Witnesses {
+			m, err := bgp.Decode(ww.Msg)
 			if err != nil {
 				return nil, fmt.Errorf("dist: %s/%s witness: %w", tg.Node, tg.Peer, err)
 			}
@@ -233,12 +256,18 @@ func (c *Coordinator) Round() (*RoundResult, error) {
 			if !ok || len(u.NLRI) == 0 {
 				continue
 			}
+			if ww.Finding < 0 || ww.Finding >= len(tr.Findings) {
+				return nil, fmt.Errorf("dist: %s/%s witness references finding %d of %d", tg.Node, tg.Peer, ww.Finding, len(tr.Findings))
+			}
 			key := core.WitnessKey(tg.Node, tg.Peer, u)
 			if seenWitness[key] {
 				continue
 			}
 			seenWitness[key] = true
-			witnesses = append(witnesses, witness{node: tg.Node, peer: tg.Peer, update: u})
+			witnesses = append(witnesses, witness{
+				node: tg.Node, peer: tg.Peer, update: u,
+				target: len(res.Targets) - 1, finding: ww.Finding,
+			})
 		}
 	}
 
@@ -248,13 +277,73 @@ func (c *Coordinator) Round() (*RoundResult, error) {
 			continue
 		}
 		res.WitnessesInjected++
-		if err := c.propagateWitness(res, w.node, w.peer, w.update); err != nil {
+		tr := &res.Targets[w.target]
+		tr.Findings[w.finding].Witness = w.update
+		out, err := c.CheckWitness(w.node, w.peer, w.update)
+		if err != nil {
 			return nil, err
+		}
+		res.PropagationSteps += out.Steps
+		res.Violations = append(res.Violations, out.Violations...)
+		if c.opts.Minimize && len(out.Violations) > 0 {
+			min, st, err := core.MinimizeWitness(c, w.node, w.peer, w.update, out.Violations, c.opts.MinimizeBudget)
+			if err != nil {
+				return nil, fmt.Errorf("dist: minimize %s/%s witness %s: %w", w.node, w.peer, w.update.NLRI[0], err)
+			}
+			tr.Findings[w.finding].MinimalWitness = min
+			if tr.Minimization == nil {
+				tr.Minimization = &minimize.Stats{}
+			}
+			tr.Minimization.Add(st)
 		}
 	}
 
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// Replay feeds a recorded trace (internal/trace file bytes) into every
+// agent's live local fabric through the node←peer ingress session — the
+// distributed form of core.FederatedExperiment.Replay. The local
+// fabrics are deterministic, so all agents converge on identical
+// post-replay state without any node state crossing the wire; the
+// coordinator cross-checks that by comparing the per-agent delivered
+// counts (a trace that installs nothing — every record filtered or
+// withdrawn — is legal, exactly as in the in-process backend). Agents
+// replay concurrently, same fan-out shape as the explore phase. Call
+// it before Round: subsequent explorations seed from the replayed
+// history.
+func (c *Coordinator) Replay(node, peer string, traceBytes []byte) (int, error) {
+	if _, ok := c.clients[node]; !ok {
+		return 0, fmt.Errorf("dist: replay ingress node %q has no agent", node)
+	}
+	params := ReplayParams{Node: node, Peer: peer, Trace: traceBytes}
+	outs := make([]ReplayResult, len(c.nodes))
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n string) {
+			defer wg.Done()
+			if err := c.clients[n].Call(MethodReplay, params, &outs[i]); err != nil {
+				errs[i] = fmt.Errorf("dist: replay on agent %s: %w", n, err)
+			}
+		}(i, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	delivered := outs[0].Delivered
+	for i, out := range outs {
+		if out.Delivered != delivered {
+			return 0, fmt.Errorf("dist: replay diverged: agent %s delivered %d records, agent %s %d",
+				c.nodes[i], out.Delivered, c.nodes[0], delivered)
+		}
+	}
+	return delivered, nil
 }
 
 // decodeFinding reassembles a core.Finding from its wire form.
@@ -348,24 +437,32 @@ func (c *Coordinator) query(shadows shadowSet, node string, prefix netaddr.Prefi
 	return &out, nil
 }
 
-// relay drives one message wave through the agents: deliveries pop in
-// (virtual-latency, FIFO) order, each delivery's emissions are enqueued
-// with their link latency, and the wave ends when the queue drains or
-// the step bound hits. It returns delivered count and queue backlog —
-// the distributed Run/Pending pair.
-func (c *Coordinator) relay(shadows shadowSet, queue *relayQueue, maxSteps int) (steps, pending int, err error) {
+// relay drives one message wave set through the agents: deliveries pop
+// in (virtual-latency, FIFO) order, each delivery's emissions are
+// enqueued with their link latency, and the run ends when the queue
+// drains or the step bound hits. It returns delivered count and queue
+// backlog — the distributed Run/Pending pair — plus the per-wave
+// delivery counts (consecutive deliveries sharing one virtual timestamp
+// are one wave, mirroring the in-process runWaves over netsim).
+func (c *Coordinator) relay(shadows shadowSet, queue *relayQueue, maxSteps int) (steps, pending int, waves []int, err error) {
 	// Initial events carry seqs 1..Len (both callers enqueue exactly
 	// one); relayed emissions continue the sequence from there.
 	seq := uint64(queue.Len())
+	var last time.Duration
 	for queue.Len() > 0 && steps < maxSteps {
 		e := heap.Pop(queue).(*relayEvent)
 		var out InjectResult
 		err := c.clients[e.to].Call(MethodInjectWitness,
 			InjectParams{ShadowID: shadows[e.to], From: e.from, Msg: e.msg}, &out)
 		if err != nil {
-			return steps, queue.Len(), err
+			return steps, queue.Len(), waves, err
 		}
 		steps++
+		if len(waves) == 0 || e.at != last {
+			waves = append(waves, 0)
+			last = e.at
+		}
+		waves[len(waves)-1]++
 		for _, em := range out.Emitted {
 			lat, linked := c.linkLatency(e.to, em.To)
 			if !linked {
@@ -375,24 +472,28 @@ func (c *Coordinator) relay(shadows shadowSet, queue *relayQueue, maxSteps int) 
 			heap.Push(queue, &relayEvent{at: e.at + lat, seq: seq, from: e.to, to: em.To, msg: em.Msg})
 		}
 	}
-	return steps, queue.Len(), nil
+	return steps, queue.Len(), waves, nil
 }
 
-// propagateWitness is the distributed form of the in-process
-// propagateWitness: inject one concrete witness at the explored node as
-// if its peer sent it, relay the resulting message waves between the
-// agents' shadow clones, and run the cross-node oracles over the
-// converged state — then withdraw it and check the retraction cleans up.
-func (c *Coordinator) propagateWitness(res *RoundResult, node, peer string, w *bgp.Update) error {
+// CheckWitness is the distributed form of the in-process CheckWitness:
+// inject one concrete witness at the explored node as if its peer sent
+// it, relay the resulting message waves between the agents' shadow
+// clones, and run the cross-node oracles over the converged state —
+// then withdraw it and check the retraction cleans up. Round calls it
+// for every injected witness; witness minimization
+// (core.MinimizeWitness over the core.WitnessChecker seam) calls it for
+// every candidate.
+func (c *Coordinator) CheckWitness(node, peer string, w *bgp.Update) (*core.WitnessOutcome, error) {
+	res := &core.WitnessOutcome{}
 	lat, linked := c.linkLatency(peer, node)
 	if !linked {
-		return fmt.Errorf("dist: no %s→%s link for witness injection", peer, node)
+		return nil, fmt.Errorf("dist: no %s→%s link for witness injection", peer, node)
 	}
 	prefix := w.NLRI[0]
 
 	shadows, err := c.openShadows()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer c.closeShadows(shadows)
 
@@ -406,7 +507,7 @@ func (c *Coordinator) propagateWitness(res *RoundResult, node, peer string, w *b
 		}
 		q, err := c.query(shadows, n, prefix)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		pre[n] = q
 	}
@@ -414,22 +515,22 @@ func (c *Coordinator) propagateWitness(res *RoundResult, node, peer string, w *b
 	// UPDATE wave.
 	wire, err := bgp.Encode(w)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	queue := &relayQueue{}
 	heap.Push(queue, &relayEvent{at: lat, seq: 1, from: peer, to: node, msg: wire})
-	steps, pending, err := c.relay(shadows, queue, c.opts.MaxPropagationSteps)
-	res.PropagationSteps += steps
+	steps, pending, waves, err := c.relay(shadows, queue, c.opts.MaxPropagationSteps)
+	res.Steps += steps
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if pending > 0 {
 		res.Violations = append(res.Violations, core.FederatedViolation{
 			Kind: "persistent-oscillation", Node: node, Source: node, Peer: peer, Prefix: prefix,
-			Detail: fmt.Sprintf("no convergence after %d propagation steps (%d deliveries still pending)",
-				c.opts.MaxPropagationSteps, pending),
+			Detail: core.OscillationDetail("no convergence", c.opts.MaxPropagationSteps, pending, waves),
+			Waves:  len(waves), WaveTail: core.WaveTail(waves),
 		})
-		return nil // oracle state below would be meaningless mid-churn
+		return res, nil // oracle state below would be meaningless mid-churn
 	}
 
 	boundary := c.boundary
@@ -448,7 +549,7 @@ func (c *Coordinator) propagateWitness(res *RoundResult, node, peer string, w *b
 		}
 		q, err := c.query(shadows, name, prefix)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if !q.HasBest || (pre[name].HasBest && q.BestFP == pre[name].BestFP) {
 			continue // witness never took hold at this node
@@ -456,7 +557,7 @@ func (c *Coordinator) propagateWitness(res *RoundResult, node, peer string, w *b
 		installed[name] = q.BestFP
 		terminal, hops, delivered, err := c.traceForward(shadows, name, prefix)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if noExport {
 			res.Violations = append(res.Violations, core.FederatedViolation{
@@ -477,28 +578,28 @@ func (c *Coordinator) propagateWitness(res *RoundResult, node, peer string, w *b
 	// node it reached.
 	wdWire, err := bgp.Encode(&bgp.Update{Withdrawn: []netaddr.Prefix{prefix}})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	queue = &relayQueue{}
 	heap.Push(queue, &relayEvent{at: lat, seq: 1, from: peer, to: node, msg: wdWire})
-	steps, pending, err = c.relay(shadows, queue, c.opts.MaxPropagationSteps)
-	res.PropagationSteps += steps
+	steps, pending, waves, err = c.relay(shadows, queue, c.opts.MaxPropagationSteps)
+	res.Steps += steps
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if pending > 0 {
 		res.Violations = append(res.Violations, core.FederatedViolation{
 			Kind: "persistent-oscillation", Node: node, Source: node, Peer: peer, Prefix: prefix,
-			Detail: fmt.Sprintf("WITHDRAW did not converge within %d propagation steps (%d deliveries still pending)",
-				c.opts.MaxPropagationSteps, pending),
+			Detail: core.OscillationDetail("WITHDRAW did not converge", c.opts.MaxPropagationSteps, pending, waves),
+			Waves:  len(waves), WaveTail: core.WaveTail(waves),
 		})
-		return nil
+		return res, nil
 	}
 	stale := []string{}
 	for name, fp := range installed {
 		q, err := c.query(shadows, name, prefix)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if q.HasBest && q.BestFP == fp {
 			stale = append(stale, name)
@@ -511,7 +612,7 @@ func (c *Coordinator) propagateWitness(res *RoundResult, node, peer string, w *b
 			Detail: fmt.Sprintf("witness route survived its own WITHDRAW at %v", stale),
 		})
 	}
-	return nil
+	return res, nil
 }
 
 // traceForward walks best-route provenance for prefix hop by hop across

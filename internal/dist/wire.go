@@ -99,6 +99,12 @@ const (
 	// for the coordinator's cross-node oracles and forward tracing —
 	// and nothing more.
 	MethodQueryOracle = "query_oracle"
+	// MethodReplay feeds a recorded trace (internal/trace encoding) into
+	// the agent's live local fabric through a node←peer ingress session.
+	// Every agent of a topology replays the same trace — the local
+	// fabrics are deterministic, so all agents converge on identical
+	// post-replay state without any node state crossing the wire.
+	MethodReplay = "replay"
 )
 
 // --- Method payloads ---------------------------------------------------------
@@ -195,10 +201,41 @@ type ExploreResult struct {
 	WitnessesRejected int           `json:"witnesses_rejected"`
 	Findings          []WireFinding `json:"findings,omitempty"`
 
-	// Witnesses are the validated findings' concrete announcements
-	// (BGP wire encoding), in finding order — what the coordinator
-	// propagates between domains.
-	Witnesses [][]byte `json:"witnesses,omitempty"`
+	// Witnesses are the validated findings' concrete announcements,
+	// in finding order — what the coordinator propagates between
+	// domains.
+	Witnesses []WireWitness `json:"witnesses,omitempty"`
+}
+
+// WireWitness is one validated finding's concrete announcement. Finding
+// indexes ExploreResult.Findings, so per-witness artifacts the
+// coordinator computes (the minimal witness) land back on the right
+// finding — the same linkage core.WitnessRef provides in-process.
+type WireWitness struct {
+	Finding int `json:"finding"`
+	// Msg is the announcement in BGP wire encoding.
+	Msg []byte `json:"msg"`
+}
+
+// ReplayParams feeds a recorded trace into the agent's live fabric.
+type ReplayParams struct {
+	// Node receives the trace; Peer sends it (the ingress must be an
+	// established session of the agent's local fabric).
+	Node string `json:"node"`
+	Peer string `json:"peer"`
+	// Trace is the recorded history in the internal/trace file encoding
+	// (dump records bulk-load, update records replay at their offsets).
+	Trace []byte `json:"trace"`
+}
+
+// ReplayResult reports one agent's replay outcome.
+type ReplayResult struct {
+	// Delivered is the number of trace records injected at the ingress.
+	Delivered int `json:"delivered"`
+	// Prefixes is the agent's own node's Loc-RIB size after replay —
+	// diagnostic only (different nodes legitimately differ; the
+	// coordinator's determinism cross-check compares Delivered).
+	Prefixes int `json:"prefixes"`
 }
 
 // ShadowOpenResult names a fresh shadow clone.

@@ -1,0 +1,174 @@
+package minimize
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dice/internal/bgp"
+	"dice/internal/netaddr"
+)
+
+// fatWitness is a deliberately oversized announcement: a long AS path, a
+// load-bearing community among junk ones, optional attributes, and an
+// over-specific prefix.
+func fatWitness() *bgp.Update {
+	return &bgp.Update{
+		Attrs: bgp.Attrs{
+			HasOrigin:    true,
+			Origin:       bgp.OriginIGP,
+			ASPath:       bgp.ASPath{{Type: bgp.ASSequence, ASNs: []uint16{64799, 64801, 64802, 64803}}},
+			HasNextHop:   true,
+			NextHop:      netaddr.AddrFrom4(10, 8, 0, 1),
+			HasMED:       true,
+			MED:          50,
+			HasLocalPref: true,
+			LocalPref:    120,
+			Communities:  []uint32{bgp.MakeCommunity(64799, 1), bgp.CommunityNoExport, bgp.MakeCommunity(64799, 2)},
+		},
+		NLRI: []netaddr.Prefix{netaddr.MustParsePrefix("10.96.128.0/28")},
+	}
+}
+
+// needyOracle accepts candidates that keep the NO_EXPORT community, keep
+// the first path ASN, and stay inside 10.96.0.0/11 at /20 or longer —
+// the shape of a filter-gated route leak.
+func needyOracle(calls *int) Oracle {
+	gate := netaddr.MustParsePrefix("10.96.0.0/11")
+	return func(c *bgp.Update) (bool, error) {
+		*calls++
+		if !c.Attrs.HasCommunity(bgp.CommunityNoExport) {
+			return false, nil
+		}
+		if c.Attrs.ASPath.FirstAS() != 64799 {
+			return false, nil
+		}
+		p := c.NLRI[0]
+		return gate.Covers(p) && p.Bits() >= 20, nil
+	}
+}
+
+func TestWitnessShrinksToNeeds(t *testing.T) {
+	calls := 0
+	w := fatWitness()
+	min, st, err := Witness(w, needyOracle(&calls), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The load-bearing parts survive.
+	if !min.Attrs.HasCommunity(bgp.CommunityNoExport) {
+		t.Errorf("minimal witness lost NO_EXPORT: %s", Render(min))
+	}
+	if min.Attrs.ASPath.FirstAS() != 64799 {
+		t.Errorf("minimal witness lost the first-hop AS: %s", Render(min))
+	}
+
+	// Everything the oracle does not test is gone.
+	if got := SizeOf(min); got.PathASNs != 1 || got.Communities != 1 || got.OptionalAttrs != 0 {
+		t.Errorf("minimal witness kept removable parts: %+v (%s)", got, Render(min))
+	}
+	if min.NLRI[0].Bits() != 20 {
+		t.Errorf("prefix not widened to the coarsest still-failing /20: %s", min.NLRI[0])
+	}
+	if SizeOf(min).LargerThan(SizeOf(w)) {
+		t.Errorf("minimal witness larger than the original: %s vs %s", Render(min), Render(w))
+	}
+	if st.Shrunk != 1 || st.Witnesses != 1 {
+		t.Errorf("stats did not record the shrink: %+v", st)
+	}
+	if st.Candidates != calls {
+		t.Errorf("stats count %d candidates, oracle saw %d", st.Candidates, calls)
+	}
+
+	// The original must be untouched — minimization works on copies.
+	if SizeOf(w) != SizeOf(fatWitness()) {
+		t.Errorf("input witness mutated: %s", Render(w))
+	}
+}
+
+func TestWitnessIrreducibleConfirmsOriginal(t *testing.T) {
+	w := &bgp.Update{
+		Attrs: bgp.Attrs{
+			ASPath:      bgp.ASPath{{Type: bgp.ASSequence, ASNs: []uint16{64799}}},
+			Communities: []uint32{bgp.CommunityNoExport},
+		},
+		NLRI: []netaddr.Prefix{netaddr.MustParsePrefix("10.96.0.0/20")},
+	}
+	calls := 0
+	min, st, err := Witness(w, needyOracle(&calls), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Render(min) != Render(w) {
+		t.Errorf("irreducible witness changed: %s vs %s", Render(min), Render(w))
+	}
+	if st.Shrunk != 0 {
+		t.Errorf("irreducible witness counted as shrunk: %+v", st)
+	}
+	if st.Accepted != 0 || calls != st.Candidates {
+		t.Errorf("unexpected accounting: %+v vs %d calls", st, calls)
+	}
+}
+
+func TestWitnessVanishedViolationErrors(t *testing.T) {
+	w := fatWitness()
+	never := func(*bgp.Update) (bool, error) { return false, nil }
+	if _, _, err := Witness(w, never, Options{}); err == nil {
+		t.Fatal("want error when even the original witness no longer fires")
+	}
+}
+
+func TestWitnessOracleErrorAborts(t *testing.T) {
+	w := fatWitness()
+	boom := fmt.Errorf("agent gone")
+	fail := func(*bgp.Update) (bool, error) { return false, boom }
+	if _, _, err := Witness(w, fail, Options{}); err == nil || !strings.Contains(err.Error(), "agent gone") {
+		t.Fatalf("oracle error not propagated: %v", err)
+	}
+}
+
+func TestWitnessBudgetTruncates(t *testing.T) {
+	calls := 0
+	min, st, err := Witness(fatWitness(), needyOracle(&calls), Options{MaxCandidates: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Candidates > 3 {
+		t.Errorf("budget overrun: %d candidates", st.Candidates)
+	}
+	if st.Truncated != 1 {
+		t.Errorf("truncation not recorded: %+v", st)
+	}
+	if min == nil {
+		t.Error("truncated minimization returned no witness")
+	}
+}
+
+func TestWitnessFixpointAcrossDimensions(t *testing.T) {
+	// The community can be dropped only after the path shrinks to 2 hops
+	// (a coupled predicate): one greedy pass over communities alone would
+	// keep it, so the loop must re-pass after the path shrinks.
+	oracle := func(c *bgp.Update) (bool, error) {
+		pathLen := SizeOf(c).PathASNs
+		if pathLen > 2 && !c.Attrs.HasCommunity(bgp.CommunityNoExport) {
+			return false, nil
+		}
+		return c.Attrs.ASPath.FirstAS() == 64799, nil
+	}
+	min, _, err := Witness(fatWitness(), oracle, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SizeOf(min); got.Communities != 0 || got.PathASNs != 1 {
+		t.Errorf("fixpoint not reached: %s", Render(min))
+	}
+}
+
+func TestRenderCanonical(t *testing.T) {
+	got := Render(fatWitness())
+	want := "10.96.128.0/28 path=[64799 64801 64802 64803] communities=[64799:1 65535:65281 64799:2] med=50 local_pref=120"
+	if got != want {
+		t.Errorf("Render:\n got  %s\n want %s", got, want)
+	}
+}

@@ -1,0 +1,118 @@
+package regress_test
+
+import (
+	"bufio"
+	"flag"
+	"os"
+	"testing"
+
+	"dice/internal/concolic"
+	"dice/internal/core"
+	"dice/internal/regress"
+	"dice/internal/trace"
+)
+
+// The golden regression suite: each committed example carries a
+// findings.golden snapshot of its federated round (with witness
+// minimization on), and these tests fail — naming the first divergent
+// finding — whenever a code change alters what the round reports.
+// Regenerate after an intentional change with
+//
+//	go test ./internal/regress -run TestGolden -update
+//
+// The same snapshots are reachable from the CLI:
+//
+//	dice -topology examples/<x>/topo.json -minimize -golden examples/<x>/findings.golden
+
+var update = flag.Bool("update", false, "rewrite the committed example golden files")
+
+// exampleOpts mirrors cmd/dice defaults (-runs 2000) plus -minimize, so
+// the committed goldens verify against both this suite and the CLI
+// invocation documented in examples/replay/README.md. The run budget
+// exhausts the frontier on every example filter, making the finding set
+// independent of worker scheduling.
+func exampleOpts() core.FederatedOptions {
+	return core.FederatedOptions{
+		Engine:   concolic.Options{MaxRuns: 2000},
+		Workers:  2,
+		Minimize: true,
+	}
+}
+
+func goldenRound(t *testing.T, dir string) []string {
+	t.Helper()
+	topo, err := core.LoadTopology(dir + "/topo.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := core.NewFederatedExperiment(topo, exampleOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fe.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Snapshot()
+}
+
+func checkGolden(t *testing.T, dir string, lines []string) {
+	t.Helper()
+	if err := regress.Check(dir+"/findings.golden", lines, *update); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		t.Logf("updated %s/findings.golden (%d lines)", dir, len(lines))
+	}
+}
+
+func TestGoldenFederated(t *testing.T) {
+	dir := "../../examples/federated"
+	checkGolden(t, dir, goldenRound(t, dir))
+}
+
+func TestGoldenRouteleak(t *testing.T) {
+	dir := "../../examples/routeleak"
+	checkGolden(t, dir, goldenRound(t, dir))
+}
+
+func TestGoldenBadgadget(t *testing.T) {
+	dir := "../../examples/badgadget"
+	checkGolden(t, dir, goldenRound(t, dir))
+}
+
+// TestGoldenReplay re-runs the committed examples/replay trace through
+// the federated example topology (ingress transitA←stub, the first
+// explore target) and diffs the resulting finding set — the
+// dice -replay ... -golden path, as a test.
+func TestGoldenReplay(t *testing.T) {
+	f, err := os.Open("../../examples/replay/trace.mrtl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	records, err := trace.Read(bufio.NewReader(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := core.LoadTopology("../../examples/federated/topo.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := core.NewFederatedExperiment(topo, exampleOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := fe.Replay("transitA", "stub", records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(records) {
+		t.Fatalf("replayed %d of %d records", n, len(records))
+	}
+	res, err := fe.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "../../examples/replay", res.Snapshot())
+}

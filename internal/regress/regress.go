@@ -1,0 +1,112 @@
+// Package regress is the golden-file half of the regression harness:
+// a federated round — in-process or distributed, live or replayed from
+// a recorded trace — renders to a canonical finding snapshot
+// (core.FederatedResult.Snapshot / dist.RoundResult.Snapshot), and this
+// package diffs that against a committed golden file. A mismatch fails
+// with a diff-style message naming the first divergent finding, so a
+// replayed history that stops (or starts) producing a finding is caught
+// at the exact line that changed. Tests pass -update to regenerate the
+// committed files; cmd/dice exposes the same compare/update pair as
+// -golden / -update-golden.
+package regress
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Compare diffs a snapshot against the golden lines. On divergence the
+// error names the first divergent line (1-based), quotes the want/got
+// pair diff-style, and includes the nearest enclosing "target" line so
+// the finding is attributable without opening the file.
+func Compare(got, want []string) error {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			return divergence(got, want, i)
+		}
+	}
+	if len(got) != len(want) {
+		return divergence(got, want, n)
+	}
+	return nil
+}
+
+// divergence renders the first-divergent-line error. i may be one past
+// the end of either slice (a missing or extra tail).
+func divergence(got, want []string, i int) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "finding snapshot diverges from golden at line %d", i+1)
+	if ctx := enclosingTarget(want, got, i); ctx != "" {
+		fmt.Fprintf(&b, " (under %q)", ctx)
+	}
+	b.WriteString(":\n")
+	if i < len(want) {
+		fmt.Fprintf(&b, "- %s\n", want[i])
+	} else {
+		fmt.Fprintf(&b, "- <end of golden: %d line(s), got %d>\n", len(want), len(got))
+	}
+	if i < len(got) {
+		fmt.Fprintf(&b, "+ %s", got[i])
+	} else {
+		fmt.Fprintf(&b, "+ <end of snapshot: %d line(s), golden has %d>", len(got), len(want))
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// enclosingTarget finds the nearest preceding top-level section line
+// ("target ...", "violations") shared by both sides, for context.
+func enclosingTarget(want, got []string, i int) string {
+	lines := want
+	if i >= len(lines) {
+		lines = got
+	}
+	for j := i; j >= 0 && j < len(lines); j-- {
+		if !strings.HasPrefix(lines[j], " ") && !strings.HasPrefix(lines[j], "#") {
+			return lines[j]
+		}
+	}
+	return ""
+}
+
+// Load reads a golden file into lines (trailing newline tolerated).
+func Load(path string) ([]string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := strings.TrimSuffix(string(b), "\n")
+	if s == "" {
+		return nil, nil
+	}
+	return strings.Split(s, "\n"), nil
+}
+
+// Save writes lines as a golden file, newline-terminated.
+func Save(path string, lines []string) error {
+	return os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644)
+}
+
+// Check is the harness entry point: with update set it (re)writes the
+// golden file and succeeds; otherwise it loads the file and compares.
+// A missing golden file fails with a hint to run with update.
+func Check(path string, got []string, update bool) error {
+	if update {
+		return Save(path, got)
+	}
+	want, err := Load(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("golden file %s missing (regenerate with the harness's update flag): %w", path, err)
+		}
+		return err
+	}
+	if err := Compare(got, want); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}

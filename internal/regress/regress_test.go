@@ -1,0 +1,73 @@
+package regress
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snap(lines ...string) []string { return lines }
+
+func TestCompareEqual(t *testing.T) {
+	got := snap("# hdr", "target a<-b leak", "  finding x")
+	if err := Compare(got, snap("# hdr", "target a<-b leak", "  finding x")); err != nil {
+		t.Fatalf("equal snapshots diverged: %v", err)
+	}
+}
+
+func TestCompareNamesFirstDivergentFinding(t *testing.T) {
+	want := snap("# hdr", "target a<-b leak", "  finding old", "violations")
+	got := snap("# hdr", "target a<-b leak", "  finding new", "violations")
+	err := Compare(got, want)
+	if err == nil {
+		t.Fatal("divergent snapshots compared equal")
+	}
+	msg := err.Error()
+	for _, part := range []string{"line 3", `under "target a<-b leak"`, "-   finding old", "+   finding new"} {
+		if !strings.Contains(msg, part) {
+			t.Errorf("diff message missing %q:\n%s", part, msg)
+		}
+	}
+}
+
+func TestCompareTailMismatch(t *testing.T) {
+	want := snap("# hdr", "target a<-b leak", "  finding x")
+	err := Compare(want[:2], want)
+	if err == nil || !strings.Contains(err.Error(), "end of snapshot") {
+		t.Fatalf("missing-tail divergence not reported: %v", err)
+	}
+	err = Compare(append(append([]string{}, want...), "  finding extra"), want)
+	if err == nil || !strings.Contains(err.Error(), "end of golden") {
+		t.Fatalf("extra-tail divergence not reported: %v", err)
+	}
+}
+
+func TestCheckUpdateRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "findings.golden")
+	lines := snap("# hdr", "target a<-b leak", "  finding x")
+	if err := Check(path, lines, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(path, lines, false); err != nil {
+		t.Fatalf("freshly updated golden does not match: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(b), "\n") {
+		t.Error("golden file not newline-terminated")
+	}
+	changed := append(append([]string{}, lines...), "  finding y")
+	if err := Check(path, changed, false); err == nil {
+		t.Error("changed snapshot passed against stale golden")
+	}
+}
+
+func TestCheckMissingGoldenHints(t *testing.T) {
+	err := Check(filepath.Join(t.TempDir(), "nope.golden"), snap("# hdr"), false)
+	if err == nil || !strings.Contains(err.Error(), "update") {
+		t.Fatalf("missing golden should hint at the update flag: %v", err)
+	}
+}

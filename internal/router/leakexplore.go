@@ -181,7 +181,10 @@ func (r *Router) HandleLeakConcolic(rc *concolic.RunContext, peerName string, se
 		// symbolic word from the concrete set (import-verdict-added
 		// communities are genuinely concrete and stay).
 		exSubj.Communities = withoutCommunity(finalAttrs.Communities, comm, &seed.Attrs)
-		for name, other := range r.peers {
+		// Sorted: the export filters run under the recording context, so
+		// peer order becomes path-constraint order.
+		for _, name := range r.peerNames() {
+			other := r.peers[name]
 			if name == peerName {
 				continue
 			}

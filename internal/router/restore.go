@@ -24,12 +24,13 @@ import (
 // is normally a capture sink so restored state stays isolated.
 func DecodeState(name string, cfg *config.Config, tr netsim.Transport, state []byte) (*Router, error) {
 	r := &Router{
-		cfg:          cfg,
-		name:         name,
-		transport:    tr,
-		loc:          rib.New(),
-		peers:        make(map[string]*peerState, len(cfg.Peers)),
-		lastObserved: make(map[string]*bgp.Update),
+		cfg:           cfg,
+		name:          name,
+		transport:     tr,
+		loc:           rib.New(),
+		peers:         make(map[string]*peerState, len(cfg.Peers)),
+		lastObserved:  make(map[string]*bgp.Update),
+		lastAnnounced: make(map[string]*bgp.Update),
 	}
 	for _, pc := range cfg.Peers {
 		r.addPeer(pc)

@@ -50,24 +50,31 @@ type Router struct {
 	transport netsim.Transport
 	loc       rib.RouteTable
 	peers     map[string]*peerState // keyed by peer (node) name
+	peerOrder []string              // keys of peers, sorted; maintained by addPeer
 	counters  Counters
 
 	// LastObserved retains the most recent UPDATE per peer; DiCE derives
 	// its symbolic input templates from these (§2.3 "feeds it with a
-	// previously observed input").
-	lastObserved map[string]*bgp.Update
+	// previously observed input"). lastAnnounced additionally retains the
+	// most recent NLRI-carrying UPDATE: scenarios that need an
+	// announcement template (update, routeleak) seed from it, so a
+	// replayed history that happens to end in a withdraw still leaves a
+	// usable seed.
+	lastObserved  map[string]*bgp.Update
+	lastAnnounced map[string]*bgp.Update
 }
 
 // New creates a router from its configuration. name is its netsim node
 // name; peers' config names must match their node names.
 func New(name string, cfg *config.Config, tr netsim.Transport) *Router {
 	r := &Router{
-		cfg:          cfg,
-		name:         name,
-		transport:    tr,
-		loc:          rib.New(),
-		peers:        make(map[string]*peerState, len(cfg.Peers)),
-		lastObserved: make(map[string]*bgp.Update),
+		cfg:           cfg,
+		name:          name,
+		transport:     tr,
+		loc:           rib.New(),
+		peers:         make(map[string]*peerState, len(cfg.Peers)),
+		lastObserved:  make(map[string]*bgp.Update),
+		lastAnnounced: make(map[string]*bgp.Update),
 	}
 	for _, pc := range cfg.Peers {
 		r.addPeer(pc)
@@ -106,6 +113,10 @@ func (r *Router) addPeer(pc *config.Peer) {
 		OnDown:        func(reason string) { r.onDown(peerName, reason) },
 	})
 	r.peers[peerName] = ps
+	at := sort.SearchStrings(r.peerOrder, peerName)
+	r.peerOrder = append(r.peerOrder, "")
+	copy(r.peerOrder[at+1:], r.peerOrder[at:])
+	r.peerOrder[at] = peerName
 }
 
 func boolToU64(b bool) uint64 {
@@ -140,6 +151,12 @@ func (r *Router) LastObserved(peer string) *bgp.Update {
 	return r.lastObserved[peer]
 }
 
+// LastAnnounced returns the most recent NLRI-carrying UPDATE received
+// from peer — the seed for scenarios that explore announcements.
+func (r *Router) LastAnnounced(peer string) *bgp.Update {
+	return r.lastAnnounced[peer]
+}
+
 // PeerNameByAddr returns the configured peer whose remote address is a
 // ("" if none) — the reverse of the RIB's PeerRouterID provenance, used
 // by the federated forward-trace oracle to walk a route back toward the
@@ -153,9 +170,25 @@ func (r *Router) PeerNameByAddr(a netaddr.Addr) string {
 	return ""
 }
 
+// peerNames returns the configured peer names sorted. Every loop whose
+// body sends messages walks peers through this instead of the map: map
+// iteration order would leak into the netsim enqueue sequence — the
+// tie-break between same-timestamp deliveries — and the same witness
+// injected into the same fabric could take a different number of
+// deliveries to converge run to run, which the trace-replay golden
+// harness (and the distributed parity contract on PropagationSteps)
+// cannot tolerate. The order is maintained by addPeer (the peer set is
+// fixed after construction), so the hot callers — propagate on every
+// best-route change, Tick on every timer advance — pay no per-call sort
+// or allocation.
+func (r *Router) peerNames() []string {
+	return r.peerOrder
+}
+
 // Start begins all peering sessions at virtual time now.
 func (r *Router) Start(now time.Time) error {
-	for name, ps := range r.peers {
+	for _, name := range r.peerNames() {
+		ps := r.peers[name]
 		ps.sess.Start(now)
 		if err := ps.sess.ConnUp(now); err != nil {
 			return fmt.Errorf("router %s: peer %s: %w", r.name, name, err)
@@ -173,10 +206,11 @@ func (r *Router) Deliver(now time.Time, from string, data []byte) {
 	_ = ps.sess.Recv(now, data) // protocol errors already notified peer
 }
 
-// Tick advances all session timers.
+// Tick advances all session timers (sorted: a timer firing can emit a
+// KEEPALIVE, and emission order is part of the deterministic contract).
 func (r *Router) Tick(now time.Time) {
-	for _, ps := range r.peers {
-		ps.sess.Tick(now)
+	for _, name := range r.peerNames() {
+		r.peers[name].sess.Tick(now)
 	}
 }
 
@@ -206,6 +240,9 @@ func (r *Router) onDown(peerName string, reason string) {
 func (r *Router) onUpdate(peerName string, u *bgp.Update) {
 	r.counters.UpdatesProcessed++
 	r.lastObserved[peerName] = u
+	if len(u.NLRI) > 0 {
+		r.lastAnnounced[peerName] = u
+	}
 	ps := r.peers[peerName]
 
 	for _, w := range u.Withdrawn {
@@ -288,7 +325,8 @@ func (r *Router) importRouteConcolic(ps *peerState, subj *filter.Subject, attrs 
 // propagate exports a best-route change to every established peer other
 // than the one it came from.
 func (r *Router) propagate(fromPeer string, ch rib.Change) {
-	for name, ps := range r.peers {
+	for _, name := range r.peerNames() {
+		ps := r.peers[name]
 		if name == fromPeer || ps.sess.State() != bgp.StateEstablished {
 			continue
 		}
@@ -440,19 +478,23 @@ func (r *Router) CloneCOW(tr netsim.Transport) *Router {
 		return r.Clone(tr)
 	}
 	c := &Router{
-		cfg:          r.cfg,
-		name:         r.name,
-		transport:    tr,
-		loc:          rib.NewOverlay(base),
-		peers:        make(map[string]*peerState, len(r.peers)),
-		counters:     r.counters,
-		lastObserved: make(map[string]*bgp.Update, len(r.lastObserved)),
+		cfg:           r.cfg,
+		name:          r.name,
+		transport:     tr,
+		loc:           rib.NewOverlay(base),
+		peers:         make(map[string]*peerState, len(r.peers)),
+		counters:      r.counters,
+		lastObserved:  make(map[string]*bgp.Update, len(r.lastObserved)),
+		lastAnnounced: make(map[string]*bgp.Update, len(r.lastAnnounced)),
 	}
 	for _, pc := range r.cfg.Peers {
 		c.addPeer(pc)
 	}
 	for k, v := range r.lastObserved {
 		c.lastObserved[k] = v
+	}
+	for k, v := range r.lastAnnounced {
+		c.lastAnnounced[k] = v
 	}
 	for name, ps := range r.peers {
 		c.peers[name].forceEstablished(ps.sess)
@@ -468,13 +510,14 @@ func (r *Router) CloneCOW(tr netsim.Transport) *Router {
 // after parse.
 func (r *Router) Clone(tr netsim.Transport) *Router {
 	c := &Router{
-		cfg:          r.cfg,
-		name:         r.name,
-		transport:    tr,
-		loc:          rib.New(),
-		peers:        make(map[string]*peerState, len(r.peers)),
-		counters:     r.counters,
-		lastObserved: make(map[string]*bgp.Update, len(r.lastObserved)),
+		cfg:           r.cfg,
+		name:          r.name,
+		transport:     tr,
+		loc:           rib.New(),
+		peers:         make(map[string]*peerState, len(r.peers)),
+		counters:      r.counters,
+		lastObserved:  make(map[string]*bgp.Update, len(r.lastObserved)),
+		lastAnnounced: make(map[string]*bgp.Update, len(r.lastAnnounced)),
 	}
 	for _, pc := range r.cfg.Peers {
 		c.addPeer(pc)
@@ -495,6 +538,9 @@ func (r *Router) Clone(tr netsim.Transport) *Router {
 	})
 	for k, v := range r.lastObserved {
 		c.lastObserved[k] = v // messages are treated as immutable
+	}
+	for k, v := range r.lastAnnounced {
+		c.lastAnnounced[k] = v
 	}
 	// Clone sessions come up Established-equivalent: the clone processes
 	// exploration messages as if the sessions were live, but its sends go
@@ -655,7 +701,10 @@ func (r *Router) HandleUpdateConcolic(rc *concolic.RunContext, peerName string, 
 		exSubj := filter.SubjectFromRoute(prefix, &finalAttrs)
 		exSubj.NetAddr = subj.NetAddr
 		exSubj.NetLen = subj.NetLen
-		for name, other := range r.peers {
+		// Sorted: the export filters run under the recording context, so
+		// peer order becomes path-constraint order.
+		for _, name := range r.peerNames() {
+			other := r.peers[name]
 			if name == peerName {
 				continue
 			}

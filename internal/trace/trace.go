@@ -108,7 +108,15 @@ func Read(r io.Reader) ([]Record, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
 	}
 	count := binary.BigEndian.Uint32(hdr[:])
-	records := make([]Record, 0, count)
+	// The count is untrusted input: a corrupt header must not size an
+	// allocation (a 12-byte file claiming 2^32 records would OOM before
+	// the first short read errored). Grow from a bounded capacity and
+	// let truncation fail record by record.
+	capHint := count
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	records := make([]Record, 0, capHint)
 	var fixed [14]byte // kind(1) + at(8) + addr(4) + bits(1)
 	for i := uint32(0); i < count; i++ {
 		if _, err := io.ReadFull(r, fixed[:]); err != nil {

@@ -14,12 +14,13 @@ race:
 vet:
 	$(GO) vet ./...
 
-# bench runs the S-series scheduler/solver + federated-round benchmarks
-# and updates BENCH_PR4.json ("current" section; "baseline" stays
-# frozen — it holds the pre-COW-Shadow federated round). BENCH_PR2.json
-# and BENCH_PR3.json are the frozen PR 2 / PR 3 trajectories.
+# bench runs the S-series scheduler/solver + federated-round + wire
+# transport benchmarks and updates BENCH_PR6.json ("current" section;
+# "baseline" stays frozen — its v1-json wire modes are the pre-binary
+# protocol the v2 transport is measured against). BENCH_PR2.json,
+# BENCH_PR3.json and BENCH_PR4.json are the frozen earlier trajectories.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_PR4.json
+	$(GO) run ./cmd/bench -out BENCH_PR6.json
 
 # bench-short is the CI smoke variant: one iteration of every benchmark,
 # no JSON output — it only proves the benchmarks still run.

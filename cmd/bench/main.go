@@ -7,10 +7,13 @@
 // Comparing current against baseline is how per-PR perf acceptance
 // criteria are checked. Each PR that changes the tracked set writes a
 // fresh file (BENCH_PR2.json froze the pre-hash-consing engine;
-// BENCH_PR3.json adds the federated round benchmarks).
+// BENCH_PR3.json added the federated round benchmarks; BENCH_PR6.json
+// adds the distributed wire-transport benchmarks, whose v1-json mode is
+// the frozen baseline the v2 protocol is measured against).
 //
-//	go run ./cmd/bench                 # runs the S-series + federated, writes BENCH_PR3.json
+//	go run ./cmd/bench                 # S-series + federated + wire, writes BENCH_PR6.json
 //	go run ./cmd/bench -bench 'S3' -benchtime 10x
+//	go run ./cmd/bench -bench BenchmarkWireRound -benchtime 5x
 package main
 
 import (
@@ -54,8 +57,8 @@ type File struct {
 }
 
 func main() {
-	benchRe := flag.String("bench", "^BenchmarkS[0-9]|^BenchmarkFrontierFold|^BenchmarkFederatedRound", "benchmark regex passed to go test -bench")
-	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	benchRe := flag.String("bench", "^BenchmarkS[0-9]|^BenchmarkFrontierFold|^BenchmarkFederatedRound|^BenchmarkWireRound", "benchmark regex passed to go test -bench")
+	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
 	pkgs := flag.String("pkgs", "./...", "packages to benchmark")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (optional)")
 	count := flag.Int("count", 1, "go test -count value")

@@ -27,6 +27,7 @@
 // over the dist wire protocol (see examples/distributed/README.md):
 //
 //	dice -topology topo.json -distributed 127.0.0.1:7411,127.0.0.1:7412,127.0.0.1:7413
+//	dice -topology topo.json -distributed ... -wire v1   # force the v1 JSON codec
 //
 // The regression harness replays a recorded trace through the topology,
 // minimizes every violating witness, and diffs the round's finding set
@@ -78,6 +79,7 @@ func main() {
 		topologyFile  = flag.String("topology", "", "federated mode: JSON multi-AS topology file to explore instead of the Fig. 2 testbed")
 		propSteps     = flag.Int("propagation-steps", 0, "federated mode: max shadow propagation steps per witness (0 = 4096)")
 		distributed   = flag.String("distributed", "", "distributed mode: comma-separated dicenode agent addresses (requires -topology; one agent per node)")
+		wireVersion   = flag.String("wire", "auto", "distributed mode wire protocol: auto (negotiate, prefer v2 binary) or v1 (force the JSON codec)")
 		replayFile    = flag.String("replay", "", "federated mode: replay this recorded trace into the fabric before rounds run (see -replay-ingress)")
 		replayIngress = flag.String("replay-ingress", "", "replay ingress as 'node<-peer' (default: the topology's first explore target)")
 		minimizeFlag  = flag.Bool("minimize", false, "federated mode: delta-debug every violating witness to a minimal still-failing announcement")
@@ -110,6 +112,9 @@ func main() {
 	}
 	if *distributed != "" && *topologyFile == "" {
 		log.Fatal("-distributed requires -topology (the coordinator resolves targets and links from the topology file)")
+	}
+	if *wireVersion != "auto" && *wireVersion != "v1" {
+		log.Fatalf("-wire %q: want auto or v1", *wireVersion)
 	}
 	if *topologyFile == "" {
 		for name, set := range map[string]bool{
@@ -163,6 +168,7 @@ func main() {
 			replayIngress:  *replayIngress,
 			goldenFile:     *goldenFile,
 			updateGolden:   *updateGolden,
+			wire:           *wireVersion,
 		}
 		if *distributed != "" {
 			runDistributed(run, *distributed)
@@ -308,6 +314,7 @@ type fedRun struct {
 	replayIngress   string
 	goldenFile      string
 	updateGolden    bool
+	wire            string
 }
 
 func (r fedRun) options() core.FederatedOptions {
@@ -472,7 +479,11 @@ func runDistributed(run fedRun, addrs string) {
 		}
 		dialers = append(dialers, dist.TCPDialer{Addr: addr})
 	}
-	coord, err := dist.Connect(topo, run.options(), dialers)
+	var copts []dist.ConnOption
+	if run.wire == "v1" {
+		copts = append(copts, dist.WithMaxVersion(dist.ProtoV1), dist.WithCallAndWait())
+	}
+	coord, err := dist.Connect(topo, run.options(), dialers, copts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -480,6 +491,16 @@ func runDistributed(run fedRun, addrs string) {
 
 	fmt.Printf("distributed topology %q: %d nodes across %d agents, %d edges\n",
 		topo.Name, len(topo.Nodes), len(dialers), len(topo.Edges))
+	versions := coord.Versions()
+	byVer := map[int]int{}
+	for _, v := range versions {
+		byVer[v]++
+	}
+	for v := 1; v <= dist.ProtoLatest; v++ {
+		if n := byVer[v]; n > 0 {
+			fmt.Printf("wire protocol v%d negotiated with %d agent(s)\n", v, n)
+		}
+	}
 
 	if run.replayFile != "" {
 		node, peer, err := run.ingress(topo)

@@ -10,6 +10,10 @@
 //
 //	dicenode -topology topo.json -node provider -listen 127.0.0.1:7411
 //
+// Agents negotiate the wire protocol per connection (binary v2 with
+// pipelining and witness batching by default); -max-proto 1 pins an
+// agent to the v1 JSON codec for mixed-version fleets.
+//
 // The agent instantiates the topology locally (deterministic
 // convergence gives every agent the identical fabric picture) but
 // exposes only the named node over the wire.
@@ -32,11 +36,15 @@ func main() {
 		topologyFile = flag.String("topology", "", "JSON multi-AS topology file (required)")
 		node         = flag.String("node", "", "topology node this agent administers (required)")
 		listen       = flag.String("listen", "127.0.0.1:7411", "TCP address to serve the wire protocol on")
+		maxProto     = flag.Int("max-proto", 0, "highest wire protocol version to negotiate (0 = latest; 1 forces the v1 JSON codec)")
 	)
 	flag.Parse()
 
 	if *topologyFile == "" || *node == "" {
 		log.Fatal("both -topology and -node are required")
+	}
+	if *maxProto < 0 || *maxProto > dist.ProtoLatest {
+		log.Fatalf("-max-proto %d: supported versions are 1..%d (or 0 for latest)", *maxProto, dist.ProtoLatest)
 	}
 	topo, err := core.LoadTopology(*topologyFile)
 	if err != nil {
@@ -46,6 +54,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	agent.MaxProtoVersion = *maxProto
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)

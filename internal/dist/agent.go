@@ -37,6 +37,13 @@ type Agent struct {
 	self     *router.Router
 	boundary uint32
 
+	// MaxProtoVersion caps the wire protocol version this agent will
+	// negotiate (0 means ProtoLatest). Setting it to ProtoV1 makes the
+	// agent behave exactly like a pre-v2 deployment: it answers hello
+	// without a version and keeps speaking JSON — which is also how the
+	// negotiation fallback tests simulate old agents.
+	MaxProtoVersion int
+
 	states *concolic.StateMap // per-(scenario, peer) warm exploration state
 	store  *checkpoint.Store  // page-deduplicating snapshot store
 
@@ -109,36 +116,124 @@ func NewAgent(topo *core.Topology, node string) (*Agent, error) {
 // Node returns the node this agent administers.
 func (a *Agent) Node() string { return a.node }
 
-// ServeConn answers requests on one connection until it closes. Each
-// connection is served sequentially, and requests from concurrent
-// connections serialize on the agent (reqMu) — the node's routers and
-// shadow clones are single-threaded state.
+// connReq is one decoded request envelope queued for the per-connection
+// worker. Exactly one of jsonParams/v2Body is meaningful, per isV2.
+type connReq struct {
+	id         uint64
+	method     string
+	jsonParams json.RawMessage
+	v2Body     []byte
+	isV2       bool
+}
+
+// ServeConn answers requests on one connection until it closes. The
+// reader goroutine (this one) drains frames eagerly so a pipelining
+// client never blocks on its sends; decoded requests queue to a
+// per-connection worker that executes them in arrival order and writes
+// responses. Requests from concurrent connections still serialize on
+// the agent (reqMu) — the node's routers and shadow clones are
+// single-threaded state.
+//
+// Each request is answered in the codec it arrived in: the first octet
+// of a v2 payload is a kind byte that can never open a JSON document,
+// so the codecs self-describe and the v1→v2 switch after hello needs no
+// shared state between reader and worker.
 func (a *Agent) ServeConn(conn io.ReadWriteCloser) error {
 	defer conn.Close()
+	reqs := make(chan connReq, 256)
+	errc := make(chan error, 1)
+	go a.serveRequests(conn, reqs, errc)
+	defer close(reqs)
 	for {
-		var req request
-		if err := readFrame(conn, &req); err != nil {
+		payload, err := readPayload(conn)
+		if err != nil {
+			select {
+			case werr := <-errc:
+				return werr
+			default:
+			}
 			if err == io.EOF {
 				return nil
 			}
 			return err
 		}
-		resp := response{ID: req.ID}
-		result, err := a.handle(req.Method, req.Params)
-		if err != nil {
-			resp.Error = err.Error()
-		} else if result != nil {
-			body, err := json.Marshal(result)
-			if err != nil {
-				resp.Error = fmt.Sprintf("dist: encode %s result: %v", req.Method, err)
-			} else {
-				resp.Result = body
+		var cr connReq
+		if len(payload) > 0 && payload[0] == frameRequestV2 {
+			id, method, body, perr := parseRequestV2(payload)
+			if perr != nil {
+				return perr
 			}
+			cr = connReq{id: id, method: method, v2Body: body, isV2: true}
+		} else {
+			var req request
+			if err := json.Unmarshal(payload, &req); err != nil {
+				return fmt.Errorf("dist: garbled request: %w", err)
+			}
+			cr = connReq{id: req.ID, method: req.Method, jsonParams: req.Params}
 		}
-		if err := writeFrame(conn, resp); err != nil {
-			return err
+		select {
+		case reqs <- cr:
+		case werr := <-errc:
+			return werr
 		}
 	}
+}
+
+// serveRequests is the per-connection worker: it executes queued
+// requests in order and writes each response. On a write failure it
+// closes the connection so the reader unblocks, and parks the error for
+// the reader to return.
+func (a *Agent) serveRequests(conn io.ReadWriteCloser, reqs <-chan connReq, errc chan<- error) {
+	for cr := range reqs {
+		payload, err := a.respond(cr)
+		if err == nil {
+			err = writePayload(conn, payload)
+		}
+		if err != nil {
+			errc <- err
+			conn.Close()
+			return
+		}
+	}
+}
+
+// respond executes one request and renders the response payload in the
+// request's codec. Handler errors become error responses; only encoding
+// the envelope itself can fail.
+func (a *Agent) respond(cr connReq) ([]byte, error) {
+	var result any
+	var herr error
+	if cr.isV2 {
+		result, herr = a.handleV2(cr.method, cr.v2Body)
+	} else {
+		result, herr = a.handle(cr.method, cr.jsonParams)
+	}
+	if cr.isV2 {
+		if herr != nil {
+			return appendResponseV2(nil, cr.id, herr.Error(), nil), nil
+		}
+		var msg v2Message
+		if result != nil {
+			m, ok := result.(v2Message)
+			if !ok {
+				return appendResponseV2(nil, cr.id, fmt.Sprintf("dist: %s result type %T has no v2 encoding", cr.method, result), nil), nil
+			}
+			msg = m
+		}
+		return appendResponseV2(nil, cr.id, "", msg), nil
+	}
+	resp := response{ID: cr.id}
+	if herr != nil {
+		resp.Error = herr.Error()
+	} else if result != nil {
+		body, err := json.Marshal(result)
+		if err != nil {
+			resp.Error = fmt.Sprintf("dist: encode %s result: %v", cr.method, err)
+		} else {
+			resp.Result = body
+		}
+	}
+	return json.Marshal(resp)
 }
 
 // ListenAndServe accepts connections until the listener closes.
@@ -158,7 +253,13 @@ func (a *Agent) handle(method string, params json.RawMessage) (any, error) {
 	defer a.reqMu.Unlock()
 	switch method {
 	case MethodHello:
-		return a.hello(), nil
+		var p HelloParams
+		if len(params) > 0 {
+			if err := json.Unmarshal(params, &p); err != nil {
+				return nil, err
+			}
+		}
+		return a.hello(p), nil
 	case MethodCheckpoint:
 		return a.checkpoint()
 	case MethodExplore:
@@ -175,6 +276,12 @@ func (a *Agent) handle(method string, params json.RawMessage) (any, error) {
 			return nil, err
 		}
 		return a.inject(p)
+	case MethodInjectWitnessBatch:
+		var p InjectBatchParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		return a.injectBatch(p)
 	case MethodShadowClose:
 		var p ShadowCloseParams
 		if err := json.Unmarshal(params, &p); err != nil {
@@ -198,12 +305,90 @@ func (a *Agent) handle(method string, params json.RawMessage) (any, error) {
 	return nil, fmt.Errorf("dist: unknown method %q", method)
 }
 
-func (a *Agent) hello() HelloResult {
-	return HelloResult{
+// handleV2 dispatches one binary-codec request. Same handlers, same
+// reqMu serialization as the JSON path; only the parameter decoding
+// differs.
+func (a *Agent) handleV2(method string, body []byte) (any, error) {
+	a.reqMu.Lock()
+	defer a.reqMu.Unlock()
+	switch method {
+	case MethodHello:
+		var p HelloParams
+		if err := decodeBodyV2(body, &p); err != nil {
+			return nil, err
+		}
+		return a.hello(p), nil
+	case MethodCheckpoint:
+		if err := decodeBodyV2(body, nil); err != nil {
+			return nil, err
+		}
+		return a.checkpoint()
+	case MethodExplore:
+		var p ExploreParams
+		if err := decodeBodyV2(body, &p); err != nil {
+			return nil, err
+		}
+		return a.explore(p)
+	case MethodShadowOpen:
+		if err := decodeBodyV2(body, nil); err != nil {
+			return nil, err
+		}
+		return a.shadowOpen(), nil
+	case MethodInjectWitness:
+		var p InjectParams
+		if err := decodeBodyV2(body, &p); err != nil {
+			return nil, err
+		}
+		return a.inject(p)
+	case MethodInjectWitnessBatch:
+		var p InjectBatchParams
+		if err := decodeBodyV2(body, &p); err != nil {
+			return nil, err
+		}
+		return a.injectBatch(p)
+	case MethodShadowClose:
+		var p ShadowCloseParams
+		if err := decodeBodyV2(body, &p); err != nil {
+			return nil, err
+		}
+		a.shadowClose(p.ShadowID)
+		return nil, nil
+	case MethodQueryOracle:
+		var p QueryOracleParams
+		if err := decodeBodyV2(body, &p); err != nil {
+			return nil, err
+		}
+		return a.queryOracle(p)
+	case MethodReplay:
+		var p ReplayParams
+		if err := decodeBodyV2(body, &p); err != nil {
+			return nil, err
+		}
+		return a.replay(p)
+	}
+	return nil, fmt.Errorf("dist: unknown method %q", method)
+}
+
+// hello identifies the node and negotiates the protocol version: the
+// minimum of the client's advertised maximum and this agent's own cap.
+// A v1 client sends no MaxVersion (reads as 0 → v1) and ignores the
+// Version field in the result, so both directions of version skew
+// degrade to JSON without configuration.
+func (a *Agent) hello(p HelloParams) *HelloResult {
+	agentMax := a.MaxProtoVersion
+	if agentMax <= 0 || agentMax > ProtoLatest {
+		agentMax = ProtoLatest
+	}
+	clientMax := p.MaxVersion
+	if clientMax <= 0 {
+		clientMax = ProtoV1
+	}
+	return &HelloResult{
 		Node:     a.node,
 		Topology: a.topo.Name,
 		AS:       a.self.Config().LocalAS,
 		Prefixes: a.self.RIB().Prefixes(),
+		Version:  min(clientMax, agentMax),
 	}
 }
 
@@ -370,6 +555,23 @@ func (a *Agent) inject(p InjectParams) (*InjectResult, error) {
 		out.Emitted = append(out.Emitted, WireEmission{To: m.To, Msg: m.Data})
 	}
 	sh.read = len(msgs)
+	return out, nil
+}
+
+// injectBatch delivers a run of messages into one shadow clone in
+// order, returning per-delivery emissions. Semantically identical to
+// the same sequence of inject calls — the batch exists to amortize the
+// round trip and the framing, not to change delivery order — so the
+// coordinator's relay can coalesce freely without disturbing parity.
+func (a *Agent) injectBatch(p InjectBatchParams) (*InjectBatchResult, error) {
+	out := &InjectBatchResult{Results: make([]InjectResult, 0, len(p.Deliveries))}
+	for _, d := range p.Deliveries {
+		r, err := a.inject(InjectParams{ShadowID: p.ShadowID, From: d.From, Msg: d.Msg})
+		if err != nil {
+			return nil, err
+		}
+		out.Results = append(out.Results, *r)
+	}
 	return out, nil
 }
 

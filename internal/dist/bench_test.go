@@ -1,0 +1,163 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"testing"
+
+	"dice/internal/bgp"
+	"dice/internal/core"
+	"dice/internal/netaddr"
+)
+
+// countingConn tallies every byte crossing the wire (both directions,
+// counted once on the coordinator side).
+type countingConn struct {
+	io.ReadWriteCloser
+	bytes *int64
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.ReadWriteCloser.Read(p)
+	atomic.AddInt64(c.bytes, int64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.ReadWriteCloser.Write(p)
+	atomic.AddInt64(c.bytes, int64(n))
+	return n, err
+}
+
+// countingDialer wraps a Dialer so every connection it produces feeds
+// the shared byte counter.
+type countingDialer struct {
+	inner Dialer
+	bytes *int64
+}
+
+func (d countingDialer) Dial() (io.ReadWriteCloser, error) {
+	conn, err := d.inner.Dial()
+	if err != nil {
+		return nil, err
+	}
+	return countingConn{ReadWriteCloser: conn, bytes: d.bytes}, nil
+}
+
+// benchWitnessSpecs handcrafts k concrete leak witnesses with pairwise
+// disjoint prefixes: 10.200.k.0/24 passes the builtin peer_in filter's
+// 10.0.0.0/8{24,32} clause, and the NO_EXPORT community arms the
+// route-leak oracle on every node it escapes to. All inject at as65002
+// as if sent by as65001 — the witness-storm shape a dense exploration
+// round produces.
+func benchWitnessSpecs(tb testing.TB, k int) []WitnessSpec {
+	tb.Helper()
+	specs := make([]WitnessSpec, k)
+	for i := range specs {
+		p, err := netaddr.ParsePrefix(fmt.Sprintf("10.200.%d.0/24", i))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		specs[i] = WitnessSpec{
+			Node: "as65002", Peer: "as65001",
+			Update: &bgp.Update{
+				Attrs: bgp.Attrs{
+					HasOrigin:   true,
+					ASPath:      bgp.ASPath{{Type: bgp.ASSequence, ASNs: []uint16{65001}}},
+					HasNextHop:  true,
+					NextHop:     netaddr.AddrFrom4(10, 0, 0, 1),
+					Communities: []uint32{bgp.CommunityNoExport},
+				},
+				NLRI: []netaddr.Prefix{p},
+			},
+		}
+	}
+	return specs
+}
+
+// BenchmarkWireRound measures the wire-dominated phase of a distributed
+// round — a 16-witness cross-domain check storm — in three transport
+// modes over loopback agents:
+//
+//	v1-json:   JSON framing, one call in flight, fresh shadow set per
+//	           witness (the PR4 call-and-wait transport, via
+//	           WithMaxVersion(1)+WithCallAndWait)
+//	v2-binary: binary framing, same call-and-wait discipline — isolates
+//	           the codec win
+//	v2-full:   binary framing + pipelining + relay batching + shared
+//	           shadow sets — the protocol v2 default
+//
+// Exploration is excluded on purpose: its compute is identical across
+// modes and would only dilute the transport signal. wire-B/op reports
+// bytes on the wire per checked storm; BENCH_PR6.json tracks v2-full
+// against the v1-json baseline (acceptance: ≥2× on line-3-dense).
+func BenchmarkWireRound(b *testing.B) {
+	shapes := []struct {
+		name string
+		topo *core.Topology
+	}{
+		{"line-3-dense", core.DenseLineTopology(3, 256)},
+		{"mesh-5", core.MeshTopology(5)},
+	}
+	modes := []struct {
+		name  string
+		copts []ConnOption
+	}{
+		{"v1-json", []ConnOption{WithMaxVersion(ProtoV1), WithCallAndWait()}},
+		{"v2-binary", []ConnOption{WithCallAndWait()}},
+		{"v2-full", nil},
+	}
+	for _, sh := range shapes {
+		// Fabric build and convergence are setup; the agents are reused
+		// across modes (shadow clones are per-check state, torn down by
+		// every CheckWitnesses call).
+		agents := make([]*Agent, 0, len(sh.topo.Nodes))
+		for _, n := range sh.topo.Nodes {
+			ag, err := NewAgent(sh.topo, n.Name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			agents = append(agents, ag)
+		}
+		specs := benchWitnessSpecs(b, 16)
+		for _, mode := range modes {
+			b.Run(sh.name+"/"+mode.name, func(b *testing.B) {
+				var wireBytes int64
+				dialers := make([]Dialer, len(agents))
+				for i, ag := range agents {
+					dialers[i] = countingDialer{inner: Loopback{Agent: ag}, bytes: &wireBytes}
+				}
+				coord, err := Connect(sh.topo, core.FederatedOptions{}, dialers, mode.copts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer coord.Close()
+				// Sanity: the witnesses must actually propagate and leak,
+				// or the storm measures nothing.
+				outs, err := coord.CheckWitnesses(specs[:1])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if outs[0].Steps < 2 || len(outs[0].Violations) == 0 {
+					b.Fatalf("bench witness inert: %d steps, %d violations", outs[0].Steps, len(outs[0].Violations))
+				}
+				violations := 0
+				b.ResetTimer()
+				atomic.StoreInt64(&wireBytes, 0)
+				for i := 0; i < b.N; i++ {
+					outs, err := coord.CheckWitnesses(specs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					violations = 0
+					for _, out := range outs {
+						violations += len(out.Violations)
+					}
+				}
+				b.ReportMetric(float64(atomic.LoadInt64(&wireBytes))/float64(b.N), "wire-B/op")
+				b.ReportMetric(float64(violations), "violations")
+			})
+		}
+	}
+}

@@ -2,59 +2,274 @@ package dist
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 )
 
-// Client speaks the wire protocol to one agent. Calls are serialized:
-// one request is in flight per connection at a time, which is all the
-// coordinator needs (parallelism comes from one connection per agent).
+// ErrClientBroken marks a connection poisoned by a protocol error: a
+// response whose ID matches no pending request, a garbled frame, or an
+// I/O failure. Once broken, the connection is closed, every in-flight
+// call fails with an error wrapping this sentinel, and all later calls
+// fail immediately — the caller must reconnect, because a desynchronized
+// byte stream cannot be trusted for even one more frame.
+var ErrClientBroken = errors.New("dist: connection broken")
+
+// Pending is an in-flight call started with Client.Go.
+type Pending struct {
+	method string
+	result any
+	errc   chan error // buffered 1; receives exactly one completion
+}
+
+// Wait blocks until the response arrives (or the connection breaks) and
+// returns the call's error.
+func (p *Pending) Wait() error { return <-p.errc }
+
+// Client speaks the wire protocol to one agent. Calls are pipelined:
+// any number of requests may be in flight per connection, a reader
+// goroutine matches responses to callers by ID. Call gives the
+// synchronous one-at-a-time behaviour; Go/Wait overlap round trips.
+//
+// A fresh client speaks v1 JSON. Handshake negotiates the protocol
+// version with the agent and, when both sides support it, switches the
+// connection to the v2 binary codec. Raw Call without Handshake keeps
+// working in v1 for tools that poke single methods.
 type Client struct {
-	mu   sync.Mutex
 	conn io.ReadWriteCloser
-	next uint64
+
+	writeMu sync.Mutex // one frame write at a time
+
+	mu      sync.Mutex
+	pending map[uint64]*Pending
+	next    uint64
+	version int
+	broken  error
+
+	readerOnce sync.Once
 }
 
 // NewClient wraps an established connection.
 func NewClient(conn io.ReadWriteCloser) *Client {
-	return &Client{conn: conn}
+	return &Client{conn: conn, pending: make(map[uint64]*Pending), version: ProtoV1}
+}
+
+// Version reports the protocol version in use: ProtoV1 until a
+// Handshake negotiates higher.
+func (c *Client) Version() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// Handshake performs the hello exchange and negotiates the protocol
+// version, capped at maxVersion (values outside [1, ProtoLatest] mean
+// "latest"). It must be the only call in flight: the hello always
+// travels as v1 JSON, and both sides switch codecs between the hello
+// response and the next frame. Returns the agent's hello so the caller
+// can validate node and topology identity.
+func (c *Client) Handshake(maxVersion int) (HelloResult, error) {
+	if maxVersion <= 0 || maxVersion > ProtoLatest {
+		maxVersion = ProtoLatest
+	}
+	var hr HelloResult
+	if err := c.Call(MethodHello, &HelloParams{MaxVersion: maxVersion}, &hr); err != nil {
+		return HelloResult{}, err
+	}
+	ver := hr.Version
+	if ver == 0 {
+		ver = ProtoV1 // v1 agents don't know the field
+	}
+	if ver > maxVersion {
+		err := fmt.Errorf("dist: agent negotiated version %d above our cap %d", ver, maxVersion)
+		c.fail(err)
+		return HelloResult{}, err
+	}
+	c.mu.Lock()
+	c.version = ver
+	c.mu.Unlock()
+	return hr, nil
 }
 
 // Call invokes method with params, decoding the response into result
 // (which may be nil when the caller only cares about success).
 func (c *Client) Call(method string, params, result any) error {
+	return c.Go(method, params, result).Wait()
+}
+
+// Go starts a call without waiting for the response. result (if
+// non-nil) is written before Wait returns; it must not be read until
+// then. On a v2 connection result must be one of the wire message
+// types.
+func (c *Client) Go(method string, params, result any) *Pending {
+	p := &Pending{method: method, result: result, errc: make(chan error, 1)}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.broken != nil {
+		err := c.broken
+		c.mu.Unlock()
+		p.errc <- err
+		return p
+	}
 	c.next++
-	req := request{ID: c.next, Method: method}
-	if params != nil {
-		body, err := json.Marshal(params)
+	id := c.next
+	c.pending[id] = p
+	ver := c.version
+	c.mu.Unlock()
+
+	// Register before writing, then start the reader: the response may
+	// race back before this goroutine regains the CPU.
+	c.readerOnce.Do(func() { go c.readLoop() })
+
+	payload, err := encodeRequest(id, method, params, ver)
+	if err != nil {
+		// An unencodable request is a caller bug, not stream corruption:
+		// nothing hit the wire, so the connection stays healthy.
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		p.errc <- err
+		return p
+	}
+	c.writeMu.Lock()
+	werr := writePayload(c.conn, payload)
+	c.writeMu.Unlock()
+	if werr != nil {
+		// fail delivers the broken error to every pending call,
+		// including this one.
+		c.fail(fmt.Errorf("send %s: %v", method, werr))
+	}
+	return p
+}
+
+// Close closes the underlying connection. In-flight calls fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// fail poisons the connection: records the sticky error, closes the
+// transport, and completes every pending call with the broken error.
+func (c *Client) fail(cause error) {
+	c.mu.Lock()
+	if c.broken == nil {
+		c.broken = fmt.Errorf("%w: %v", ErrClientBroken, cause)
+	}
+	err := c.broken
+	pend := c.pending
+	c.pending = make(map[uint64]*Pending)
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, p := range pend {
+		p.errc <- err
+	}
+}
+
+// readLoop drains response frames and completes pending calls. Any
+// framing-level problem poisons the connection and stops the loop.
+func (c *Client) readLoop() {
+	for {
+		payload, err := readPayload(c.conn)
 		if err != nil {
-			return fmt.Errorf("dist: encode %s params: %w", method, err)
+			c.fail(fmt.Errorf("recv: %v", err))
+			return
 		}
-		req.Params = body
+		// The payload's first octet discriminates the codec: v2
+		// responses lead with their kind byte, JSON documents with '{'.
+		// Decoding by inspection (rather than tracked state) makes the
+		// v1→v2 switch raceless: the frame says what it is.
+		var (
+			id     uint64
+			errMsg string
+			body   []byte
+			isV2   bool
+		)
+		if len(payload) > 0 && payload[0] == frameResponseV2 {
+			isV2 = true
+			id, errMsg, body, err = parseResponseV2(payload)
+		} else {
+			var resp response
+			err = json.Unmarshal(payload, &resp)
+			id, errMsg, body = resp.ID, resp.Error, resp.Result
+		}
+		if err != nil {
+			c.fail(fmt.Errorf("garbled response: %v", err))
+			return
+		}
+		c.mu.Lock()
+		p, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if !ok {
+			c.fail(fmt.Errorf("response id %d matches no pending request", id))
+			return
+		}
+		callErr := c.complete(p, errMsg, body, isV2)
+		p.errc <- callErr
+		if callErr != nil && errors.Is(callErr, ErrClientBroken) {
+			return
+		}
 	}
-	if err := writeFrame(c.conn, req); err != nil {
-		return fmt.Errorf("dist: send %s: %w", method, err)
+}
+
+// complete decodes one response into its pending call's result. A body
+// that fails to decode poisons the connection (the stream can no longer
+// be trusted) and returns the broken error for this call too.
+func (c *Client) complete(p *Pending, errMsg string, body []byte, isV2 bool) error {
+	if errMsg != "" {
+		return fmt.Errorf("dist: %s: %s", p.method, errMsg)
 	}
-	var resp response
-	if err := readFrame(c.conn, &resp); err != nil {
-		return fmt.Errorf("dist: recv %s: %w", method, err)
+	if p.result == nil {
+		return nil
 	}
-	if resp.ID != req.ID {
-		return fmt.Errorf("dist: %s response id %d, want %d", method, resp.ID, req.ID)
+	if isV2 {
+		msg, ok := p.result.(v2Message)
+		if !ok {
+			return fmt.Errorf("dist: %s result type %T has no v2 decoding", p.method, p.result)
+		}
+		if err := decodeBodyV2(body, msg); err != nil {
+			c.fail(fmt.Errorf("decode %s result: %v", p.method, err))
+			c.mu.Lock()
+			err = c.broken
+			c.mu.Unlock()
+			return err
+		}
+		return nil
 	}
-	if resp.Error != "" {
-		return fmt.Errorf("dist: %s: %s", method, resp.Error)
-	}
-	if result != nil && resp.Result != nil {
-		if err := json.Unmarshal(resp.Result, result); err != nil {
-			return fmt.Errorf("dist: decode %s result: %w", method, err)
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, p.result); err != nil {
+			c.fail(fmt.Errorf("decode %s result: %v", p.method, err))
+			c.mu.Lock()
+			err = c.broken
+			c.mu.Unlock()
+			return err
 		}
 	}
 	return nil
 }
 
-// Close closes the underlying connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// encodeRequest renders one request payload in the given protocol
+// version. v2 params must implement the binary codec.
+func encodeRequest(id uint64, method string, params any, version int) ([]byte, error) {
+	if version >= ProtoV2 {
+		var msg v2Message
+		if params != nil {
+			m, ok := params.(v2Message)
+			if !ok {
+				return nil, fmt.Errorf("dist: %s params type %T has no v2 encoding", method, params)
+			}
+			msg = m
+		}
+		return appendRequestV2(nil, id, method, msg)
+	}
+	req := request{ID: id, Method: method}
+	if params != nil {
+		body, err := json.Marshal(params)
+		if err != nil {
+			return nil, fmt.Errorf("dist: encode %s params: %w", method, err)
+		}
+		req.Params = body
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encode %s request: %w", method, err)
+	}
+	return body, nil
+}

@@ -29,6 +29,38 @@ type Coordinator struct {
 	nodes    []string // sorted node names
 	latency  map[string]time.Duration
 	boundary uint32 // no-export community, resolved once at Connect
+
+	maxVersion  int  // wire protocol cap offered at handshake
+	callAndWait bool // disable pipelining, batching, shared shadow sets
+}
+
+// ConnOption tunes how Connect drives the wire protocol.
+type ConnOption func(*Coordinator)
+
+// WithMaxVersion caps the protocol version the coordinator offers in
+// its handshakes. WithMaxVersion(ProtoV1) forces JSON framing even
+// against v2 agents — the compatibility escape hatch, and the baseline
+// leg of the wire benchmarks.
+func WithMaxVersion(v int) ConnOption {
+	return func(c *Coordinator) { c.maxVersion = v }
+}
+
+// WithCallAndWait disables request pipelining, relay batching, and
+// shadow-set sharing: every RPC is issued alone and awaited before the
+// next, the pre-v2 transport discipline. Useful for benchmarks
+// (isolating the codec from the scheduling wins) and for bisecting
+// transport bugs.
+func WithCallAndWait() ConnOption {
+	return func(c *Coordinator) { c.callAndWait = true }
+}
+
+// Versions reports the negotiated wire protocol version per node.
+func (c *Coordinator) Versions() map[string]int {
+	v := make(map[string]int, len(c.clients))
+	for n, cl := range c.clients {
+		v[n] = cl.Version()
+	}
+	return v
 }
 
 // TargetResult is one node's share of a distributed round.
@@ -78,7 +110,7 @@ func (res *RoundResult) Snapshot() []string {
 // Connect dials one agent per dialer, identifies each, and checks the
 // set exactly covers the topology: every node independently
 // administered, none orphaned, none doubled.
-func Connect(topo *core.Topology, opts core.FederatedOptions, dialers []Dialer) (*Coordinator, error) {
+func Connect(topo *core.Topology, opts core.FederatedOptions, dialers []Dialer, copts ...ConnOption) (*Coordinator, error) {
 	if opts.DefaultScenario == "" {
 		opts.DefaultScenario = core.ScenarioRouteLeak
 	}
@@ -101,11 +133,15 @@ func Connect(topo *core.Topology, opts core.FederatedOptions, dialers []Dialer) 
 		return nil, err
 	}
 	c := &Coordinator{
-		Topo:     topo,
-		opts:     opts,
-		clients:  make(map[string]*Client, len(dialers)),
-		latency:  make(map[string]time.Duration, len(topo.Edges)),
-		boundary: boundary,
+		Topo:       topo,
+		opts:       opts,
+		clients:    make(map[string]*Client, len(dialers)),
+		latency:    make(map[string]time.Duration, len(topo.Edges)),
+		boundary:   boundary,
+		maxVersion: ProtoLatest,
+	}
+	for _, o := range copts {
+		o(c)
 	}
 	for _, e := range topo.Edges {
 		lat := time.Duration(e.LatencyMS) * time.Millisecond
@@ -121,8 +157,8 @@ func Connect(topo *core.Topology, opts core.FederatedOptions, dialers []Dialer) 
 			return nil, err
 		}
 		cl := NewClient(conn)
-		var hello HelloResult
-		if err := cl.Call(MethodHello, nil, &hello); err != nil {
+		hello, err := cl.Handshake(c.maxVersion)
+		if err != nil {
 			cl.Close()
 			c.Close()
 			return nil, err
@@ -210,7 +246,7 @@ func (c *Coordinator) Round() (*RoundResult, error) {
 				ReuseState:   c.opts.ReuseState,
 			}
 			var out ExploreResult
-			if err := cl.Call(MethodExplore, params, &out); err != nil {
+			if err := cl.Call(MethodExplore, &params, &out); err != nil {
 				errs[i] = err
 				return
 			}
@@ -271,18 +307,32 @@ func (c *Coordinator) Round() (*RoundResult, error) {
 		}
 	}
 
+	// Apply the cap, then check the surviving witnesses as one sequence:
+	// CheckWitnesses shares shadow sets across disjoint-prefix runs, and
+	// per-witness outcomes come back in order so violation order, step
+	// totals and per-finding artifacts land exactly as the one-at-a-time
+	// loop produced them.
+	var checked []witness
 	for _, w := range witnesses {
-		if res.WitnessesInjected >= c.opts.MaxWitnesses {
+		if len(checked) >= c.opts.MaxWitnesses {
 			res.WitnessesSkipped++
 			continue
 		}
-		res.WitnessesInjected++
+		checked = append(checked, w)
+	}
+	res.WitnessesInjected = len(checked)
+	specs := make([]WitnessSpec, len(checked))
+	for i, w := range checked {
+		specs[i] = WitnessSpec{Node: w.node, Peer: w.peer, Update: w.update}
+		res.Targets[w.target].Findings[w.finding].Witness = w.update
+	}
+	outcomes, err := c.CheckWitnesses(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range checked {
+		out := outcomes[i]
 		tr := &res.Targets[w.target]
-		tr.Findings[w.finding].Witness = w.update
-		out, err := c.CheckWitness(w.node, w.peer, w.update)
-		if err != nil {
-			return nil, err
-		}
 		res.PropagationSteps += out.Steps
 		res.Violations = append(res.Violations, out.Violations...)
 		if c.opts.Minimize && len(out.Violations) > 0 {
@@ -325,7 +375,7 @@ func (c *Coordinator) Replay(node, peer string, traceBytes []byte) (int, error) 
 		wg.Add(1)
 		go func(i int, n string) {
 			defer wg.Done()
-			if err := c.clients[n].Call(MethodReplay, params, &outs[i]); err != nil {
+			if err := c.clients[n].Call(MethodReplay, &params, &outs[i]); err != nil {
 				errs[i] = fmt.Errorf("dist: replay on agent %s: %w", n, err)
 			}
 		}(i, n)
@@ -405,24 +455,58 @@ func (q *relayQueue) Pop() any {
 type shadowSet map[string]uint64
 
 // openShadows opens one shadow per node; closeShadows tears them down.
+// When pipelining is on, all opens are in flight at once — the agents
+// sit on different connections, so the fan-out completes in one RTT.
 func (c *Coordinator) openShadows() (shadowSet, error) {
 	shadows := make(shadowSet, len(c.nodes))
-	for _, n := range c.nodes {
-		var out ShadowOpenResult
-		if err := c.clients[n].Call(MethodShadowOpen, nil, &out); err != nil {
-			c.closeShadows(shadows)
-			return nil, err
+	if c.callAndWait {
+		for _, n := range c.nodes {
+			var out ShadowOpenResult
+			if err := c.clients[n].Call(MethodShadowOpen, nil, &out); err != nil {
+				c.closeShadows(shadows)
+				return nil, err
+			}
+			shadows[n] = out.ShadowID
 		}
-		shadows[n] = out.ShadowID
+		return shadows, nil
+	}
+	outs := make([]ShadowOpenResult, len(c.nodes))
+	pend := make([]*Pending, len(c.nodes))
+	for i, n := range c.nodes {
+		pend[i] = c.clients[n].Go(MethodShadowOpen, nil, &outs[i])
+	}
+	var firstErr error
+	for i, p := range pend {
+		if err := p.Wait(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		shadows[c.nodes[i]] = outs[i].ShadowID
+	}
+	if firstErr != nil {
+		c.closeShadows(shadows)
+		return nil, firstErr
 	}
 	return shadows, nil
 }
 
 func (c *Coordinator) closeShadows(shadows shadowSet) {
+	// Best-effort: a failed close leaks one clone on that agent, it
+	// does not invalidate the round.
+	if c.callAndWait {
+		for n, id := range shadows {
+			_ = c.clients[n].Call(MethodShadowClose, &ShadowCloseParams{ShadowID: id}, nil)
+		}
+		return
+	}
+	pend := make([]*Pending, 0, len(shadows))
 	for n, id := range shadows {
-		// Best-effort: a failed close leaks one clone on that agent, it
-		// does not invalidate the round.
-		_ = c.clients[n].Call(MethodShadowClose, ShadowCloseParams{ShadowID: id}, nil)
+		pend = append(pend, c.clients[n].Go(MethodShadowClose, &ShadowCloseParams{ShadowID: id}, nil))
+	}
+	for _, p := range pend {
+		_ = p.Wait()
 	}
 }
 
@@ -430,11 +514,46 @@ func (c *Coordinator) closeShadows(shadows shadowSet) {
 func (c *Coordinator) query(shadows shadowSet, node string, prefix netaddr.Prefix) (*QueryOracleResult, error) {
 	var out QueryOracleResult
 	err := c.clients[node].Call(MethodQueryOracle,
-		QueryOracleParams{ShadowID: shadows[node], Prefix: prefix.String()}, &out)
+		&QueryOracleParams{ShadowID: shadows[node], Prefix: prefix.String()}, &out)
 	if err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// queryMany fans the same oracle query out to several nodes and returns
+// the answers keyed by node. Under call-and-wait it degrades to the
+// sequential loop; the answers are identical either way — converged
+// shadows are read-only to queries — so callers may evaluate them in
+// any order they need for deterministic violation ordering.
+func (c *Coordinator) queryMany(shadows shadowSet, nodes []string, prefix netaddr.Prefix) (map[string]*QueryOracleResult, error) {
+	out := make(map[string]*QueryOracleResult, len(nodes))
+	if c.callAndWait {
+		for _, n := range nodes {
+			q, err := c.query(shadows, n, prefix)
+			if err != nil {
+				return nil, err
+			}
+			out[n] = q
+		}
+		return out, nil
+	}
+	outs := make([]QueryOracleResult, len(nodes))
+	pend := make([]*Pending, len(nodes))
+	for i, n := range nodes {
+		pend[i] = c.clients[n].Go(MethodQueryOracle,
+			&QueryOracleParams{ShadowID: shadows[n], Prefix: prefix.String()}, &outs[i])
+	}
+	for i, p := range pend {
+		if err := p.Wait(); err != nil {
+			for _, rest := range pend[i+1:] {
+				_ = rest.Wait()
+			}
+			return nil, err
+		}
+		out[nodes[i]] = &outs[i]
+	}
+	return out, nil
 }
 
 // relay drives one message wave set through the agents: deliveries pop
@@ -451,78 +570,210 @@ func (c *Coordinator) relay(shadows shadowSet, queue *relayQueue, maxSteps int) 
 	var last time.Duration
 	for queue.Len() > 0 && steps < maxSteps {
 		e := heap.Pop(queue).(*relayEvent)
-		var out InjectResult
-		err := c.clients[e.to].Call(MethodInjectWitness,
-			InjectParams{ShadowID: shadows[e.to], From: e.from, Msg: e.msg}, &out)
+		// Coalesce the run of deliveries sharing this event's virtual
+		// timestamp and destination into one batch. The coalesced pops
+		// are exactly the pops the one-at-a-time loop would have made:
+		// an emission lands at its cause's time plus a link latency
+		// that is never zero, so nothing pushed while serving this
+		// batch could have sorted inside it.
+		batch := []*relayEvent{e}
+		if c.batchTo(e.to) {
+			for queue.Len() > 0 && steps+len(batch) < maxSteps {
+				head := (*queue)[0]
+				if head.at != e.at || head.to != e.to {
+					break
+				}
+				batch = append(batch, heap.Pop(queue).(*relayEvent))
+			}
+		}
+		results, err := c.deliver(shadows, e.to, batch)
 		if err != nil {
 			return steps, queue.Len(), waves, err
 		}
-		steps++
-		if len(waves) == 0 || e.at != last {
-			waves = append(waves, 0)
-			last = e.at
-		}
-		waves[len(waves)-1]++
-		for _, em := range out.Emitted {
-			lat, linked := c.linkLatency(e.to, em.To)
-			if !linked {
-				continue // no link: dropped, like netsim's unplugged cable
+		for bi, ev := range batch {
+			steps++
+			if len(waves) == 0 || ev.at != last {
+				waves = append(waves, 0)
+				last = ev.at
 			}
-			seq++
-			heap.Push(queue, &relayEvent{at: e.at + lat, seq: seq, from: e.to, to: em.To, msg: em.Msg})
+			waves[len(waves)-1]++
+			for _, em := range results[bi].Emitted {
+				lat, linked := c.linkLatency(ev.to, em.To)
+				if !linked {
+					continue // no link: dropped, like netsim's unplugged cable
+				}
+				seq++
+				heap.Push(queue, &relayEvent{at: ev.at + lat, seq: seq, from: ev.to, to: em.To, msg: em.Msg})
+			}
 		}
 	}
 	return steps, queue.Len(), waves, nil
+}
+
+// batchTo reports whether deliveries to node may be coalesced into
+// inject_witness_batch calls: the connection must have negotiated v2
+// (a genuinely old agent doesn't know the method) and batching must not
+// be disabled.
+func (c *Coordinator) batchTo(node string) bool {
+	return !c.callAndWait && c.clients[node].Version() >= ProtoV2
+}
+
+// deliver ships a batch of deliveries to one agent — a single
+// inject_witness for the common singleton case, one inject_witness_batch
+// otherwise — and returns per-delivery emissions in order.
+func (c *Coordinator) deliver(shadows shadowSet, to string, batch []*relayEvent) ([]InjectResult, error) {
+	if len(batch) == 1 {
+		var out InjectResult
+		err := c.clients[to].Call(MethodInjectWitness,
+			&InjectParams{ShadowID: shadows[to], From: batch[0].from, Msg: batch[0].msg}, &out)
+		if err != nil {
+			return nil, err
+		}
+		return []InjectResult{out}, nil
+	}
+	p := InjectBatchParams{ShadowID: shadows[to], Deliveries: make([]BatchDelivery, len(batch))}
+	for i, ev := range batch {
+		p.Deliveries[i] = BatchDelivery{From: ev.from, Msg: ev.msg}
+	}
+	var out InjectBatchResult
+	if err := c.clients[to].Call(MethodInjectWitnessBatch, &p, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(batch) {
+		return nil, fmt.Errorf("dist: %s answered %d results for a batch of %d", to, len(out.Results), len(batch))
+	}
+	return out.Results, nil
+}
+
+// WitnessSpec names one concrete witness to check: the update, the node
+// it was explored at, and the peer it arrives from.
+type WitnessSpec struct {
+	Node, Peer string
+	Update     *bgp.Update
 }
 
 // CheckWitness is the distributed form of the in-process CheckWitness:
 // inject one concrete witness at the explored node as if its peer sent
 // it, relay the resulting message waves between the agents' shadow
 // clones, and run the cross-node oracles over the converged state —
-// then withdraw it and check the retraction cleans up. Round calls it
-// for every injected witness; witness minimization
-// (core.MinimizeWitness over the core.WitnessChecker seam) calls it for
-// every candidate.
+// then withdraw it and check the retraction cleans up. Witness
+// minimization (core.MinimizeWitness over the core.WitnessChecker seam)
+// calls it for every candidate; Round's own witnesses go through
+// CheckWitnesses, which shares shadow sets where it can.
 func (c *Coordinator) CheckWitness(node, peer string, w *bgp.Update) (*core.WitnessOutcome, error) {
-	res := &core.WitnessOutcome{}
-	lat, linked := c.linkLatency(peer, node)
-	if !linked {
-		return nil, fmt.Errorf("dist: no %s→%s link for witness injection", peer, node)
-	}
-	prefix := w.NLRI[0]
-
 	shadows, err := c.openShadows()
 	if err != nil {
 		return nil, err
 	}
 	defer c.closeShadows(shadows)
+	out, _, err := c.checkWitnessIn(shadows, node, peer, w)
+	return out, err
+}
+
+// CheckWitnesses checks a sequence of witnesses in order, each with
+// exactly the semantics of CheckWitness, but amortizing shadow
+// lifecycle: consecutive witnesses whose prefix footprints are pairwise
+// disjoint share one shadow set instead of opening a fresh clone per
+// node per witness. Disjointness is what makes sharing sound — BGP
+// decisions are per-prefix, every witness's full UPDATE→oracles→WITHDRAW
+// lifecycle runs contiguously, and any residue one witness leaves
+// (stale routes, withdrawn paths) lives entirely under prefixes the
+// later witnesses never look at. A witness that fails to converge
+// leaves its set mid-churn, so the set is retired and the remaining
+// witnesses get a fresh one. Under call-and-wait this degrades to a
+// CheckWitness loop.
+func (c *Coordinator) CheckWitnesses(specs []WitnessSpec) ([]*core.WitnessOutcome, error) {
+	outs := make([]*core.WitnessOutcome, 0, len(specs))
+	if c.callAndWait {
+		for _, s := range specs {
+			out, err := c.CheckWitness(s.Node, s.Peer, s.Update)
+			if err != nil {
+				return nil, err
+			}
+			outs = append(outs, out)
+		}
+		return outs, nil
+	}
+	for i := 0; i < len(specs); {
+		// Grow the group while the next witness's prefixes stay disjoint
+		// from everything already in it.
+		footprint := append([]netaddr.Prefix(nil), specs[i].Update.NLRI...)
+		j := i + 1
+	grow:
+		for j < len(specs) {
+			next := specs[j].Update.NLRI
+			for _, p := range next {
+				for _, q := range footprint {
+					if p.Overlaps(q) {
+						break grow
+					}
+				}
+			}
+			footprint = append(footprint, next...)
+			j++
+		}
+		shadows, err := c.openShadows()
+		if err != nil {
+			return nil, err
+		}
+		for k := i; k < j; k++ {
+			out, dirty, err := c.checkWitnessIn(shadows, specs[k].Node, specs[k].Peer, specs[k].Update)
+			if err != nil {
+				c.closeShadows(shadows)
+				return nil, err
+			}
+			outs = append(outs, out)
+			if dirty && k+1 < j {
+				c.closeShadows(shadows)
+				shadows, err = c.openShadows()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		c.closeShadows(shadows)
+		i = j
+	}
+	return outs, nil
+}
+
+// checkWitnessIn runs one witness lifecycle inside an already-open
+// shadow set. dirty reports that the set absorbed a non-converging wave
+// and must not host further witnesses.
+func (c *Coordinator) checkWitnessIn(shadows shadowSet, node, peer string, w *bgp.Update) (_ *core.WitnessOutcome, dirty bool, _ error) {
+	res := &core.WitnessOutcome{}
+	lat, linked := c.linkLatency(peer, node)
+	if !linked {
+		return nil, false, fmt.Errorf("dist: no %s→%s link for witness injection", peer, node)
+	}
+	prefix := w.NLRI[0]
 
 	// Pre-injection best routes, for witness attribution. The explored
 	// node and the sending peer are excluded from every oracle below,
 	// so their pre-state is never consulted — don't pay the RPCs.
-	pre := make(map[string]*QueryOracleResult, len(c.nodes))
+	others := make([]string, 0, len(c.nodes))
 	for _, n := range c.nodes {
 		if n == node || n == peer {
 			continue
 		}
-		q, err := c.query(shadows, n, prefix)
-		if err != nil {
-			return nil, err
-		}
-		pre[n] = q
+		others = append(others, n)
+	}
+	pre, err := c.queryMany(shadows, others, prefix)
+	if err != nil {
+		return nil, false, err
 	}
 
 	// UPDATE wave.
 	wire, err := bgp.Encode(w)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	queue := &relayQueue{}
 	heap.Push(queue, &relayEvent{at: lat, seq: 1, from: peer, to: node, msg: wire})
 	steps, pending, waves, err := c.relay(shadows, queue, c.opts.MaxPropagationSteps)
 	res.Steps += steps
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if pending > 0 {
 		res.Violations = append(res.Violations, core.FederatedViolation{
@@ -530,7 +781,7 @@ func (c *Coordinator) CheckWitness(node, peer string, w *bgp.Update) (*core.Witn
 			Detail: core.OscillationDetail("no convergence", c.opts.MaxPropagationSteps, pending, waves),
 			Waves:  len(waves), WaveTail: core.WaveTail(waves),
 		})
-		return res, nil // oracle state below would be meaningless mid-churn
+		return res, true, nil // oracle state below would be meaningless mid-churn
 	}
 
 	boundary := c.boundary
@@ -541,23 +792,23 @@ func (c *Coordinator) CheckWitness(node, peer string, w *bgp.Update) (*core.Witn
 		}
 	}
 
-	// Cross-node oracles over the converged shadows.
+	// Cross-node oracles over the converged shadows. The post queries
+	// fan out in one wave; evaluation stays in sorted node order so
+	// violations come out deterministically.
+	post, err := c.queryMany(shadows, others, prefix)
+	if err != nil {
+		return nil, false, err
+	}
 	installed := make(map[string]string) // node → witness-attributed best FP
-	for _, name := range c.nodes {
-		if name == node || name == peer {
-			continue
-		}
-		q, err := c.query(shadows, name, prefix)
-		if err != nil {
-			return nil, err
-		}
+	for _, name := range others {
+		q := post[name]
 		if !q.HasBest || (pre[name].HasBest && q.BestFP == pre[name].BestFP) {
 			continue // witness never took hold at this node
 		}
 		installed[name] = q.BestFP
 		terminal, hops, delivered, err := c.traceForward(shadows, name, prefix)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if noExport {
 			res.Violations = append(res.Violations, core.FederatedViolation{
@@ -578,14 +829,14 @@ func (c *Coordinator) CheckWitness(node, peer string, w *bgp.Update) (*core.Witn
 	// node it reached.
 	wdWire, err := bgp.Encode(&bgp.Update{Withdrawn: []netaddr.Prefix{prefix}})
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	queue = &relayQueue{}
 	heap.Push(queue, &relayEvent{at: lat, seq: 1, from: peer, to: node, msg: wdWire})
 	steps, pending, waves, err = c.relay(shadows, queue, c.opts.MaxPropagationSteps)
 	res.Steps += steps
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if pending > 0 {
 		res.Violations = append(res.Violations, core.FederatedViolation{
@@ -593,26 +844,30 @@ func (c *Coordinator) CheckWitness(node, peer string, w *bgp.Update) (*core.Witn
 			Detail: core.OscillationDetail("WITHDRAW did not converge", c.opts.MaxPropagationSteps, pending, waves),
 			Waves:  len(waves), WaveTail: core.WaveTail(waves),
 		})
-		return res, nil
+		return res, true, nil
+	}
+	reached := make([]string, 0, len(installed))
+	for name := range installed {
+		reached = append(reached, name)
+	}
+	sort.Strings(reached)
+	after, err := c.queryMany(shadows, reached, prefix)
+	if err != nil {
+		return nil, false, err
 	}
 	stale := []string{}
-	for name, fp := range installed {
-		q, err := c.query(shadows, name, prefix)
-		if err != nil {
-			return nil, err
-		}
-		if q.HasBest && q.BestFP == fp {
+	for _, name := range reached {
+		if q := after[name]; q.HasBest && q.BestFP == installed[name] {
 			stale = append(stale, name)
 		}
 	}
 	if len(stale) > 0 {
-		sort.Strings(stale)
 		res.Violations = append(res.Violations, core.FederatedViolation{
 			Kind: "stale-route", Node: stale[0], Source: node, Peer: peer, Prefix: prefix,
 			Detail: fmt.Sprintf("witness route survived its own WITHDRAW at %v", stale),
 		})
 	}
-	return res, nil
+	return res, false, nil
 }
 
 // traceForward walks best-route provenance for prefix hop by hop across

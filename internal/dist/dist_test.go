@@ -24,7 +24,7 @@ func fedOpts() core.FederatedOptions {
 
 // loopbackCoordinator builds one in-process agent per topology node and
 // connects a coordinator to all of them over the pipe transport.
-func loopbackCoordinator(t *testing.T, topo *core.Topology, opts core.FederatedOptions) *Coordinator {
+func loopbackCoordinator(t *testing.T, topo *core.Topology, opts core.FederatedOptions, copts ...ConnOption) *Coordinator {
 	t.Helper()
 	var dialers []Dialer
 	for _, n := range topo.Nodes {
@@ -34,7 +34,7 @@ func loopbackCoordinator(t *testing.T, topo *core.Topology, opts core.FederatedO
 		}
 		dialers = append(dialers, Loopback{Agent: ag})
 	}
-	c, err := Connect(topo, opts, dialers)
+	c, err := Connect(topo, opts, dialers, copts...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,15 +9,39 @@ import (
 	"dice/internal/core"
 )
 
-// The wire protocol is a minimal length-prefixed JSON-RPC: each frame is
-// a 4-byte big-endian payload length followed by one JSON document. A
-// request names a method and carries its parameters; the response echoes
-// the request ID with either a result or an error string. One request is
-// in flight per connection at a time (the client serializes calls), so
-// the framing needs no interleaving rules.
+// The wire protocol frames every message as a 4-byte big-endian payload
+// length followed by one payload. Two payload codecs share that outer
+// framing:
 //
-// Binary payloads (serialized router state, BGP wire messages) ride
-// inside the JSON as base64 via encoding/json's []byte convention.
+//   - v1 (the PR 4 protocol): one JSON document per frame. A request
+//     names a method and carries its parameters; the response echoes the
+//     request ID with either a result or an error string. Binary
+//     payloads (serialized router state, BGP wire messages) ride inside
+//     the JSON as base64 via encoding/json's []byte convention.
+//   - v2 (wirev2.go): a compact binary encoding in the style of the
+//     internal/bgp message codec — varint/fixed-width fields, no
+//     marshaling garbage, no base64 inflation.
+//
+// Every connection starts in v1: the codec of the `hello` exchange is
+// the lingua franca both generations speak. A v2-capable client offers
+// its maximum version in HelloParams; a v2-capable agent answers with
+// the negotiated version in HelloResult and both sides switch to binary
+// framing for every subsequent frame. Either side omitting the field
+// pins the connection to v1 JSON — a new coordinator drives an old
+// agent (and vice versa) with zero configuration.
+//
+// Requests pipeline: a client may keep many requests in flight per
+// connection, and responses are matched by ID (the agent preserves
+// per-connection order today, but clients must not rely on it).
+
+// Wire protocol versions. Version 1 is the PR 4 length-prefixed
+// JSON-RPC; version 2 is the binary codec of wirev2.go plus the
+// inject_witness_batch method.
+const (
+	ProtoV1     = 1
+	ProtoV2     = 2
+	ProtoLatest = ProtoV2
+)
 
 // maxFrame bounds a single frame; a full-table router checkpoint is a
 // few MB, so 64 MiB leaves ample headroom while still catching a
@@ -38,36 +62,51 @@ type response struct {
 	Result json.RawMessage `json:"result,omitempty"`
 }
 
-// writeFrame sends one length-prefixed JSON document.
+// writePayload sends one length-prefixed payload. The header and body
+// go out in a single Write so concurrent writers (the pipelined client,
+// the agent's per-connection worker) interleave only at whole-frame
+// granularity under their write locks.
+func writePayload(w io.Writer, body []byte) error {
+	if len(body) > maxFrame {
+		return fmt.Errorf("dist: frame of %d bytes exceeds the %d byte limit", len(body), maxFrame)
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(body)))
+	copy(buf[4:], body)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readPayload receives one length-prefixed payload.
+func readPayload(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("dist: incoming frame of %d bytes exceeds the %d byte limit", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// writeFrame sends one length-prefixed JSON document (v1 codec).
 func writeFrame(w io.Writer, v any) error {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	if len(body) > maxFrame {
-		return fmt.Errorf("dist: frame of %d bytes exceeds the %d byte limit", len(body), maxFrame)
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
-	return err
+	return writePayload(w, body)
 }
 
-// readFrame receives one length-prefixed JSON document into v.
+// readFrame receives one length-prefixed JSON document into v (v1 codec).
 func readFrame(r io.Reader, v any) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return fmt.Errorf("dist: incoming frame of %d bytes exceeds the %d byte limit", n, maxFrame)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	body, err := readPayload(r)
+	if err != nil {
 		return err
 	}
 	return json.Unmarshal(body, v)
@@ -94,6 +133,11 @@ const (
 	MethodShadowOpen    = "shadow_open"
 	MethodInjectWitness = "inject_witness"
 	MethodShadowClose   = "shadow_close"
+	// MethodInjectWitnessBatch delivers an ordered run of messages into
+	// one shadow clone in a single round trip, with per-delivery results
+	// — the coordinator's relay coalesces consecutive same-timestamp
+	// deliveries to one agent through it. v2 connections only.
+	MethodInjectWitnessBatch = "inject_witness_batch"
 	// MethodQueryOracle is the narrow cross-domain query interface: best
 	// and covering route facts about one prefix in one shadow, enough
 	// for the coordinator's cross-node oracles and forward tracing —
@@ -109,6 +153,14 @@ const (
 
 // --- Method payloads ---------------------------------------------------------
 
+// HelloParams opens version negotiation. A v1 client sends no params at
+// all; a v1 agent ignores whatever params arrive — so the field is only
+// ever honored when both generations understand it.
+type HelloParams struct {
+	// MaxVersion is the highest protocol version the client speaks.
+	MaxVersion int `json:"max_version,omitempty"`
+}
+
 // HelloResult describes the agent.
 type HelloResult struct {
 	// Node is the topology node this agent administers.
@@ -120,6 +172,11 @@ type HelloResult struct {
 	// Prefixes is the node's converged Loc-RIB size (a cheap liveness
 	// and convergence cross-check).
 	Prefixes int `json:"prefixes"`
+	// Version is the negotiated protocol version:
+	// min(client max, agent max), at least 1. A v1 agent never sets it
+	// (the zero value reads as v1), and the connection switches to the
+	// v2 binary codec immediately after this response when it is ≥ 2.
+	Version int `json:"version,omitempty"`
 }
 
 // CheckpointResult is one serialized node snapshot.
@@ -263,6 +320,30 @@ type WireEmission struct {
 // InjectResult lists what the delivery caused the node to send.
 type InjectResult struct {
 	Emitted []WireEmission `json:"emitted,omitempty"`
+}
+
+// BatchDelivery is one delivery inside an inject_witness_batch: the
+// sending peer and the BGP wire message, exactly an InjectParams minus
+// the shared shadow ID.
+type BatchDelivery struct {
+	From string `json:"from"`
+	Msg  []byte `json:"msg"`
+}
+
+// InjectBatchParams delivers an ordered run of messages into one shadow
+// clone. The agent injects them strictly in order; the outcome is
+// byte-for-byte what the same deliveries would produce as individual
+// inject_witness calls, minus the per-delivery round trips.
+type InjectBatchParams struct {
+	ShadowID   uint64          `json:"shadow_id"`
+	Deliveries []BatchDelivery `json:"deliveries"`
+}
+
+// InjectBatchResult carries one InjectResult per delivery, in delivery
+// order — per-witness attribution never coarsens just because the
+// transport batched.
+type InjectBatchResult struct {
+	Results []InjectResult `json:"results"`
 }
 
 // ShadowCloseParams discards a shadow clone.

@@ -1,0 +1,723 @@
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"dice/internal/netaddr"
+)
+
+// Wire protocol v2: the binary payload codec. The outer framing (4-byte
+// big-endian length prefix, wire.go) is shared with v1; only the payload
+// encoding changes. The style follows internal/bgp's message codec —
+// fixed-width fields where the domain fixes the width (AS numbers,
+// addresses), uvarints for counts and IDs, length-prefixed byte strings
+// — so a dense ExploreResult costs bytes proportional to its content,
+// not to JSON field names and base64 inflation.
+//
+// Payload layouts:
+//
+//	request:  0xD2 | uvarint id | u8 method code | method params
+//	response: 0xD3 | uvarint id | u8 status      | error string (status=1)
+//	                                             | method result (status=0)
+//
+// The leading kind octet can never collide with a v1 frame (JSON
+// payloads start with '{'), so a codec mismatch after a broken
+// negotiation fails loudly on the first frame instead of desynchronizing
+// the stream. Every decoder checks remaining length before consuming and
+// rejects trailing bytes — malformed input errors, it never panics, and
+// truncation at any byte offset is an error (FuzzDecodeFrame pins this).
+
+// v2 payload kind octets.
+const (
+	frameRequestV2  = 0xd2
+	frameResponseV2 = 0xd3
+)
+
+// v2 method codes, one per wire.go method name.
+const (
+	codeHello = iota + 1
+	codeCheckpoint
+	codeExplore
+	codeShadowOpen
+	codeInjectWitness
+	codeShadowClose
+	codeQueryOracle
+	codeReplay
+	codeInjectWitnessBatch
+)
+
+// methodCode maps a method name to its v2 code.
+func methodCode(method string) (uint8, error) {
+	switch method {
+	case MethodHello:
+		return codeHello, nil
+	case MethodCheckpoint:
+		return codeCheckpoint, nil
+	case MethodExplore:
+		return codeExplore, nil
+	case MethodShadowOpen:
+		return codeShadowOpen, nil
+	case MethodInjectWitness:
+		return codeInjectWitness, nil
+	case MethodShadowClose:
+		return codeShadowClose, nil
+	case MethodQueryOracle:
+		return codeQueryOracle, nil
+	case MethodReplay:
+		return codeReplay, nil
+	case MethodInjectWitnessBatch:
+		return codeInjectWitnessBatch, nil
+	}
+	return 0, fmt.Errorf("dist: method %q has no v2 code", method)
+}
+
+// methodName maps a v2 code back to its method name.
+func methodName(code uint8) (string, error) {
+	switch code {
+	case codeHello:
+		return MethodHello, nil
+	case codeCheckpoint:
+		return MethodCheckpoint, nil
+	case codeExplore:
+		return MethodExplore, nil
+	case codeShadowOpen:
+		return MethodShadowOpen, nil
+	case codeInjectWitness:
+		return MethodInjectWitness, nil
+	case codeShadowClose:
+		return MethodShadowClose, nil
+	case codeQueryOracle:
+		return MethodQueryOracle, nil
+	case codeReplay:
+		return MethodReplay, nil
+	case codeInjectWitnessBatch:
+		return MethodInjectWitnessBatch, nil
+	}
+	return "", fmt.Errorf("dist: unknown v2 method code %d", code)
+}
+
+// errV2Frame is the malformed-v2-payload error class; every decode
+// failure wraps it so transports can distinguish protocol corruption
+// from application errors.
+var errV2Frame = errors.New("dist: malformed v2 frame")
+
+func v2err(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errV2Frame, fmt.Sprintf(format, args...))
+}
+
+// v2Message is any payload the binary codec carries: params and results
+// append themselves to a buffer and decode from a v2dec. decodeV2 must
+// leave the struct fully populated or record an error on the decoder;
+// the codec layer enforces that the message consumed its entire body.
+type v2Message interface {
+	appendV2(dst []byte) []byte
+	decodeV2(d *v2dec)
+}
+
+// --- primitive append helpers ------------------------------------------------
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// appendUint appends a non-negative int as a uvarint. Negative values
+// would wrap to 2^64-ish uvarints and come back as overflow errors on
+// decode; the wire structs only carry counters, so clamp defensively.
+func appendUint(dst []byte, v int) []byte {
+	if v < 0 {
+		v = 0
+	}
+	return appendUvarint(dst, uint64(v))
+}
+
+func appendBytesV2(dst, b []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendStringV2(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBoolV2(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// --- sticky-error decoder ----------------------------------------------------
+
+// v2dec consumes a v2 payload with a sticky error: after the first
+// failure every read returns zero values, so decode methods read their
+// fields straight through and the caller checks err() once. Length
+// fields are validated against the remaining payload before any
+// allocation, so a corrupted count can never balloon memory.
+type v2dec struct {
+	b   []byte
+	e   error
+	off int // consumed so far, for error messages
+}
+
+func newV2dec(b []byte) *v2dec { return &v2dec{b: b} }
+
+func (d *v2dec) err() error { return d.e }
+
+func (d *v2dec) fail(format string, args ...any) {
+	if d.e == nil {
+		d.e = v2err("at offset %d: %s", d.off, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *v2dec) remaining() int { return len(d.b) }
+
+// finish rejects trailing bytes: a well-formed message consumes its
+// whole body, so leftovers mean a codec mismatch or corruption.
+func (d *v2dec) finish() error {
+	if d.e == nil && len(d.b) != 0 {
+		d.fail("%d trailing bytes", len(d.b))
+	}
+	return d.e
+}
+
+func (d *v2dec) take(n int) []byte {
+	if d.e != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.b) {
+		d.fail("need %d bytes, have %d", n, len(d.b))
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	d.off += n
+	return out
+}
+
+func (d *v2dec) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *v2dec) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *v2dec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *v2dec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *v2dec) uvarint() uint64 {
+	if d.e != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	d.off += n
+	return v
+}
+
+// uint decodes a uvarint that must fit a non-negative int.
+func (d *v2dec) uint() int {
+	v := d.uvarint()
+	if v > uint64(int(^uint(0)>>1)) {
+		d.fail("uvarint %d overflows int", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *v2dec) boolean() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("bad bool octet")
+		return false
+	}
+}
+
+// bytes decodes a length-prefixed byte string (copied out of the frame,
+// so results outlive the read buffer). A nil slice is returned for zero
+// length, matching the JSON codec's omitempty round-trip.
+func (d *v2dec) bytes() []byte {
+	n := d.uint()
+	if n == 0 {
+		return nil
+	}
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+func (d *v2dec) str() string {
+	n := d.uint()
+	if n == 0 {
+		return ""
+	}
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// count decodes a collection length and sanity-checks it against the
+// bytes left: every element costs ≥ min bytes, so a count the payload
+// cannot possibly hold is rejected before any allocation.
+func (d *v2dec) count(min int) int {
+	n := d.uint()
+	if d.e != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if n > d.remaining()/min+1 {
+		d.fail("count %d exceeds remaining payload", n)
+		return 0
+	}
+	return n
+}
+
+// --- request / response envelopes --------------------------------------------
+
+// appendRequestV2 encodes one request payload. params may be nil for
+// parameterless methods.
+func appendRequestV2(dst []byte, id uint64, method string, params v2Message) ([]byte, error) {
+	code, err := methodCode(method)
+	if err != nil {
+		return nil, err
+	}
+	dst = append(dst, frameRequestV2)
+	dst = appendUvarint(dst, id)
+	dst = append(dst, code)
+	if params != nil {
+		dst = params.appendV2(dst)
+	}
+	return dst, nil
+}
+
+// parseRequestV2 splits a request payload into its envelope; the method
+// body is returned raw for the typed dispatcher to decode.
+func parseRequestV2(payload []byte) (id uint64, method string, body []byte, err error) {
+	d := newV2dec(payload)
+	if k := d.u8(); d.err() == nil && k != frameRequestV2 {
+		d.fail("payload kind %#x is not a v2 request", k)
+	}
+	id = d.uvarint()
+	code := d.u8()
+	if d.err() != nil {
+		return 0, "", nil, d.err()
+	}
+	method, err = methodName(code)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return id, method, d.b, nil
+}
+
+// appendResponseV2 encodes one response payload: an error string, or the
+// method result (nil for empty results).
+func appendResponseV2(dst []byte, id uint64, errMsg string, result v2Message) []byte {
+	dst = append(dst, frameResponseV2)
+	dst = appendUvarint(dst, id)
+	if errMsg != "" {
+		dst = append(dst, 1)
+		return appendStringV2(dst, errMsg)
+	}
+	dst = append(dst, 0)
+	if result != nil {
+		dst = result.appendV2(dst)
+	}
+	return dst
+}
+
+// parseResponseV2 splits a response payload into its envelope. On
+// status=ok the raw result body is returned for the caller (who knows
+// which method it answers) to decode; on status=error the error string
+// is decoded here and body is nil.
+func parseResponseV2(payload []byte) (id uint64, errMsg string, body []byte, err error) {
+	d := newV2dec(payload)
+	if k := d.u8(); d.err() == nil && k != frameResponseV2 {
+		d.fail("payload kind %#x is not a v2 response", k)
+	}
+	id = d.uvarint()
+	status := d.u8()
+	if d.err() != nil {
+		return 0, "", nil, d.err()
+	}
+	switch status {
+	case 0:
+		return id, "", d.b, nil
+	case 1:
+		msg := d.str()
+		if err := d.finish(); err != nil {
+			return 0, "", nil, err
+		}
+		return id, msg, nil, nil
+	default:
+		return 0, "", nil, v2err("bad response status %d", status)
+	}
+}
+
+// decodeBodyV2 decodes a full method body into msg, rejecting trailing
+// bytes. A nil msg accepts only an empty body.
+func decodeBodyV2(body []byte, msg v2Message) error {
+	d := newV2dec(body)
+	if msg != nil {
+		msg.decodeV2(d)
+	}
+	return d.finish()
+}
+
+// --- message codecs ----------------------------------------------------------
+
+func (p *HelloParams) appendV2(dst []byte) []byte {
+	return appendUint(dst, p.MaxVersion)
+}
+
+func (p *HelloParams) decodeV2(d *v2dec) {
+	p.MaxVersion = d.uint()
+}
+
+func (r *HelloResult) appendV2(dst []byte) []byte {
+	dst = appendStringV2(dst, r.Node)
+	dst = appendStringV2(dst, r.Topology)
+	dst = binary.BigEndian.AppendUint16(dst, r.AS)
+	dst = appendUint(dst, r.Prefixes)
+	return appendUint(dst, r.Version)
+}
+
+func (r *HelloResult) decodeV2(d *v2dec) {
+	r.Node = d.str()
+	r.Topology = d.str()
+	r.AS = d.u16()
+	r.Prefixes = d.uint()
+	r.Version = d.uint()
+}
+
+func (r *CheckpointResult) appendV2(dst []byte) []byte {
+	dst = appendBytesV2(dst, r.State)
+	dst = appendUint(dst, r.Pages)
+	return appendUint(dst, r.UniquePages)
+}
+
+func (r *CheckpointResult) decodeV2(d *v2dec) {
+	r.State = d.bytes()
+	r.Pages = d.uint()
+	r.UniquePages = d.uint()
+}
+
+func (p *ExploreParams) appendV2(dst []byte) []byte {
+	dst = appendStringV2(dst, p.Peer)
+	dst = appendStringV2(dst, p.Scenario)
+	dst = appendBoolV2(dst, p.Explicit)
+	dst = appendUint(dst, p.MaxRuns)
+	dst = appendUint(dst, p.MaxDepth)
+	dst = appendUint(dst, p.Workers)
+	dst = appendUint(dst, p.SolverNodes)
+	dst = appendStringV2(dst, p.Strategy)
+	dst = appendUvarint(dst, uint64(p.TimeBudgetNS))
+	return appendBoolV2(dst, p.ReuseState)
+}
+
+func (p *ExploreParams) decodeV2(d *v2dec) {
+	p.Peer = d.str()
+	p.Scenario = d.str()
+	p.Explicit = d.boolean()
+	p.MaxRuns = d.uint()
+	p.MaxDepth = d.uint()
+	p.Workers = d.uint()
+	p.SolverNodes = d.uint()
+	p.Strategy = d.str()
+	p.TimeBudgetNS = int64(d.uvarint())
+	p.ReuseState = d.boolean()
+}
+
+func appendFindingV2(dst []byte, f *WireFinding) []byte {
+	dst = appendStringV2(dst, f.Kind)
+	dst = appendStringV2(dst, f.Peer)
+	dst = appendStringV2(dst, f.Prefix)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(f.LeakRange.AddrLo))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(f.LeakRange.AddrHi))
+	dst = append(dst, uint8(f.LeakRange.LenLo), uint8(f.LeakRange.LenHi))
+	dst = binary.BigEndian.AppendUint16(dst, f.OriginAS)
+	dst = binary.BigEndian.AppendUint16(dst, f.VictimAS)
+	dst = appendStringV2(dst, f.VictimPrefix)
+	dst = appendUint(dst, f.Seq)
+	dst = appendBoolV2(dst, f.Validated)
+	dst = appendUint(dst, len(f.SpreadTo))
+	for _, s := range f.SpreadTo {
+		dst = appendStringV2(dst, s)
+	}
+	// Map entries in sorted key order: the encoding is canonical, so
+	// encode→decode→encode is byte-stable (the fuzz harness leans on
+	// this the way internal/trace's does).
+	keys := make([]string, 0, len(f.Input))
+	for k := range f.Input {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = appendUint(dst, len(keys))
+	for _, k := range keys {
+		dst = appendStringV2(dst, k)
+		dst = appendUvarint(dst, f.Input[k])
+	}
+	return appendStringV2(dst, f.Rendered)
+}
+
+func decodeFindingV2(d *v2dec, f *WireFinding) {
+	f.Kind = d.str()
+	f.Peer = d.str()
+	f.Prefix = d.str()
+	f.LeakRange.AddrLo = netaddr.Addr(d.u32())
+	f.LeakRange.AddrHi = netaddr.Addr(d.u32())
+	f.LeakRange.LenLo = int(d.u8())
+	f.LeakRange.LenHi = int(d.u8())
+	f.OriginAS = d.u16()
+	f.VictimAS = d.u16()
+	f.VictimPrefix = d.str()
+	f.Seq = d.uint()
+	f.Validated = d.boolean()
+	if n := d.count(1); n > 0 {
+		f.SpreadTo = make([]string, n)
+		for i := range f.SpreadTo {
+			f.SpreadTo[i] = d.str()
+		}
+	}
+	if n := d.count(2); n > 0 {
+		f.Input = make(map[string]uint64, n)
+		for i := 0; i < n; i++ {
+			k := d.str()
+			f.Input[k] = d.uvarint()
+		}
+	}
+	f.Rendered = d.str()
+}
+
+func (r *ExploreResult) appendV2(dst []byte) []byte {
+	dst = appendStringV2(dst, r.Skipped)
+	dst = appendStringV2(dst, r.Scenario)
+	dst = appendUint(dst, r.Runs)
+	dst = appendUint(dst, r.NewPaths)
+	dst = appendUint(dst, r.BranchesSeen)
+	dst = appendUint(dst, r.SolverCalls)
+	dst = appendUint(dst, r.SolverSat)
+	dst = appendUint(dst, r.SolverUnsat)
+	dst = appendUint(dst, r.CacheHits)
+	dst = appendUint(dst, r.SkippedPaths)
+	dst = appendUint(dst, r.SkippedNegations)
+	dst = appendUvarint(dst, uint64(r.ElapsedNS))
+	dst = appendUint(dst, r.CapturedMessages)
+	dst = appendUint(dst, r.WitnessesRejected)
+	dst = appendUint(dst, len(r.Findings))
+	for i := range r.Findings {
+		dst = appendFindingV2(dst, &r.Findings[i])
+	}
+	dst = appendUint(dst, len(r.Witnesses))
+	for _, w := range r.Witnesses {
+		dst = appendUint(dst, w.Finding)
+		dst = appendBytesV2(dst, w.Msg)
+	}
+	return dst
+}
+
+func (r *ExploreResult) decodeV2(d *v2dec) {
+	r.Skipped = d.str()
+	r.Scenario = d.str()
+	r.Runs = d.uint()
+	r.NewPaths = d.uint()
+	r.BranchesSeen = d.uint()
+	r.SolverCalls = d.uint()
+	r.SolverSat = d.uint()
+	r.SolverUnsat = d.uint()
+	r.CacheHits = d.uint()
+	r.SkippedPaths = d.uint()
+	r.SkippedNegations = d.uint()
+	r.ElapsedNS = int64(d.uvarint())
+	r.CapturedMessages = d.uint()
+	r.WitnessesRejected = d.uint()
+	if n := d.count(1); n > 0 {
+		r.Findings = make([]WireFinding, n)
+		for i := range r.Findings {
+			decodeFindingV2(d, &r.Findings[i])
+		}
+	}
+	if n := d.count(2); n > 0 {
+		r.Witnesses = make([]WireWitness, n)
+		for i := range r.Witnesses {
+			r.Witnesses[i].Finding = d.uint()
+			r.Witnesses[i].Msg = d.bytes()
+		}
+	}
+}
+
+func (p *ReplayParams) appendV2(dst []byte) []byte {
+	dst = appendStringV2(dst, p.Node)
+	dst = appendStringV2(dst, p.Peer)
+	return appendBytesV2(dst, p.Trace)
+}
+
+func (p *ReplayParams) decodeV2(d *v2dec) {
+	p.Node = d.str()
+	p.Peer = d.str()
+	p.Trace = d.bytes()
+}
+
+func (r *ReplayResult) appendV2(dst []byte) []byte {
+	dst = appendUint(dst, r.Delivered)
+	return appendUint(dst, r.Prefixes)
+}
+
+func (r *ReplayResult) decodeV2(d *v2dec) {
+	r.Delivered = d.uint()
+	r.Prefixes = d.uint()
+}
+
+func (r *ShadowOpenResult) appendV2(dst []byte) []byte {
+	return appendUvarint(dst, r.ShadowID)
+}
+
+func (r *ShadowOpenResult) decodeV2(d *v2dec) {
+	r.ShadowID = d.uvarint()
+}
+
+func (p *InjectParams) appendV2(dst []byte) []byte {
+	dst = appendUvarint(dst, p.ShadowID)
+	dst = appendStringV2(dst, p.From)
+	return appendBytesV2(dst, p.Msg)
+}
+
+func (p *InjectParams) decodeV2(d *v2dec) {
+	p.ShadowID = d.uvarint()
+	p.From = d.str()
+	p.Msg = d.bytes()
+}
+
+func appendInjectResultV2(dst []byte, r *InjectResult) []byte {
+	dst = appendUint(dst, len(r.Emitted))
+	for _, e := range r.Emitted {
+		dst = appendStringV2(dst, e.To)
+		dst = appendBytesV2(dst, e.Msg)
+	}
+	return dst
+}
+
+func decodeInjectResultV2(d *v2dec, r *InjectResult) {
+	if n := d.count(2); n > 0 {
+		r.Emitted = make([]WireEmission, n)
+		for i := range r.Emitted {
+			r.Emitted[i].To = d.str()
+			r.Emitted[i].Msg = d.bytes()
+		}
+	}
+}
+
+func (r *InjectResult) appendV2(dst []byte) []byte { return appendInjectResultV2(dst, r) }
+func (r *InjectResult) decodeV2(d *v2dec)          { decodeInjectResultV2(d, r) }
+
+func (p *InjectBatchParams) appendV2(dst []byte) []byte {
+	dst = appendUvarint(dst, p.ShadowID)
+	dst = appendUint(dst, len(p.Deliveries))
+	for _, dl := range p.Deliveries {
+		dst = appendStringV2(dst, dl.From)
+		dst = appendBytesV2(dst, dl.Msg)
+	}
+	return dst
+}
+
+func (p *InjectBatchParams) decodeV2(d *v2dec) {
+	p.ShadowID = d.uvarint()
+	if n := d.count(2); n > 0 {
+		p.Deliveries = make([]BatchDelivery, n)
+		for i := range p.Deliveries {
+			p.Deliveries[i].From = d.str()
+			p.Deliveries[i].Msg = d.bytes()
+		}
+	}
+}
+
+func (r *InjectBatchResult) appendV2(dst []byte) []byte {
+	dst = appendUint(dst, len(r.Results))
+	for i := range r.Results {
+		dst = appendInjectResultV2(dst, &r.Results[i])
+	}
+	return dst
+}
+
+func (r *InjectBatchResult) decodeV2(d *v2dec) {
+	if n := d.count(1); n > 0 {
+		r.Results = make([]InjectResult, n)
+		for i := range r.Results {
+			decodeInjectResultV2(d, &r.Results[i])
+		}
+	}
+}
+
+func (p *ShadowCloseParams) appendV2(dst []byte) []byte {
+	return appendUvarint(dst, p.ShadowID)
+}
+
+func (p *ShadowCloseParams) decodeV2(d *v2dec) {
+	p.ShadowID = d.uvarint()
+}
+
+func (p *QueryOracleParams) appendV2(dst []byte) []byte {
+	dst = appendUvarint(dst, p.ShadowID)
+	return appendStringV2(dst, p.Prefix)
+}
+
+func (p *QueryOracleParams) decodeV2(d *v2dec) {
+	p.ShadowID = d.uvarint()
+	p.Prefix = d.str()
+}
+
+func (r *QueryOracleResult) appendV2(dst []byte) []byte {
+	dst = appendBoolV2(dst, r.HasBest)
+	dst = appendStringV2(dst, r.BestFP)
+	dst = appendBoolV2(dst, r.HasCovering)
+	dst = appendBoolV2(dst, r.CoveringLocal)
+	return appendStringV2(dst, r.CoveringNextPeer)
+}
+
+func (r *QueryOracleResult) decodeV2(d *v2dec) {
+	r.HasBest = d.boolean()
+	r.BestFP = d.str()
+	r.HasCovering = d.boolean()
+	r.CoveringLocal = d.boolean()
+	r.CoveringNextPeer = d.str()
+}

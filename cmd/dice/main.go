@@ -28,6 +28,12 @@
 //
 //	dice -topology topo.json -distributed 127.0.0.1:7411,127.0.0.1:7412,127.0.0.1:7413
 //	dice -topology topo.json -distributed ... -wire v1   # force the v1 JSON codec
+//	dice -topology topo.json -distributed ... -rpc-timeout 10s -dial-timeout 2s
+//
+// Distributed rounds are fault tolerant: every RPC is bounded by
+// -rpc-timeout, broken connections are re-dialed with capped backoff,
+// and a node whose agent stays unreachable degrades to an in-process
+// replacement (reported after the run) without changing the findings.
 //
 // The regression harness replays a recorded trace through the topology,
 // minimizes every violating witness, and diffs the round's finding set
@@ -44,6 +50,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -80,6 +87,8 @@ func main() {
 		propSteps     = flag.Int("propagation-steps", 0, "federated mode: max shadow propagation steps per witness (0 = 4096)")
 		distributed   = flag.String("distributed", "", "distributed mode: comma-separated dicenode agent addresses (requires -topology; one agent per node)")
 		wireVersion   = flag.String("wire", "auto", "distributed mode wire protocol: auto (negotiate, prefer v2 binary) or v1 (force the JSON codec)")
+		rpcTimeout    = flag.Duration("rpc-timeout", 30*time.Second, "distributed mode: per-RPC deadline (0 = none); a timed-out call retries and may trigger reconnection")
+		dialTimeout   = flag.Duration("dial-timeout", 5*time.Second, "distributed mode: how long to retry dialing each agent address")
 		replayFile    = flag.String("replay", "", "federated mode: replay this recorded trace into the fabric before rounds run (see -replay-ingress)")
 		replayIngress = flag.String("replay-ingress", "", "replay ingress as 'node<-peer' (default: the topology's first explore target)")
 		minimizeFlag  = flag.Bool("minimize", false, "federated mode: delta-debug every violating witness to a minimal still-failing announcement")
@@ -169,6 +178,8 @@ func main() {
 			goldenFile:     *goldenFile,
 			updateGolden:   *updateGolden,
 			wire:           *wireVersion,
+			rpcTimeout:     *rpcTimeout,
+			dialTimeout:    *dialTimeout,
 		}
 		if *distributed != "" {
 			runDistributed(run, *distributed)
@@ -315,6 +326,8 @@ type fedRun struct {
 	goldenFile      string
 	updateGolden    bool
 	wire            string
+	rpcTimeout      time.Duration
+	dialTimeout     time.Duration
 }
 
 func (r fedRun) options() core.FederatedOptions {
@@ -477,9 +490,9 @@ func runDistributed(run fedRun, addrs string) {
 		if addr == "" {
 			continue
 		}
-		dialers = append(dialers, dist.TCPDialer{Addr: addr})
+		dialers = append(dialers, dist.TCPDialer{Addr: addr, Timeout: run.dialTimeout})
 	}
-	var copts []dist.ConnOption
+	copts := []dist.ConnOption{dist.WithRetryPolicy(dist.RetryPolicy{RPCTimeout: run.rpcTimeout})}
 	if run.wire == "v1" {
 		copts = append(copts, dist.WithMaxVersion(dist.ProtoV1), dist.WithCallAndWait())
 	}
@@ -560,7 +573,33 @@ func runDistributed(run fedRun, addrs string) {
 	if run.rounds > 1 {
 		fmt.Printf("\n%d violation(s) confirmed across %d rounds\n", confirmed, run.rounds)
 	}
+	printFleetHealth(last.Health)
 	run.checkGolden(last.Snapshot())
+}
+
+// printFleetHealth reports nodes that limped through the run: reconnects
+// survived, and any node degraded to its in-process fallback. Healthy
+// silence is the common case — a clean fleet prints nothing.
+func printFleetHealth(health map[string]dist.NodeHealth) {
+	var names []string
+	for n, h := range health {
+		if h.State != dist.HealthHealthy || h.Faults > 0 {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	fmt.Println("\nfleet health:")
+	for _, n := range names {
+		h := health[n]
+		fmt.Printf("  %-12s %s (%d fault(s), %d reconnect(s))", n, h.State, h.Faults, h.Reconnects)
+		if h.LastFault != "" {
+			fmt.Printf(" — last: %s", h.LastFault)
+		}
+		fmt.Println()
+	}
 }
 
 // printCrossNodeSummary renders a round's witness-propagation summary

@@ -20,9 +20,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
 	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"dice/internal/core"
 	"dice/internal/dist"
@@ -37,6 +42,7 @@ func main() {
 		node         = flag.String("node", "", "topology node this agent administers (required)")
 		listen       = flag.String("listen", "127.0.0.1:7411", "TCP address to serve the wire protocol on")
 		maxProto     = flag.Int("max-proto", 0, "highest wire protocol version to negotiate (0 = latest; 1 forces the v1 JSON codec)")
+		grace        = flag.Duration("shutdown-grace", 5*time.Second, "on SIGTERM/SIGINT: how long to drain in-flight requests before force-closing connections")
 	)
 	flag.Parse()
 
@@ -60,7 +66,24 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("agent for node %q of topology %q listening on %s", *node, topo.Name, ln.Addr())
-	if err := agent.ListenAndServe(ln); err != nil {
+
+	// Graceful shutdown: close the listener so no new connections race
+	// in, then drain — every request already read gets its answer before
+	// its connection closes, and stragglers are force-closed once the
+	// grace period expires.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigc
+		log.Printf("%v: draining (grace %v)", sig, *grace)
+		ln.Close()
+		agent.Shutdown(*grace)
+		os.Exit(0)
+	}()
+
+	if err := agent.ListenAndServe(ln); err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Fatal(err)
 	}
+	// Listener closed by the signal handler: park until the drain exits.
+	select {}
 }

@@ -53,11 +53,40 @@ type Agent struct {
 	// is across agents, not within one).
 	reqMu sync.Mutex
 
+	// Idempotency memos (guarded by reqMu, like all handler state). The
+	// coordinator keys explores on its round sequence and replays on a
+	// delivery key, so a retry after a reconnect returns the memoized
+	// answer instead of re-executing — at-least-once delivery with
+	// exactly-once effects. exploreMemo keeps only the latest round per
+	// (peer, scenario); replayMemo keeps every applied key (one entry
+	// per distinct replayed trace, so it stays small).
+	exploreMemo map[string]exploreMemoEntry
+	replayMemo  map[uint64]*ReplayResult
+
+	// connMu guards the drain state and the live-connection set for
+	// graceful shutdown; connWG counts connections being served.
+	connMu   sync.Mutex
+	conns    map[io.Closer]struct{}
+	connWG   sync.WaitGroup
+	draining bool
+
 	mu       sync.Mutex
 	shadows  map[uint64]*shadowClone
 	nextID   uint64
 	lastSnap *checkpoint.Snapshot
 }
+
+// exploreMemoEntry is one memoized explore answer, valid for one round.
+type exploreMemoEntry struct {
+	round uint64
+	out   *ExploreResult
+}
+
+// noShadowMarker is the stable substring of the agent's missing-shadow
+// error. The coordinator matches it (IsShadowLoss) to tell "this shadow
+// died with a replaced agent — replay the witness on fresh clones" from
+// genuine application errors.
+const noShadowMarker = "has no shadow"
 
 // shadowClone is one witness-propagation clone of the agent's node: a
 // COW copy whose outbound traffic lands in a capture sink the agent
@@ -74,6 +103,12 @@ type shadowClone struct {
 
 	routeIDs  map[*rib.Route]uint64
 	nextRoute uint64
+
+	// applied memoizes delivery results by idempotency key (the value is
+	// an *InjectResult or *InjectBatchResult), so a delivery retried
+	// after a reconnect answers from memory instead of feeding the clone
+	// twice. Freed with the shadow at shadowClose.
+	applied map[uint64]any
 }
 
 // routeToken returns the shadow-scoped stable token for a route object.
@@ -102,14 +137,17 @@ func NewAgent(topo *core.Topology, node string) (*Agent, error) {
 		return nil, fmt.Errorf("dist: topology %q has no node %q (nodes: %v)", topo.Name, node, fabric.NodeNames())
 	}
 	return &Agent{
-		topo:     topo,
-		node:     node,
-		fabric:   fabric,
-		self:     self,
-		boundary: boundary,
-		states:   concolic.NewStateMap(),
-		store:    checkpoint.NewStore(0),
-		shadows:  make(map[uint64]*shadowClone),
+		topo:        topo,
+		node:        node,
+		fabric:      fabric,
+		self:        self,
+		boundary:    boundary,
+		states:      concolic.NewStateMap(),
+		store:       checkpoint.NewStore(0),
+		shadows:     make(map[uint64]*shadowClone),
+		exploreMemo: make(map[string]exploreMemoEntry),
+		replayMemo:  make(map[uint64]*ReplayResult),
+		conns:       make(map[io.Closer]struct{}),
 	}, nil
 }
 
@@ -138,13 +176,36 @@ type connReq struct {
 // of a v2 payload is a kind byte that can never open a JSON document,
 // so the codecs self-describe and the v1→v2 switch after hello needs no
 // shared state between reader and worker.
+//
+// The connection closes only after the worker has answered every
+// request already read: a clean client EOF — or a draining Shutdown —
+// never cuts a response frame in half.
 func (a *Agent) ServeConn(conn io.ReadWriteCloser) error {
-	defer conn.Close()
+	if err := a.trackConn(conn); err != nil {
+		conn.Close()
+		return err
+	}
+	defer a.untrackConn(conn)
 	reqs := make(chan connReq, 256)
 	errc := make(chan error, 1)
-	go a.serveRequests(conn, reqs, errc)
-	defer close(reqs)
-	for {
+	workerDone := make(chan struct{})
+	go func() {
+		a.serveRequests(conn, reqs, errc)
+		close(workerDone)
+	}()
+	err := a.readRequests(conn, reqs, errc)
+	close(reqs)
+	<-workerDone // pending responses flushed before the close below
+	conn.Close()
+	return err
+}
+
+// readRequests drains frames into the worker queue until the connection
+// errors, the worker reports a write failure, or the agent starts
+// draining (checked between frames; Shutdown force-closes connections
+// blocked mid-read once the grace period expires).
+func (a *Agent) readRequests(conn io.ReadWriteCloser, reqs chan<- connReq, errc <-chan error) error {
+	for !a.isDraining() {
 		payload, err := readPayload(conn)
 		if err != nil {
 			select {
@@ -177,6 +238,65 @@ func (a *Agent) ServeConn(conn io.ReadWriteCloser) error {
 			return werr
 		}
 	}
+	return nil
+}
+
+// trackConn registers a connection for drain accounting; a draining
+// agent refuses new connections.
+func (a *Agent) trackConn(conn io.Closer) error {
+	a.connMu.Lock()
+	defer a.connMu.Unlock()
+	if a.draining {
+		return fmt.Errorf("dist: %s is shutting down", a.node)
+	}
+	if a.conns == nil {
+		a.conns = make(map[io.Closer]struct{})
+	}
+	a.conns[conn] = struct{}{}
+	a.connWG.Add(1)
+	return nil
+}
+
+func (a *Agent) untrackConn(conn io.Closer) {
+	a.connMu.Lock()
+	delete(a.conns, conn)
+	a.connMu.Unlock()
+	a.connWG.Done()
+}
+
+func (a *Agent) isDraining() bool {
+	a.connMu.Lock()
+	defer a.connMu.Unlock()
+	return a.draining
+}
+
+// Shutdown drains the agent gracefully: new connections are refused,
+// existing connections stop picking up frames, and every request
+// already read is answered before its connection closes. Shutdown
+// blocks until all connections have drained, or until grace expires —
+// then it force-closes the stragglers (unblocking readers parked in a
+// frame read) and waits for them to unwind. The caller is responsible
+// for closing any listener first so no new connections race in.
+func (a *Agent) Shutdown(grace time.Duration) {
+	a.connMu.Lock()
+	a.draining = true
+	a.connMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		a.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return
+	case <-time.After(grace):
+	}
+	a.connMu.Lock()
+	for conn := range a.conns {
+		conn.Close()
+	}
+	a.connMu.Unlock()
+	<-done
 }
 
 // serveRequests is the per-connection worker: it executes queued
@@ -420,6 +540,16 @@ func (a *Agent) checkpoint() (*CheckpointResult, error) {
 // parity contract lives there), exploring the engine solo instead of
 // as a fleet member.
 func (a *Agent) explore(p ExploreParams) (*ExploreResult, error) {
+	// Round-keyed idempotency: a coordinator retrying after a reconnect
+	// re-sends the same round number, and must get the same answer the
+	// lost response carried — re-running under ReuseState would skip the
+	// already-reported paths and answer differently.
+	memoKey := p.Peer + "|" + p.Scenario
+	if p.Round != 0 {
+		if e, ok := a.exploreMemo[memoKey]; ok && e.round == p.Round {
+			return e.out, nil
+		}
+	}
 	strat, err := parseStrategy(p.Strategy)
 	if err != nil {
 		return nil, err
@@ -437,7 +567,11 @@ func (a *Agent) explore(p ExploreParams) (*ExploreResult, error) {
 	if err != nil {
 		var seedErr *core.SeedUnavailableError
 		if errors.As(err, &seedErr) && !p.Explicit {
-			return &ExploreResult{Skipped: seedErr.Err.Error(), Scenario: p.Scenario}, nil
+			skipped := &ExploreResult{Skipped: seedErr.Err.Error(), Scenario: p.Scenario}
+			if p.Round != 0 {
+				a.exploreMemo[memoKey] = exploreMemoEntry{round: p.Round, out: skipped}
+			}
+			return skipped, nil
 		}
 		return nil, fmt.Errorf("dist: %s/%s: %w", a.node, p.Peer, err)
 	}
@@ -485,6 +619,9 @@ func (a *Agent) explore(p ExploreParams) (*ExploreResult, error) {
 		}
 		out.Witnesses = append(out.Witnesses, WireWitness{Finding: wr.Finding, Msg: wire})
 	}
+	if p.Round != 0 {
+		a.exploreMemo[memoKey] = exploreMemoEntry{round: p.Round, out: out}
+	}
 	return out, nil
 }
 
@@ -494,6 +631,15 @@ func (a *Agent) explore(p ExploreParams) (*ExploreResult, error) {
 // and subsequent explorations seed from the replayed history exactly as
 // the in-process backend's do.
 func (a *Agent) replay(p ReplayParams) (*ReplayResult, error) {
+	// Key-based idempotency: the coordinator re-ships its whole replay
+	// history when (re-)establishing an agent. A surviving agent has
+	// every key memoized and applies nothing twice; a fresh replacement
+	// applies the lot and converges onto the fleet's state.
+	if p.Key != 0 {
+		if out, ok := a.replayMemo[p.Key]; ok {
+			return out, nil
+		}
+	}
 	records, err := trace.Read(bytes.NewReader(p.Trace))
 	if err != nil {
 		return nil, err
@@ -502,7 +648,11 @@ func (a *Agent) replay(p ReplayParams) (*ReplayResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: %s replay: %w", a.node, err)
 	}
-	return &ReplayResult{Delivered: n, Prefixes: a.self.RIB().Prefixes()}, nil
+	out := &ReplayResult{Delivered: n, Prefixes: a.self.RIB().Prefixes()}
+	if p.Key != 0 {
+		a.replayMemo[p.Key] = out
+	}
+	return out, nil
 }
 
 // shadowOpen clones the node for witness propagation. The clone is COW
@@ -516,6 +666,7 @@ func (a *Agent) shadowOpen() *ShadowOpenResult {
 		r:        a.self.CloneCOW(sink),
 		sink:     sink,
 		routeIDs: make(map[*rib.Route]uint64),
+		applied:  make(map[uint64]any),
 	}
 	return &ShadowOpenResult{ShadowID: a.nextID}
 }
@@ -525,7 +676,7 @@ func (a *Agent) shadow(id uint64) (*shadowClone, error) {
 	defer a.mu.Unlock()
 	sh, ok := a.shadows[id]
 	if !ok {
-		return nil, fmt.Errorf("dist: %s has no shadow %d", a.node, id)
+		return nil, fmt.Errorf("dist: %s %s %d", a.node, noShadowMarker, id)
 	}
 	return sh, nil
 }
@@ -545,6 +696,14 @@ func (a *Agent) inject(p InjectParams) (*InjectResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.Key != 0 {
+		if prev, ok := sh.applied[p.Key]; ok {
+			if out, ok := prev.(*InjectResult); ok {
+				return out, nil
+			}
+			return nil, fmt.Errorf("dist: %s delivery key %d was a batch", a.node, p.Key)
+		}
+	}
 	if a.self.Session(p.From) == nil {
 		return nil, fmt.Errorf("dist: %s has no peer %q", a.node, p.From)
 	}
@@ -555,6 +714,9 @@ func (a *Agent) inject(p InjectParams) (*InjectResult, error) {
 		out.Emitted = append(out.Emitted, WireEmission{To: m.To, Msg: m.Data})
 	}
 	sh.read = len(msgs)
+	if p.Key != 0 {
+		sh.applied[p.Key] = out
+	}
 	return out, nil
 }
 
@@ -564,13 +726,30 @@ func (a *Agent) inject(p InjectParams) (*InjectResult, error) {
 // round trip and the framing, not to change delivery order — so the
 // coordinator's relay can coalesce freely without disturbing parity.
 func (a *Agent) injectBatch(p InjectBatchParams) (*InjectBatchResult, error) {
+	sh, err := a.shadow(p.ShadowID)
+	if err != nil {
+		return nil, err
+	}
+	if p.Key != 0 {
+		if prev, ok := sh.applied[p.Key]; ok {
+			if out, ok := prev.(*InjectBatchResult); ok {
+				return out, nil
+			}
+			return nil, fmt.Errorf("dist: %s delivery key %d was a single inject", a.node, p.Key)
+		}
+	}
 	out := &InjectBatchResult{Results: make([]InjectResult, 0, len(p.Deliveries))}
 	for _, d := range p.Deliveries {
+		// Inner deliveries carry no key of their own: the whole batch is
+		// the idempotency unit, memoized below.
 		r, err := a.inject(InjectParams{ShadowID: p.ShadowID, From: d.From, Msg: d.Msg})
 		if err != nil {
 			return nil, err
 		}
 		out.Results = append(out.Results, *r)
+	}
+	if p.Key != 0 {
+		sh.applied[p.Key] = out
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 )
 
 // ErrClientBroken marks a connection poisoned by a protocol error: a
@@ -16,15 +17,49 @@ import (
 // byte stream cannot be trusted for even one more frame.
 var ErrClientBroken = errors.New("dist: connection broken")
 
-// Pending is an in-flight call started with Client.Go.
-type Pending struct {
-	method string
-	result any
-	errc   chan error // buffered 1; receives exactly one completion
+// ErrCallTimeout marks a single call that outlived its deadline. Unlike
+// ErrClientBroken it does NOT poison the connection: the stream is still
+// framed correctly, only this answer is late. The client forgets the
+// pending ID and silently discards the response if it ever arrives, so
+// later calls proceed normally. Callers that retry a timed-out call must
+// make it idempotent (the coordinator keys injections and replays for
+// exactly this reason) — the agent may have executed the original.
+var ErrCallTimeout = errors.New("dist: call timed out")
+
+// BrokenError is the concrete error a poisoned connection reports. It
+// satisfies errors.Is(err, ErrClientBroken) and unwraps to the root
+// cause, and names the offending frame ID when one is known (0 when the
+// failure wasn't tied to a frame — a dial-level I/O error, say).
+type BrokenError struct {
+	// Cause is the underlying failure that poisoned the connection.
+	Cause error
+	// FrameID is the response frame that triggered the poison, 0 if the
+	// failure was not attributable to a specific frame.
+	FrameID uint64
 }
 
-// Wait blocks until the response arrives (or the connection breaks) and
-// returns the call's error.
+func (e *BrokenError) Error() string {
+	if e.FrameID != 0 {
+		return fmt.Sprintf("%v (frame id %d): %v", ErrClientBroken, e.FrameID, e.Cause)
+	}
+	return fmt.Sprintf("%v: %v", ErrClientBroken, e.Cause)
+}
+
+// Unwrap exposes both the ErrClientBroken sentinel (for errors.Is) and
+// the root cause (for errors.As / errors.Is on the original error).
+func (e *BrokenError) Unwrap() []error { return []error{ErrClientBroken, e.Cause} }
+
+// Pending is an in-flight call started with Client.Go.
+type Pending struct {
+	id     uint64
+	method string
+	result any
+	errc   chan error  // buffered 1; receives exactly one completion
+	timer  *time.Timer // deadline, nil when the client has no Timeout
+}
+
+// Wait blocks until the response arrives (or the connection breaks, or
+// the deadline passes) and returns the call's error.
 func (p *Pending) Wait() error { return <-p.errc }
 
 // Client speaks the wire protocol to one agent. Calls are pipelined:
@@ -39,20 +74,31 @@ func (p *Pending) Wait() error { return <-p.errc }
 type Client struct {
 	conn io.ReadWriteCloser
 
+	// Timeout bounds each call from send to response (0 = no deadline).
+	// Set it before the first call; a timed-out call fails with
+	// ErrCallTimeout without poisoning the connection.
+	Timeout time.Duration
+
 	writeMu sync.Mutex // one frame write at a time
 
-	mu      sync.Mutex
-	pending map[uint64]*Pending
-	next    uint64
-	version int
-	broken  error
+	mu        sync.Mutex
+	pending   map[uint64]*Pending
+	abandoned map[uint64]struct{} // timed-out IDs whose late answers are discarded
+	next      uint64
+	version   int
+	broken    error
 
 	readerOnce sync.Once
 }
 
 // NewClient wraps an established connection.
 func NewClient(conn io.ReadWriteCloser) *Client {
-	return &Client{conn: conn, pending: make(map[uint64]*Pending), version: ProtoV1}
+	return &Client{
+		conn:      conn,
+		pending:   make(map[uint64]*Pending),
+		abandoned: make(map[uint64]struct{}),
+		version:   ProtoV1,
+	}
 }
 
 // Version reports the protocol version in use: ProtoV1 until a
@@ -83,7 +129,7 @@ func (c *Client) Handshake(maxVersion int) (HelloResult, error) {
 	}
 	if ver > maxVersion {
 		err := fmt.Errorf("dist: agent negotiated version %d above our cap %d", ver, maxVersion)
-		c.fail(err)
+		c.fail(0, err)
 		return HelloResult{}, err
 	}
 	c.mu.Lock()
@@ -113,6 +159,7 @@ func (c *Client) Go(method string, params, result any) *Pending {
 	}
 	c.next++
 	id := c.next
+	p.id = id
 	c.pending[id] = p
 	ver := c.version
 	c.mu.Unlock()
@@ -137,20 +184,49 @@ func (c *Client) Go(method string, params, result any) *Pending {
 	if werr != nil {
 		// fail delivers the broken error to every pending call,
 		// including this one.
-		c.fail(fmt.Errorf("send %s: %v", method, werr))
+		c.fail(id, fmt.Errorf("send %s: %v", method, werr))
+		return p
+	}
+	if d := c.Timeout; d > 0 {
+		c.mu.Lock()
+		// The response (or a poison) may have completed the call while
+		// the write lock was held; only arm a timer for a call that is
+		// still in flight.
+		if _, live := c.pending[id]; live {
+			p.timer = time.AfterFunc(d, func() { c.expire(id, method, d) })
+		}
+		c.mu.Unlock()
 	}
 	return p
+}
+
+// expire times out one pending call: the ID moves to the abandoned set
+// so the reader discards the late answer instead of poisoning on an
+// unknown ID, and the caller gets ErrCallTimeout. The connection itself
+// stays healthy.
+func (c *Client) expire(id uint64, method string, d time.Duration) {
+	c.mu.Lock()
+	p, ok := c.pending[id]
+	if !ok {
+		c.mu.Unlock()
+		return // answered (or poisoned) just before the timer fired
+	}
+	delete(c.pending, id)
+	c.abandoned[id] = struct{}{}
+	c.mu.Unlock()
+	p.errc <- fmt.Errorf("%w: %s (id %d) after %v", ErrCallTimeout, method, id, d)
 }
 
 // Close closes the underlying connection. In-flight calls fail.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// fail poisons the connection: records the sticky error, closes the
-// transport, and completes every pending call with the broken error.
-func (c *Client) fail(cause error) {
+// fail poisons the connection: records the sticky error (wrapping the
+// cause, with the offending frame ID when known), closes the transport,
+// and completes every pending call with the broken error.
+func (c *Client) fail(frameID uint64, cause error) {
 	c.mu.Lock()
 	if c.broken == nil {
-		c.broken = fmt.Errorf("%w: %v", ErrClientBroken, cause)
+		c.broken = &BrokenError{Cause: cause, FrameID: frameID}
 	}
 	err := c.broken
 	pend := c.pending
@@ -158,6 +234,9 @@ func (c *Client) fail(cause error) {
 	c.mu.Unlock()
 	c.conn.Close()
 	for _, p := range pend {
+		if p.timer != nil {
+			p.timer.Stop()
+		}
 		p.errc <- err
 	}
 }
@@ -168,7 +247,7 @@ func (c *Client) readLoop() {
 	for {
 		payload, err := readPayload(c.conn)
 		if err != nil {
-			c.fail(fmt.Errorf("recv: %v", err))
+			c.fail(0, fmt.Errorf("recv: %v", err))
 			return
 		}
 		// The payload's first octet discriminates the codec: v2
@@ -190,16 +269,28 @@ func (c *Client) readLoop() {
 			id, errMsg, body = resp.ID, resp.Error, resp.Result
 		}
 		if err != nil {
-			c.fail(fmt.Errorf("garbled response: %v", err))
+			c.fail(id, fmt.Errorf("garbled response: %v", err))
 			return
 		}
 		c.mu.Lock()
 		p, ok := c.pending[id]
 		delete(c.pending, id)
-		c.mu.Unlock()
 		if !ok {
-			c.fail(fmt.Errorf("response id %d matches no pending request", id))
+			// A late answer to a timed-out call is expected and harmless:
+			// drop the body undecoded and keep reading. Any other unknown
+			// ID means the stream is desynchronized.
+			if _, late := c.abandoned[id]; late {
+				delete(c.abandoned, id)
+				c.mu.Unlock()
+				continue
+			}
+			c.mu.Unlock()
+			c.fail(id, fmt.Errorf("response id %d matches no pending request", id))
 			return
+		}
+		c.mu.Unlock()
+		if p.timer != nil {
+			p.timer.Stop()
 		}
 		callErr := c.complete(p, errMsg, body, isV2)
 		p.errc <- callErr
@@ -225,7 +316,7 @@ func (c *Client) complete(p *Pending, errMsg string, body []byte, isV2 bool) err
 			return fmt.Errorf("dist: %s result type %T has no v2 decoding", p.method, p.result)
 		}
 		if err := decodeBodyV2(body, msg); err != nil {
-			c.fail(fmt.Errorf("decode %s result: %v", p.method, err))
+			c.fail(p.id, fmt.Errorf("decode %s result: %v", p.method, err))
 			c.mu.Lock()
 			err = c.broken
 			c.mu.Unlock()
@@ -235,7 +326,7 @@ func (c *Client) complete(p *Pending, errMsg string, body []byte, isV2 bool) err
 	}
 	if len(body) > 0 {
 		if err := json.Unmarshal(body, p.result); err != nil {
-			c.fail(fmt.Errorf("decode %s result: %v", p.method, err))
+			c.fail(p.id, fmt.Errorf("decode %s result: %v", p.method, err))
 			c.mu.Lock()
 			err = c.broken
 			c.mu.Unlock()

@@ -4,6 +4,9 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"reflect"
 	"sort"
 	"sync"
 	"time"
@@ -21,17 +24,75 @@ import (
 // protocol instead of touching a router in-process, and witness
 // propagation is relayed message by message between agents through a
 // latency-ordered event queue that mirrors netsim's delivery order.
+//
+// Fault tolerance (health.go, fault.go): every RPC carries the client's
+// per-call deadline, a broken or timed-out connection is re-dialed with
+// capped exponential backoff, and when the reconnect budget runs out the
+// node transparently degrades to an in-process replacement agent — the
+// mixed-fleet fallback. Retried RPCs are idempotent: explores are keyed
+// on the round sequence, witness deliveries on per-shadow delivery keys,
+// replays on history keys, so at-least-once delivery has exactly-once
+// effects and a faulty run converges on the identical finding snapshot.
 type Coordinator struct {
 	Topo *core.Topology
 
 	opts     core.FederatedOptions
-	clients  map[string]*Client
+	conns    map[string]*nodeConn
 	nodes    []string // sorted node names
 	latency  map[string]time.Duration
 	boundary uint32 // no-export community, resolved once at Connect
 
 	maxVersion  int  // wire protocol cap offered at handshake
 	callAndWait bool // disable pipelining, batching, shared shadow sets
+	policy      RetryPolicy
+
+	roundSeq uint64 // explore idempotency key; Round is not reentrant
+
+	replayMu      sync.Mutex
+	replaySeq     uint64
+	replayHistory []ReplayParams // keyed; re-shipped to replacement agents
+}
+
+// nodeConn manages one node's connection through faults: the current
+// client, a generation counter bumped on every swap (so concurrent
+// callers recognize a recovery they didn't perform), and the health
+// record. Recovery is single-flight: mu is held across the whole
+// re-dial/backoff episode, and callers blocked in current() simply pick
+// up the replacement.
+type nodeConn struct {
+	node   string
+	dialer Dialer
+
+	mu      sync.Mutex
+	client  *Client // nil once failed (NoFallback exhausted)
+	gen     uint64
+	health  NodeHealth
+	failErr error      // sticky, set when State == HealthFailed
+	rng     *rand.Rand // deterministic backoff jitter, guarded by mu
+}
+
+// current returns the live client and its generation. A nil client
+// means the node is failed; failedErr has the sticky error.
+func (nc *nodeConn) current() (*Client, uint64) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	return nc.client, nc.gen
+}
+
+func (nc *nodeConn) failedErr() error {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	if nc.failErr != nil {
+		return nc.failErr
+	}
+	return fmt.Errorf("dist: node %q has no live connection", nc.node)
+}
+
+func (nc *nodeConn) noteFault(err error) {
+	nc.mu.Lock()
+	nc.health.Faults++
+	nc.health.LastFault = err.Error()
+	nc.mu.Unlock()
 }
 
 // ConnOption tunes how Connect drives the wire protocol.
@@ -54,13 +115,39 @@ func WithCallAndWait() ConnOption {
 	return func(c *Coordinator) { c.callAndWait = true }
 }
 
+// WithRetryPolicy sets the fault-handling knobs: per-call RPC deadline,
+// reconnect budget and backoff shape, degraded-fallback switch, jitter
+// seed. Zero fields take the RetryPolicy defaults.
+func WithRetryPolicy(p RetryPolicy) ConnOption {
+	return func(c *Coordinator) { c.policy = p }
+}
+
 // Versions reports the negotiated wire protocol version per node.
 func (c *Coordinator) Versions() map[string]int {
-	v := make(map[string]int, len(c.clients))
-	for n, cl := range c.clients {
-		v[n] = cl.Version()
+	v := make(map[string]int, len(c.conns))
+	for n, nc := range c.conns {
+		if cl, _ := nc.current(); cl != nil {
+			v[n] = cl.Version()
+		}
 	}
 	return v
+}
+
+// Health reports each node's fault-tolerance record: state (healthy /
+// degraded / failed), reconnect and fault counts. A fresh coordinator
+// reports every node healthy with zero counts.
+func (c *Coordinator) Health() map[string]NodeHealth {
+	out := make(map[string]NodeHealth, len(c.conns))
+	for n, nc := range c.conns {
+		nc.mu.Lock()
+		h := nc.health
+		nc.mu.Unlock()
+		if h.State == "" {
+			h.State = HealthHealthy
+		}
+		out[n] = h
+	}
+	return out
 }
 
 // TargetResult is one node's share of a distributed round.
@@ -94,6 +181,11 @@ type RoundResult struct {
 	WitnessesSkipped  int
 	PropagationSteps  int
 	Elapsed           time.Duration
+	// Health is the per-node fault record as of the end of the round.
+	// It is deliberately NOT part of Snapshot(): a degraded run must
+	// produce the identical snapshot as an all-healthy one, and the
+	// chaos parity tests compare exactly that.
+	Health map[string]NodeHealth
 }
 
 // Snapshot renders the round canonically for golden-file comparison —
@@ -109,7 +201,9 @@ func (res *RoundResult) Snapshot() []string {
 
 // Connect dials one agent per dialer, identifies each, and checks the
 // set exactly covers the topology: every node independently
-// administered, none orphaned, none doubled.
+// administered, none orphaned, none doubled. Transient dial and
+// handshake failures are retried within the RetryPolicy's reconnect
+// budget; identity errors (wrong topology, duplicate node) fail fast.
 func Connect(topo *core.Topology, opts core.FederatedOptions, dialers []Dialer, copts ...ConnOption) (*Coordinator, error) {
 	if opts.DefaultScenario == "" {
 		opts.DefaultScenario = core.ScenarioRouteLeak
@@ -135,7 +229,7 @@ func Connect(topo *core.Topology, opts core.FederatedOptions, dialers []Dialer, 
 	c := &Coordinator{
 		Topo:       topo,
 		opts:       opts,
-		clients:    make(map[string]*Client, len(dialers)),
+		conns:      make(map[string]*nodeConn, len(dialers)),
 		latency:    make(map[string]time.Duration, len(topo.Edges)),
 		boundary:   boundary,
 		maxVersion: ProtoLatest,
@@ -143,6 +237,7 @@ func Connect(topo *core.Topology, opts core.FederatedOptions, dialers []Dialer, 
 	for _, o := range copts {
 		o(c)
 	}
+	c.policy = c.policy.withDefaults()
 	for _, e := range topo.Edges {
 		lat := time.Duration(e.LatencyMS) * time.Millisecond
 		if lat == 0 {
@@ -150,34 +245,37 @@ func Connect(topo *core.Topology, opts core.FederatedOptions, dialers []Dialer, 
 		}
 		c.latency[edgeKey(e.A, e.B)] = lat
 	}
+	crng := rand.New(rand.NewSource(c.policy.Seed))
 	for _, d := range dialers {
-		conn, err := d.Dial()
+		var (
+			cl    *Client
+			hello HelloResult
+		)
+		for attempt := 0; ; attempt++ {
+			cl, hello, err = c.dialAndHello(d)
+			if err == nil || attempt >= c.policy.MaxReconnects || !transientConnectErr(err) {
+				break
+			}
+			time.Sleep(backoffDelay(attempt+1, c.policy.BackoffBase, c.policy.BackoffCap, crng))
+		}
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
-		cl := NewClient(conn)
-		hello, err := cl.Handshake(c.maxVersion)
-		if err != nil {
-			cl.Close()
-			c.Close()
-			return nil, err
-		}
-		if hello.Topology != topo.Name {
-			cl.Close()
-			c.Close()
-			return nil, fmt.Errorf("dist: agent for %q administers topology %q, coordinator drives %q",
-				hello.Node, hello.Topology, topo.Name)
-		}
-		if _, dup := c.clients[hello.Node]; dup {
+		if _, dup := c.conns[hello.Node]; dup {
 			cl.Close()
 			c.Close()
 			return nil, fmt.Errorf("dist: two agents claim node %q", hello.Node)
 		}
-		c.clients[hello.Node] = cl
+		c.conns[hello.Node] = &nodeConn{
+			node:   hello.Node,
+			dialer: d,
+			client: cl,
+			rng:    rand.New(rand.NewSource(c.policy.Seed ^ int64(nodeHash(hello.Node)))),
+		}
 	}
 	for _, n := range topo.Nodes {
-		if _, ok := c.clients[n.Name]; !ok {
+		if _, ok := c.conns[n.Name]; !ok {
 			c.Close()
 			return nil, fmt.Errorf("dist: no agent for node %q", n.Name)
 		}
@@ -187,15 +285,237 @@ func Connect(topo *core.Topology, opts core.FederatedOptions, dialers []Dialer, 
 	return c, nil
 }
 
+// nodeHash gives each node a stable 64-bit identity for seeding its
+// jitter stream independently of fleet ordering.
+func nodeHash(node string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	return h.Sum64()
+}
+
+// transientConnectErr reports whether a Connect-time failure is worth
+// retrying: dial-level and stream-level faults are (the agent may just
+// be starting, or a fault injector hit the handshake); identity
+// mismatches are not.
+func transientConnectErr(err error) bool {
+	return isConnFault(err) || errors.Is(err, errDial)
+}
+
+// errDial classifies Dial-level failures for the retry decision.
+var errDial = errors.New("dist: dial failed")
+
+// dialAndHello establishes one identified connection: dial, wrap,
+// apply the RPC deadline, run the hello negotiation, validate the
+// topology identity.
+func (c *Coordinator) dialAndHello(d Dialer) (*Client, HelloResult, error) {
+	conn, err := d.Dial()
+	if err != nil {
+		return nil, HelloResult{}, fmt.Errorf("%w: %v", errDial, err)
+	}
+	cl := NewClient(conn)
+	cl.Timeout = c.policy.RPCTimeout
+	hello, err := cl.Handshake(c.maxVersion)
+	if err != nil {
+		cl.Close()
+		return nil, HelloResult{}, err
+	}
+	if hello.Topology != c.Topo.Name {
+		cl.Close()
+		return nil, HelloResult{}, fmt.Errorf("dist: agent for %q administers topology %q, coordinator drives %q",
+			hello.Node, hello.Topology, c.Topo.Name)
+	}
+	return cl, hello, nil
+}
+
 // Close closes every agent connection.
 func (c *Coordinator) Close() error {
 	var first error
-	for _, cl := range c.clients {
+	for _, nc := range c.conns {
+		cl, _ := nc.current()
+		if cl == nil {
+			continue
+		}
 		if err := cl.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
+}
+
+// call issues one RPC against a node with the full fault-recovery
+// ladder: the client's per-call deadline bounds each attempt, a
+// transport fault (broken stream, timeout) triggers single-flight
+// recovery — reconnect with backoff, then the degraded in-process
+// fallback — and the call retries on the replacement. result is
+// re-zeroed before every attempt so a partial decode never leaks into a
+// retry. Application errors return immediately; retried methods are
+// idempotent by key, so at-least-once delivery is safe.
+func (c *Coordinator) call(node, method string, params, result any) error {
+	nc, ok := c.conns[node]
+	if !ok {
+		return fmt.Errorf("dist: no agent for node %q", node)
+	}
+	var lastErr error
+	// One attempt per client generation the recovery ladder can hand us,
+	// plus the original: reconnects, then the degraded fallback.
+	attempts := c.policy.MaxReconnects + 2
+	for i := 0; i < attempts; i++ {
+		cl, gen := nc.current()
+		if cl == nil {
+			return nc.failedErr()
+		}
+		zeroResult(result)
+		err := cl.Call(method, params, result)
+		if err == nil {
+			return nil
+		}
+		if !isConnFault(err) {
+			return err
+		}
+		lastErr = err
+		nc.noteFault(err)
+		if rerr := c.recover(nc, gen, cl); rerr != nil {
+			return rerr
+		}
+	}
+	return lastErr
+}
+
+// goNode starts one pipelined call on a node's current client (no
+// retry; fan-out callers route transport faults through call for the
+// recovery ladder).
+func (c *Coordinator) goNode(node, method string, params, result any) *Pending {
+	nc := c.conns[node]
+	cl, _ := nc.current()
+	if cl == nil {
+		p := &Pending{method: method, errc: make(chan error, 1)}
+		p.errc <- nc.failedErr()
+		return p
+	}
+	return cl.Go(method, params, result)
+}
+
+// recover is the single-flight recovery ladder for one node. gen is the
+// generation the caller's failed client belonged to: if the node has
+// already moved past it, another caller recovered concurrently and this
+// one just retries. Otherwise: close the failed client, re-dial with
+// capped exponential backoff + deterministic jitter (re-running hello
+// and re-shipping the replay history), and after the reconnect budget
+// runs out, degrade to an in-process replacement agent — unless
+// NoFallback, which marks the node failed.
+func (c *Coordinator) recover(nc *nodeConn, gen uint64, failed *Client) error {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	if nc.gen != gen {
+		return nil // already recovered by a concurrent caller
+	}
+	if nc.client == nil {
+		return nc.failErr
+	}
+	failed.Close()
+	var lastErr error
+	for attempt := 1; attempt <= c.policy.MaxReconnects; attempt++ {
+		time.Sleep(backoffDelay(attempt, c.policy.BackoffBase, c.policy.BackoffCap, nc.rng))
+		cl, hello, err := c.dialAndHello(nc.dialer)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if hello.Node != nc.node {
+			cl.Close()
+			lastErr = fmt.Errorf("dist: reconnect for %q reached agent for %q", nc.node, hello.Node)
+			continue
+		}
+		if err := c.reestablish(cl); err != nil {
+			cl.Close()
+			lastErr = err
+			continue
+		}
+		nc.client = cl
+		nc.gen++
+		nc.health.Reconnects++
+		nc.health.State = HealthHealthy
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("dist: reconnect budget exhausted")
+	}
+	if c.policy.NoFallback {
+		nc.client = nil
+		nc.gen++
+		nc.health.State = HealthFailed
+		nc.failErr = fmt.Errorf("dist: node %q failed after %d reconnect attempts: %w",
+			nc.node, c.policy.MaxReconnects, lastErr)
+		return nc.failErr
+	}
+	// Degraded mixed-fleet fallback: build an in-process replacement
+	// agent for this node and splice it in over a loopback pipe. The
+	// replacement runs the identical deterministic pipeline the remote
+	// did (same topology build, same PrepareTarget/Analyze path), and
+	// reestablish replays the coordinator's replay history into it, so
+	// findings are unaffected — parity with the all-healthy run holds.
+	local, err := NewAgent(c.Topo, nc.node)
+	if err != nil {
+		nc.client = nil
+		nc.gen++
+		nc.health.State = HealthFailed
+		nc.failErr = fmt.Errorf("dist: degraded fallback for %q: %w", nc.node, err)
+		return nc.failErr
+	}
+	cl, _, err := c.dialAndHello(Loopback{Agent: local})
+	if err == nil {
+		err = c.reestablish(cl)
+	}
+	if err != nil {
+		if cl != nil {
+			cl.Close()
+		}
+		nc.client = nil
+		nc.gen++
+		nc.health.State = HealthFailed
+		nc.failErr = fmt.Errorf("dist: degraded fallback for %q: %w", nc.node, err)
+		return nc.failErr
+	}
+	nc.client = cl
+	nc.gen++
+	nc.health.State = HealthDegraded
+	return nil
+}
+
+// reestablish brings a (re)connected agent up to date: the coordinator's
+// replay history is re-shipped in order. Every entry is keyed, so a
+// surviving agent that merely lost its connection answers from its
+// memo and applies nothing twice, while a fresh replacement (restarted
+// process, degraded in-process agent) replays the lot and converges
+// onto the fleet's deterministic post-replay state. Exploration warm
+// state (ReuseState) is the one thing a replacement cannot recover —
+// its next explore runs cold, which is correct but may re-report known
+// paths; the memoized explore round keys keep retries of the *current*
+// round exact either way.
+func (c *Coordinator) reestablish(cl *Client) error {
+	c.replayMu.Lock()
+	history := append([]ReplayParams(nil), c.replayHistory...)
+	c.replayMu.Unlock()
+	for i := range history {
+		var out ReplayResult
+		if err := cl.Call(MethodReplay, &history[i], &out); err != nil {
+			return fmt.Errorf("dist: re-establish replay history: %w", err)
+		}
+	}
+	return nil
+}
+
+// zeroResult clears a result struct between call attempts so a retry
+// decodes into pristine memory (a partial decode from a fault must not
+// survive into the next attempt's omitempty fields).
+func zeroResult(v any) {
+	if v == nil {
+		return
+	}
+	rv := reflect.ValueOf(v)
+	if rv.Kind() == reflect.Pointer && !rv.IsNil() {
+		rv.Elem().SetZero()
+	}
 }
 
 func edgeKey(a, b string) string {
@@ -218,16 +538,19 @@ func (c *Coordinator) linkLatency(a, b string) (time.Duration, bool) {
 func (c *Coordinator) Round() (*RoundResult, error) {
 	start := time.Now()
 	res := &RoundResult{}
+	c.roundSeq++
+	round := c.roundSeq
 
 	// Phase 1: fan Explore out to the owning agents, one goroutine per
-	// target (calls to the same agent serialize on its connection).
+	// target (calls to the same agent serialize on its connection). The
+	// round key makes retried explores exact: an agent that already ran
+	// this round's explore answers from its memo.
 	targets := c.Topo.ResolveTargets(c.opts.DefaultScenario)
 	outs := make([]*ExploreResult, len(targets))
 	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
 	for i, tg := range targets {
-		cl, ok := c.clients[tg.Node]
-		if !ok {
+		if _, ok := c.conns[tg.Node]; !ok {
 			return nil, fmt.Errorf("dist: no agent for node %q", tg.Node)
 		}
 		wg.Add(1)
@@ -244,9 +567,10 @@ func (c *Coordinator) Round() (*RoundResult, error) {
 				Strategy:     c.opts.Engine.Strategy.String(),
 				TimeBudgetNS: c.opts.Engine.TimeBudget.Nanoseconds(),
 				ReuseState:   c.opts.ReuseState,
+				Round:        round,
 			}
 			var out ExploreResult
-			if err := cl.Call(MethodExplore, &params, &out); err != nil {
+			if err := c.call(tg.Node, MethodExplore, &params, &out); err != nil {
 				errs[i] = err
 				return
 			}
@@ -349,6 +673,7 @@ func (c *Coordinator) Round() (*RoundResult, error) {
 	}
 
 	res.Elapsed = time.Since(start)
+	res.Health = c.Health()
 	return res, nil
 }
 
@@ -363,11 +688,19 @@ func (c *Coordinator) Round() (*RoundResult, error) {
 // replay concurrently, same fan-out shape as the explore phase. Call
 // it before Round: subsequent explorations seed from the replayed
 // history.
+//
+// Each replay is keyed and recorded in the coordinator's history before
+// it ships: a reconnect mid-replay retries idempotently, and replacement
+// agents re-run the full history to converge onto the fleet's state.
 func (c *Coordinator) Replay(node, peer string, traceBytes []byte) (int, error) {
-	if _, ok := c.clients[node]; !ok {
+	if _, ok := c.conns[node]; !ok {
 		return 0, fmt.Errorf("dist: replay ingress node %q has no agent", node)
 	}
-	params := ReplayParams{Node: node, Peer: peer, Trace: traceBytes}
+	c.replayMu.Lock()
+	c.replaySeq++
+	params := ReplayParams{Node: node, Peer: peer, Trace: traceBytes, Key: c.replaySeq}
+	c.replayHistory = append(c.replayHistory, params)
+	c.replayMu.Unlock()
 	outs := make([]ReplayResult, len(c.nodes))
 	errs := make([]error, len(c.nodes))
 	var wg sync.WaitGroup
@@ -375,7 +708,7 @@ func (c *Coordinator) Replay(node, peer string, traceBytes []byte) (int, error) 
 		wg.Add(1)
 		go func(i int, n string) {
 			defer wg.Done()
-			if err := c.clients[n].Call(MethodReplay, &params, &outs[i]); err != nil {
+			if err := c.call(n, MethodReplay, &params, &outs[i]); err != nil {
 				errs[i] = fmt.Errorf("dist: replay on agent %s: %w", n, err)
 			}
 		}(i, n)
@@ -424,10 +757,14 @@ func decodeFinding(wf WireFinding) (core.Finding, error) {
 	return f, nil
 }
 
-// relayEvent is one in-flight message between domains.
+// relayEvent is one in-flight message between domains. key is the
+// delivery idempotency key, assigned from the shadow set's sequence at
+// enqueue time so a delivery retried after a reconnect reuses its
+// original key and the agent's memo answers it.
 type relayEvent struct {
 	at       time.Duration // virtual delivery time from injection
 	seq      uint64        // FIFO tiebreak, mirroring netsim
+	key      uint64        // delivery idempotency key
 	from, to string
 	msg      []byte
 }
@@ -451,39 +788,60 @@ func (q *relayQueue) Pop() any {
 	return e
 }
 
-// shadowSet tracks one shadow clone per agent for a witness's lifetime.
-type shadowSet map[string]uint64
+// shadowSet tracks one shadow clone per agent for a witness lifetime
+// (or several disjoint-prefix lifetimes), plus the delivery-key
+// sequence those lifetimes draw from: keys are unique per shadow set,
+// which is exactly the scope of the agents' memo maps.
+type shadowSet struct {
+	ids  map[string]uint64
+	keys uint64
+}
+
+// nextKey mints the next delivery idempotency key (keys start at 1;
+// 0 on the wire means "no memo").
+func (s *shadowSet) nextKey() uint64 {
+	s.keys++
+	return s.keys
+}
 
 // openShadows opens one shadow per node; closeShadows tears them down.
 // When pipelining is on, all opens are in flight at once — the agents
-// sit on different connections, so the fan-out completes in one RTT.
-func (c *Coordinator) openShadows() (shadowSet, error) {
-	shadows := make(shadowSet, len(c.nodes))
+// sit on different connections, so the fan-out completes in one RTT. A
+// transport fault on the pipelined attempt falls back to the retrying
+// call path for that node (the retry may leak one clone on an agent
+// that executed the open but lost the answer — bounded, and freed with
+// the agent's next restart).
+func (c *Coordinator) openShadows() (*shadowSet, error) {
+	shadows := &shadowSet{ids: make(map[string]uint64, len(c.nodes))}
 	if c.callAndWait {
 		for _, n := range c.nodes {
 			var out ShadowOpenResult
-			if err := c.clients[n].Call(MethodShadowOpen, nil, &out); err != nil {
+			if err := c.call(n, MethodShadowOpen, nil, &out); err != nil {
 				c.closeShadows(shadows)
 				return nil, err
 			}
-			shadows[n] = out.ShadowID
+			shadows.ids[n] = out.ShadowID
 		}
 		return shadows, nil
 	}
 	outs := make([]ShadowOpenResult, len(c.nodes))
 	pend := make([]*Pending, len(c.nodes))
 	for i, n := range c.nodes {
-		pend[i] = c.clients[n].Go(MethodShadowOpen, nil, &outs[i])
+		pend[i] = c.goNode(n, MethodShadowOpen, nil, &outs[i])
 	}
 	var firstErr error
 	for i, p := range pend {
-		if err := p.Wait(); err != nil {
+		err := p.Wait()
+		if err != nil && isConnFault(err) {
+			err = c.call(c.nodes[i], MethodShadowOpen, nil, &outs[i])
+		}
+		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
-		shadows[c.nodes[i]] = outs[i].ShadowID
+		shadows.ids[c.nodes[i]] = outs[i].ShadowID
 	}
 	if firstErr != nil {
 		c.closeShadows(shadows)
@@ -492,18 +850,20 @@ func (c *Coordinator) openShadows() (shadowSet, error) {
 	return shadows, nil
 }
 
-func (c *Coordinator) closeShadows(shadows shadowSet) {
+func (c *Coordinator) closeShadows(shadows *shadowSet) {
 	// Best-effort: a failed close leaks one clone on that agent, it
 	// does not invalidate the round.
-	if c.callAndWait {
-		for n, id := range shadows {
-			_ = c.clients[n].Call(MethodShadowClose, &ShadowCloseParams{ShadowID: id}, nil)
-		}
+	if shadows == nil {
 		return
 	}
-	pend := make([]*Pending, 0, len(shadows))
-	for n, id := range shadows {
-		pend = append(pend, c.clients[n].Go(MethodShadowClose, &ShadowCloseParams{ShadowID: id}, nil))
+	pend := make([]*Pending, 0, len(shadows.ids))
+	for n, id := range shadows.ids {
+		p := c.goNode(n, MethodShadowClose, &ShadowCloseParams{ShadowID: id}, nil)
+		if c.callAndWait {
+			_ = p.Wait()
+		} else {
+			pend = append(pend, p)
+		}
 	}
 	for _, p := range pend {
 		_ = p.Wait()
@@ -511,10 +871,10 @@ func (c *Coordinator) closeShadows(shadows shadowSet) {
 }
 
 // query asks one node's oracle view of prefix in its shadow.
-func (c *Coordinator) query(shadows shadowSet, node string, prefix netaddr.Prefix) (*QueryOracleResult, error) {
+func (c *Coordinator) query(shadows *shadowSet, node string, prefix netaddr.Prefix) (*QueryOracleResult, error) {
 	var out QueryOracleResult
-	err := c.clients[node].Call(MethodQueryOracle,
-		&QueryOracleParams{ShadowID: shadows[node], Prefix: prefix.String()}, &out)
+	err := c.call(node, MethodQueryOracle,
+		&QueryOracleParams{ShadowID: shadows.ids[node], Prefix: prefix.String()}, &out)
 	if err != nil {
 		return nil, err
 	}
@@ -525,8 +885,10 @@ func (c *Coordinator) query(shadows shadowSet, node string, prefix netaddr.Prefi
 // the answers keyed by node. Under call-and-wait it degrades to the
 // sequential loop; the answers are identical either way — converged
 // shadows are read-only to queries — so callers may evaluate them in
-// any order they need for deterministic violation ordering.
-func (c *Coordinator) queryMany(shadows shadowSet, nodes []string, prefix netaddr.Prefix) (map[string]*QueryOracleResult, error) {
+// any order they need for deterministic violation ordering. Queries are
+// read-only and safely re-issued, so a transport fault on the pipelined
+// attempt retries through the recovery path.
+func (c *Coordinator) queryMany(shadows *shadowSet, nodes []string, prefix netaddr.Prefix) (map[string]*QueryOracleResult, error) {
 	out := make(map[string]*QueryOracleResult, len(nodes))
 	if c.callAndWait {
 		for _, n := range nodes {
@@ -541,17 +903,26 @@ func (c *Coordinator) queryMany(shadows shadowSet, nodes []string, prefix netadd
 	outs := make([]QueryOracleResult, len(nodes))
 	pend := make([]*Pending, len(nodes))
 	for i, n := range nodes {
-		pend[i] = c.clients[n].Go(MethodQueryOracle,
-			&QueryOracleParams{ShadowID: shadows[n], Prefix: prefix.String()}, &outs[i])
+		pend[i] = c.goNode(n, MethodQueryOracle,
+			&QueryOracleParams{ShadowID: shadows.ids[n], Prefix: prefix.String()}, &outs[i])
 	}
+	var firstErr error
 	for i, p := range pend {
-		if err := p.Wait(); err != nil {
-			for _, rest := range pend[i+1:] {
-				_ = rest.Wait()
+		err := p.Wait()
+		if err != nil && isConnFault(err) {
+			err = c.call(nodes[i], MethodQueryOracle,
+				&QueryOracleParams{ShadowID: shadows.ids[nodes[i]], Prefix: prefix.String()}, &outs[i])
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
 			}
-			return nil, err
+			continue
 		}
 		out[nodes[i]] = &outs[i]
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }
@@ -563,7 +934,7 @@ func (c *Coordinator) queryMany(shadows shadowSet, nodes []string, prefix netadd
 // backlog — the distributed Run/Pending pair — plus the per-wave
 // delivery counts (consecutive deliveries sharing one virtual timestamp
 // are one wave, mirroring the in-process runWaves over netsim).
-func (c *Coordinator) relay(shadows shadowSet, queue *relayQueue, maxSteps int) (steps, pending int, waves []int, err error) {
+func (c *Coordinator) relay(shadows *shadowSet, queue *relayQueue, maxSteps int) (steps, pending int, waves []int, err error) {
 	// Initial events carry seqs 1..Len (both callers enqueue exactly
 	// one); relayed emissions continue the sequence from there.
 	seq := uint64(queue.Len())
@@ -603,7 +974,10 @@ func (c *Coordinator) relay(shadows shadowSet, queue *relayQueue, maxSteps int) 
 					continue // no link: dropped, like netsim's unplugged cable
 				}
 				seq++
-				heap.Push(queue, &relayEvent{at: ev.at + lat, seq: seq, from: ev.to, to: em.To, msg: em.Msg})
+				heap.Push(queue, &relayEvent{
+					at: ev.at + lat, seq: seq, key: shadows.nextKey(),
+					from: ev.to, to: em.To, msg: em.Msg,
+				})
 			}
 		}
 	}
@@ -615,28 +989,35 @@ func (c *Coordinator) relay(shadows shadowSet, queue *relayQueue, maxSteps int) 
 // (a genuinely old agent doesn't know the method) and batching must not
 // be disabled.
 func (c *Coordinator) batchTo(node string) bool {
-	return !c.callAndWait && c.clients[node].Version() >= ProtoV2
+	if c.callAndWait {
+		return false
+	}
+	cl, _ := c.conns[node].current()
+	return cl != nil && cl.Version() >= ProtoV2
 }
 
 // deliver ships a batch of deliveries to one agent — a single
 // inject_witness for the common singleton case, one inject_witness_batch
-// otherwise — and returns per-delivery emissions in order.
-func (c *Coordinator) deliver(shadows shadowSet, to string, batch []*relayEvent) ([]InjectResult, error) {
+// otherwise — and returns per-delivery emissions in order. The head
+// event's key identifies the whole delivery (keys are unique per event,
+// and an event is delivered exactly once, alone or at the head of one
+// batch), so a retry after a transport fault replays idempotently.
+func (c *Coordinator) deliver(shadows *shadowSet, to string, batch []*relayEvent) ([]InjectResult, error) {
 	if len(batch) == 1 {
 		var out InjectResult
-		err := c.clients[to].Call(MethodInjectWitness,
-			&InjectParams{ShadowID: shadows[to], From: batch[0].from, Msg: batch[0].msg}, &out)
+		err := c.call(to, MethodInjectWitness,
+			&InjectParams{ShadowID: shadows.ids[to], From: batch[0].from, Msg: batch[0].msg, Key: batch[0].key}, &out)
 		if err != nil {
 			return nil, err
 		}
 		return []InjectResult{out}, nil
 	}
-	p := InjectBatchParams{ShadowID: shadows[to], Deliveries: make([]BatchDelivery, len(batch))}
+	p := InjectBatchParams{ShadowID: shadows.ids[to], Deliveries: make([]BatchDelivery, len(batch)), Key: batch[0].key}
 	for i, ev := range batch {
 		p.Deliveries[i] = BatchDelivery{From: ev.from, Msg: ev.msg}
 	}
 	var out InjectBatchResult
-	if err := c.clients[to].Call(MethodInjectWitnessBatch, &p, &out); err != nil {
+	if err := c.call(to, MethodInjectWitnessBatch, &p, &out); err != nil {
 		return nil, err
 	}
 	if len(out.Results) != len(batch) {
@@ -652,6 +1033,10 @@ type WitnessSpec struct {
 	Update     *bgp.Update
 }
 
+// maxWitnessReplays bounds how many times one witness lifecycle is
+// replayed on fresh shadows after a mid-witness agent replacement.
+const maxWitnessReplays = 2
+
 // CheckWitness is the distributed form of the in-process CheckWitness:
 // inject one concrete witness at the explored node as if its peer sent
 // it, relay the resulting message waves between the agents' shadow
@@ -660,14 +1045,29 @@ type WitnessSpec struct {
 // minimization (core.MinimizeWitness over the core.WitnessChecker seam)
 // calls it for every candidate; Round's own witnesses go through
 // CheckWitnesses, which shares shadow sets where it can.
+//
+// A mid-lifecycle agent replacement (restart, degraded swap) surfaces
+// as shadow loss; the lifecycle is deterministic, so it replays in full
+// on fresh shadows — the partial run's steps are discarded, keeping
+// step totals identical to a fault-free run.
 func (c *Coordinator) CheckWitness(node, peer string, w *bgp.Update) (*core.WitnessOutcome, error) {
-	shadows, err := c.openShadows()
-	if err != nil {
-		return nil, err
+	var lastErr error
+	for attempt := 0; attempt <= maxWitnessReplays; attempt++ {
+		shadows, err := c.openShadows()
+		if err != nil {
+			return nil, err
+		}
+		out, _, err := c.checkWitnessIn(shadows, node, peer, w)
+		c.closeShadows(shadows)
+		if err == nil {
+			return out, nil
+		}
+		if !IsShadowLoss(err) {
+			return nil, err
+		}
+		lastErr = err
 	}
-	defer c.closeShadows(shadows)
-	out, _, err := c.checkWitnessIn(shadows, node, peer, w)
-	return out, err
+	return nil, lastErr
 }
 
 // CheckWitnesses checks a sequence of witnesses in order, each with
@@ -720,7 +1120,26 @@ func (c *Coordinator) CheckWitnesses(specs []WitnessSpec) ([]*core.WitnessOutcom
 			out, dirty, err := c.checkWitnessIn(shadows, specs[k].Node, specs[k].Peer, specs[k].Update)
 			if err != nil {
 				c.closeShadows(shadows)
-				return nil, err
+				shadows = nil
+				if !IsShadowLoss(err) {
+					return nil, err
+				}
+				// Mid-witness agent replacement: the shared set died with
+				// the old agent. Replay this witness alone on fresh
+				// shadows (CheckWitness brings its own), then re-open a
+				// set for the rest of the group.
+				out, err = c.CheckWitness(specs[k].Node, specs[k].Peer, specs[k].Update)
+				if err != nil {
+					return nil, err
+				}
+				outs = append(outs, out)
+				if k+1 < j {
+					shadows, err = c.openShadows()
+					if err != nil {
+						return nil, err
+					}
+				}
+				continue
 			}
 			outs = append(outs, out)
 			if dirty && k+1 < j {
@@ -740,7 +1159,7 @@ func (c *Coordinator) CheckWitnesses(specs []WitnessSpec) ([]*core.WitnessOutcom
 // checkWitnessIn runs one witness lifecycle inside an already-open
 // shadow set. dirty reports that the set absorbed a non-converging wave
 // and must not host further witnesses.
-func (c *Coordinator) checkWitnessIn(shadows shadowSet, node, peer string, w *bgp.Update) (_ *core.WitnessOutcome, dirty bool, _ error) {
+func (c *Coordinator) checkWitnessIn(shadows *shadowSet, node, peer string, w *bgp.Update) (_ *core.WitnessOutcome, dirty bool, _ error) {
 	res := &core.WitnessOutcome{}
 	lat, linked := c.linkLatency(peer, node)
 	if !linked {
@@ -769,7 +1188,7 @@ func (c *Coordinator) checkWitnessIn(shadows shadowSet, node, peer string, w *bg
 		return nil, false, err
 	}
 	queue := &relayQueue{}
-	heap.Push(queue, &relayEvent{at: lat, seq: 1, from: peer, to: node, msg: wire})
+	heap.Push(queue, &relayEvent{at: lat, seq: 1, key: shadows.nextKey(), from: peer, to: node, msg: wire})
 	steps, pending, waves, err := c.relay(shadows, queue, c.opts.MaxPropagationSteps)
 	res.Steps += steps
 	if err != nil {
@@ -832,7 +1251,7 @@ func (c *Coordinator) checkWitnessIn(shadows shadowSet, node, peer string, w *bg
 		return nil, false, err
 	}
 	queue = &relayQueue{}
-	heap.Push(queue, &relayEvent{at: lat, seq: 1, from: peer, to: node, msg: wdWire})
+	heap.Push(queue, &relayEvent{at: lat, seq: 1, key: shadows.nextKey(), from: peer, to: node, msg: wdWire})
 	steps, pending, waves, err = c.relay(shadows, queue, c.opts.MaxPropagationSteps)
 	res.Steps += steps
 	if err != nil {
@@ -874,7 +1293,7 @@ func (c *Coordinator) checkWitnessIn(shadows shadowSet, node, peer string, w *bg
 // the agents' shadows — the distributed multi-hop blackhole core. Each
 // hop is one QueryOracle call; no node reveals more than its own
 // forwarding decision.
-func (c *Coordinator) traceForward(shadows shadowSet, from string, prefix netaddr.Prefix) (terminal string, hops int, delivered bool, err error) {
+func (c *Coordinator) traceForward(shadows *shadowSet, from string, prefix netaddr.Prefix) (terminal string, hops int, delivered bool, err error) {
 	cur := from
 	visited := map[string]bool{}
 	for {
@@ -882,7 +1301,7 @@ func (c *Coordinator) traceForward(shadows shadowSet, from string, prefix netadd
 			return cur, hops, false, nil // forwarding loop
 		}
 		visited[cur] = true
-		if _, ok := c.clients[cur]; !ok {
+		if _, ok := c.conns[cur]; !ok {
 			return cur, hops, false, nil
 		}
 		q, err := c.query(shadows, cur, prefix)

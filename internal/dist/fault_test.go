@@ -1,0 +1,774 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dice/internal/core"
+	"dice/internal/trace"
+)
+
+// chaosSeedFlag lets CI run the chaos parity suites one seed at a time
+// (go test ./internal/dist/ -chaos-seed=2); 0 runs the built-in matrix.
+var chaosSeedFlag = flag.Int64("chaos-seed", 0, "run chaos parity suites with only this seed (0 = built-in seed matrix)")
+
+func chaosSeeds() []int64 {
+	if *chaosSeedFlag != 0 {
+		return []int64{*chaosSeedFlag}
+	}
+	return []int64{1, 2, 3}
+}
+
+// chaosPolicy is the fault-handling configuration the chaos tests run
+// under: a deadline short enough that a delayed frame times out, and a
+// backoff schedule fast enough to keep the suite quick.
+func chaosPolicy() RetryPolicy {
+	return RetryPolicy{
+		RPCTimeout:    250 * time.Millisecond,
+		MaxReconnects: 3,
+		BackoffBase:   2 * time.Millisecond,
+		BackoffCap:    20 * time.Millisecond,
+		Seed:          1,
+	}
+}
+
+// chaosDelay is how long FaultDelay stalls a frame — comfortably past
+// chaosPolicy's RPCTimeout, so a delayed response is a guaranteed
+// timeout, not a near-miss.
+const chaosDelay = 700 * time.Millisecond
+
+// leakCheck fails the test if goroutines outlive it: every reader,
+// worker, timer and chaos-delayed frame must unwind once connections
+// close. The check polls because teardown is asynchronous by design
+// (delayed frames drain on their own schedule).
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for time.Now().Before(deadline) {
+			n = runtime.NumGoroutine()
+			if n <= before {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, n, buf[:runtime.Stack(buf, true)])
+	})
+}
+
+// chaosCoordinator wires every node's loopback agent through a
+// FaultDialer armed with its seed-derived fault plan, so each node's
+// connection misbehaves once, deterministically.
+func chaosCoordinator(t *testing.T, topo *core.Topology, opts core.FederatedOptions, seed int64, copts ...ConnOption) *Coordinator {
+	t.Helper()
+	var dialers []Dialer
+	for _, n := range topo.Nodes {
+		ag, err := NewAgent(topo, n.Name)
+		if err != nil {
+			t.Fatalf("agent %s: %v", n.Name, err)
+		}
+		dialers = append(dialers, &FaultDialer{
+			Inner: Loopback{Agent: ag},
+			Plan:  RandomFaultPlan(seed, n.Name, chaosDelay),
+		})
+	}
+	copts = append(copts, WithRetryPolicy(chaosPolicy()))
+	c, err := Connect(topo, opts, dialers, copts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// totalFaults sums observed connection faults across the fleet.
+func totalFaults(health map[string]NodeHealth) int {
+	n := 0
+	for _, h := range health {
+		n += h.Faults
+	}
+	return n
+}
+
+// TestCallTimeout: a response delayed past the client's deadline fails
+// that one call with ErrCallTimeout — and ONLY that call. The stream is
+// still framed correctly, so the late answer is discarded silently and
+// later calls on the same connection succeed.
+func TestCallTimeout(t *testing.T) {
+	leakCheck(t)
+	ag, err := NewAgent(leakTopo3(), "provider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &FaultDialer{
+		Inner: Loopback{Agent: ag},
+		Plan: &FaultPlan{
+			Delay:         300 * time.Millisecond,
+			Specs:         []FaultSpec{{Conn: 0, Frame: 2, Kind: FaultDelay}},
+			FailDialsFrom: -1,
+		},
+	}
+	conn, err := d.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(conn)
+	defer cl.Close()
+	cl.Timeout = 100 * time.Millisecond
+	if _, err := cl.Handshake(ProtoLatest); err != nil {
+		t.Fatal(err)
+	}
+
+	var so ShadowOpenResult
+	err = cl.Call(MethodShadowOpen, nil, &so)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("delayed call returned %v, want ErrCallTimeout", err)
+	}
+	if errors.Is(err, ErrClientBroken) {
+		t.Fatalf("timeout poisoned the connection: %v", err)
+	}
+
+	// Let the delayed frame drain, then reuse the connection: the late
+	// answer must have been discarded, not matched to the next call.
+	time.Sleep(400 * time.Millisecond)
+	var so2 ShadowOpenResult
+	if err := cl.Call(MethodShadowOpen, nil, &so2); err != nil {
+		t.Fatalf("call after a timeout failed: %v", err)
+	}
+	// The timed-out open DID execute on the agent (the timeout fired on
+	// the answer, not the work) — the second open gets the next ID.
+	if so2.ShadowID != 2 {
+		t.Errorf("second shadow_open returned ID %d, want 2 (first open executed, answer discarded)", so2.ShadowID)
+	}
+}
+
+// TestBrokenError: a desynchronized stream (a response ID matching no
+// pending request) poisons the connection with a BrokenError that
+// satisfies errors.Is(err, ErrClientBroken), unwraps to the cause, and
+// names the offending frame ID.
+func TestBrokenError(t *testing.T) {
+	leakCheck(t)
+	cliConn, srvConn := net.Pipe()
+	defer srvConn.Close()
+	go func() {
+		if _, err := readPayload(srvConn); err != nil {
+			return
+		}
+		writeFrame(srvConn, response{ID: 99}) //nolint:errcheck // test server
+	}()
+	cl := NewClient(cliConn)
+	defer cl.Close()
+
+	err := cl.Call(MethodShadowOpen, nil, nil)
+	if !errors.Is(err, ErrClientBroken) {
+		t.Fatalf("rogue response id returned %v, want ErrClientBroken", err)
+	}
+	var be *BrokenError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T does not unwrap to *BrokenError", err)
+	}
+	if be.FrameID != 99 {
+		t.Errorf("BrokenError.FrameID = %d, want 99", be.FrameID)
+	}
+	if be.Cause == nil {
+		t.Error("BrokenError.Cause is nil")
+	}
+	if !strings.Contains(err.Error(), "frame id 99") {
+		t.Errorf("error %q does not name the offending frame", err)
+	}
+
+	// The poison is sticky: later calls fail immediately with the same
+	// broken error.
+	if err2 := cl.Call(MethodShadowOpen, nil, nil); !errors.Is(err2, ErrClientBroken) {
+		t.Errorf("call on a poisoned connection returned %v", err2)
+	}
+}
+
+// TestBackoffDeterministic: the backoff schedule is capped exponential
+// with jitter in [d/2, d], and identical seeds draw identical schedules.
+func TestBackoffDeterministic(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		rng := newTestRand(seed)
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = backoffDelay(i+1, 25*time.Millisecond, 200*time.Millisecond, rng)
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: same seed drew %v then %v", i+1, a[i], b[i])
+		}
+	}
+	for i, d := range a {
+		full := 25 * time.Millisecond << i
+		if full > 200*time.Millisecond {
+			full = 200 * time.Millisecond
+		}
+		if d < full/2 || d > full {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", i+1, d, full/2, full)
+		}
+	}
+}
+
+// TestReconnectMidRound: every fault kind fired mid-round must leave the
+// round's outcome identical to a fault-free run, with the recovery
+// visible in the health record (reconnects for stream faults; delay
+// faults retry on a fresh connection too, since the coordinator treats
+// a timeout as a connection-level fault).
+func TestReconnectMidRound(t *testing.T) {
+	leakCheck(t)
+	clean := loopbackCoordinator(t, leakTopo3(), fedOpts())
+	cleanRes, err := clean.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join(cleanRes.Snapshot(), "\n")
+
+	for _, kind := range []FaultKind{FaultDrop, FaultGarble, FaultKill, FaultDelay} {
+		t.Run(kind.String(), func(t *testing.T) {
+			topo := leakTopo3()
+			var dialers []Dialer
+			for _, n := range topo.Nodes {
+				ag, err := NewAgent(topo, n.Name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var d Dialer = Loopback{Agent: ag}
+				if n.Name == "provider" {
+					d = &FaultDialer{Inner: d, Plan: &FaultPlan{
+						Delay:         chaosDelay,
+						Specs:         []FaultSpec{{Conn: 0, Frame: 3, Kind: kind}},
+						FailDialsFrom: -1,
+					}}
+				}
+				dialers = append(dialers, d)
+			}
+			coord, err := Connect(topo, fedOpts(), dialers, WithRetryPolicy(chaosPolicy()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer coord.Close()
+			res, err := coord.Round()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := strings.Join(res.Snapshot(), "\n"); got != want {
+				t.Errorf("snapshot diverged under %v fault:\n--- clean ---\n%s\n--- faulty ---\n%s", kind, want, got)
+			}
+			h := res.Health["provider"]
+			if h.Faults == 0 {
+				t.Errorf("provider health records no faults: %+v", h)
+			}
+			if h.State != HealthHealthy {
+				t.Errorf("provider ended %q, want healthy after recovery: %+v", h.State, h)
+			}
+		})
+	}
+}
+
+// diamondTopo is a 5-AS diamond: apex leaks src's NO_EXPORT-tagged
+// routes to left AND right at the same virtual time, whose re-emissions
+// arrive at sink simultaneously — the smallest topology where the relay
+// coalesces a genuine inject_witness_batch every round.
+func diamondTopo() *core.Topology {
+	return &core.Topology{
+		Name: "dist-diamond-5as",
+		Nodes: []core.TopoNode{
+			{Name: "src", Config: []string{
+				"router id 10.1.0.1;",
+				"local as 65001;",
+				"network 10.7.0.0/16;",
+				"peer apex { remote 10.1.0.2 as 65002; }",
+			}},
+			{Name: "apex", Config: []string{
+				"router id 10.1.0.2;",
+				"local as 65002;",
+				"filter src_in {",
+				"    if net ~ 10.7.0.0/16 then accept;",
+				"    if net ~ 10.0.0.0/8{24,32} then accept;",
+				"    reject;",
+				"}",
+				"peer src { remote 10.1.0.1 as 65001; import filter src_in; }",
+				"peer left { remote 10.1.0.3 as 65003; }",
+				"peer right { remote 10.1.0.4 as 65004; }",
+			}},
+			{Name: "left", Config: []string{
+				"router id 10.1.0.3;",
+				"local as 65003;",
+				"peer apex { remote 10.1.0.2 as 65002; }",
+				"peer sink { remote 10.1.0.5 as 65005; }",
+			}},
+			{Name: "right", Config: []string{
+				"router id 10.1.0.4;",
+				"local as 65004;",
+				"peer apex { remote 10.1.0.2 as 65002; }",
+				"peer sink { remote 10.1.0.5 as 65005; }",
+			}},
+			{Name: "sink", Config: []string{
+				"router id 10.1.0.5;",
+				"local as 65005;",
+				"peer left { remote 10.1.0.3 as 65003; }",
+				"peer right { remote 10.1.0.4 as 65004; }",
+			}},
+		},
+		Edges: []core.TopoEdge{
+			{A: "src", B: "apex"},
+			{A: "apex", B: "left"},
+			{A: "apex", B: "right"},
+			{A: "left", B: "sink"},
+			{A: "right", B: "sink"},
+		},
+		Explore: []core.ExploreTarget{
+			{Node: "apex", Peer: "src", Scenario: core.ScenarioRouteLeak},
+		},
+	}
+}
+
+// methodKiller closes the connection immediately after the first
+// request for a given method is written — the agent may or may not have
+// processed it, but its answer is certainly lost. This is the sharpest
+// at-least-once edge: the retried call must be answered from the
+// agent's idempotency memo, not re-applied.
+type methodKiller struct {
+	inner  io.ReadWriteCloser
+	method string
+
+	mu    sync.Mutex
+	fired bool
+}
+
+func (k *methodKiller) Write(p []byte) (int, error) {
+	n, err := k.inner.Write(p)
+	if err != nil {
+		return n, err
+	}
+	k.mu.Lock()
+	fire := false
+	if !k.fired && len(p) > 4 && requestMethod(p[4:]) == k.method {
+		k.fired = true
+		fire = true
+	}
+	k.mu.Unlock()
+	if fire {
+		k.inner.Close()
+	}
+	return n, nil
+}
+
+func (k *methodKiller) Read(p []byte) (int, error) { return k.inner.Read(p) }
+func (k *methodKiller) Close() error               { return k.inner.Close() }
+
+// requestMethod sniffs a request payload's method in either codec.
+func requestMethod(payload []byte) string {
+	if len(payload) > 0 && payload[0] == frameRequestV2 {
+		_, m, _, err := parseRequestV2(payload)
+		if err != nil {
+			return ""
+		}
+		return m
+	}
+	var req request
+	if json.Unmarshal(payload, &req) != nil {
+		return ""
+	}
+	return req.Method
+}
+
+// killDialer arms the first produced connection with a methodKiller;
+// reconnects get clean connections.
+type killDialer struct {
+	inner  Dialer
+	method string
+
+	mu     sync.Mutex
+	killer *methodKiller
+}
+
+func (d *killDialer) Dial() (io.ReadWriteCloser, error) {
+	conn, err := d.inner.Dial()
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.killer == nil {
+		d.killer = &methodKiller{inner: conn, method: d.method}
+		return d.killer, nil
+	}
+	return conn, nil
+}
+
+func (d *killDialer) fired() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.killer != nil && d.killer.fired
+}
+
+// TestAgentDiesMidCall: the agent's connection dies the instant a
+// specific request has been written — mid-explore and mid-delivery, on
+// both codecs, including mid-inject_witness_batch on v2 (v1 never
+// batches, so its delivery case is the single inject). The round must
+// reconnect, retry through the idempotency memos, and land on the
+// fault-free snapshot.
+func TestAgentDiesMidCall(t *testing.T) {
+	leakCheck(t)
+	v1 := []ConnOption{WithMaxVersion(ProtoV1), WithCallAndWait()}
+	clean := loopbackCoordinator(t, diamondTopo(), fedOpts())
+	cleanRes, err := clean.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join(cleanRes.Snapshot(), "\n")
+	if cleanRes.WitnessesInjected == 0 {
+		t.Fatal("diamond round vacuous: no witnesses propagated")
+	}
+
+	cases := []struct {
+		name   string
+		node   string
+		method string
+		copts  []ConnOption
+	}{
+		{"v2-mid-explore", "apex", MethodExplore, nil},
+		{"v2-mid-inject-batch", "sink", MethodInjectWitnessBatch, nil},
+		{"v1-mid-explore", "apex", MethodExplore, v1},
+		{"v1-mid-inject", "sink", MethodInjectWitness, v1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			topo := diamondTopo()
+			var dialers []Dialer
+			var kd *killDialer
+			for _, n := range topo.Nodes {
+				ag, err := NewAgent(topo, n.Name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var d Dialer = Loopback{Agent: ag}
+				if n.Name == tc.node {
+					kd = &killDialer{inner: d, method: tc.method}
+					d = kd
+				}
+				dialers = append(dialers, d)
+			}
+			copts := append([]ConnOption{WithRetryPolicy(chaosPolicy())}, tc.copts...)
+			coord, err := Connect(topo, fedOpts(), dialers, copts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer coord.Close()
+			res, err := coord.Round()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !kd.fired() {
+				t.Fatalf("the round never issued %s to %s — kill case vacuous", tc.method, tc.node)
+			}
+			if got := strings.Join(res.Snapshot(), "\n"); got != want {
+				t.Errorf("snapshot diverged after mid-%s kill:\n--- clean ---\n%s\n--- faulty ---\n%s", tc.method, want, got)
+			}
+			if h := res.Health[tc.node]; h.Reconnects == 0 {
+				t.Errorf("%s health records no reconnect: %+v", tc.node, h)
+			}
+		})
+	}
+}
+
+// TestDegradedFallbackParity: when an agent's connection dies and every
+// redial fails, the coordinator must degrade that node to an in-process
+// replacement and still produce the identical snapshot — findings never
+// depend on where the node ran. The fault is fired at several frame
+// positions so the replacement splices in during the explore phase and
+// during witness propagation (where shadow loss forces a witness
+// replay).
+func TestDegradedFallbackParity(t *testing.T) {
+	leakCheck(t)
+	clean := loopbackCoordinator(t, leakTopo3(), fedOpts())
+	cleanRes, err := clean.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join(cleanRes.Snapshot(), "\n")
+
+	for _, frame := range []int{2, 3, 4, 5, 6} {
+		t.Run(fmt.Sprintf("drop-frame-%d", frame), func(t *testing.T) {
+			topo := leakTopo3()
+			var dialers []Dialer
+			for _, n := range topo.Nodes {
+				ag, err := NewAgent(topo, n.Name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var d Dialer = Loopback{Agent: ag}
+				if n.Name == "provider" {
+					d = &FaultDialer{Inner: d, Plan: &FaultPlan{
+						Specs:         []FaultSpec{{Conn: 0, Frame: frame, Kind: FaultDrop}},
+						FailDialsFrom: 1, // the agent stays dead: every redial refused
+					}}
+				}
+				dialers = append(dialers, d)
+			}
+			coord, err := Connect(topo, fedOpts(), dialers, WithRetryPolicy(chaosPolicy()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer coord.Close()
+			res, err := coord.Round()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := strings.Join(res.Snapshot(), "\n"); got != want {
+				t.Errorf("degraded snapshot diverged (drop at frame %d):\n--- clean ---\n%s\n--- degraded ---\n%s", frame, want, got)
+			}
+			h := res.Health["provider"]
+			if h.State != HealthDegraded {
+				t.Errorf("provider ended %q, want degraded: %+v", h.State, h)
+			}
+			for _, n := range []string{"customer", "upstream"} {
+				if h := res.Health[n]; h.State != HealthHealthy {
+					t.Errorf("%s ended %q, want healthy: %+v", n, h.State, h)
+				}
+			}
+		})
+	}
+}
+
+// TestNoFallbackFailsClosed: with the degraded fallback disabled, an
+// unreachable agent fails the round with a sticky per-node error
+// instead of silently simulating.
+func TestNoFallbackFailsClosed(t *testing.T) {
+	leakCheck(t)
+	topo := leakTopo3()
+	policy := chaosPolicy()
+	policy.NoFallback = true
+	var dialers []Dialer
+	for _, n := range topo.Nodes {
+		ag, err := NewAgent(topo, n.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d Dialer = Loopback{Agent: ag}
+		if n.Name == "provider" {
+			d = &FaultDialer{Inner: d, Plan: &FaultPlan{
+				Specs:         []FaultSpec{{Conn: 0, Frame: 2, Kind: FaultDrop}},
+				FailDialsFrom: 1,
+			}}
+		}
+		dialers = append(dialers, d)
+	}
+	coord, err := Connect(topo, fedOpts(), dialers, WithRetryPolicy(policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if _, err := coord.Round(); err == nil {
+		t.Fatal("round succeeded with an unreachable agent and NoFallback set")
+	} else if !strings.Contains(err.Error(), "failed after") {
+		t.Errorf("round error %q does not name the exhausted reconnect budget", err)
+	}
+	if h := coord.Health()["provider"]; h.State != HealthFailed {
+		t.Errorf("provider health %+v, want failed", h)
+	}
+}
+
+// TestGracefulShutdown: Shutdown drains — a request already read is
+// answered before its connection closes, and new connections are
+// refused while the drain runs.
+func TestGracefulShutdown(t *testing.T) {
+	leakCheck(t)
+	ag, err := NewAgent(leakTopo3(), "provider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := Loopback{Agent: ag}.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(conn)
+	defer cl.Close()
+	if _, err := cl.Handshake(ProtoLatest); err != nil {
+		t.Fatal(err)
+	}
+
+	var ex ExploreResult
+	p := cl.Go(MethodExplore, &ExploreParams{
+		Peer: "customer", Scenario: core.ScenarioRouteLeak, Explicit: true, MaxRuns: 500,
+	}, &ex)
+	// Give the agent's reader time to pull the request off the wire; the
+	// drain below must answer it, however far along the handler is.
+	time.Sleep(100 * time.Millisecond)
+
+	done := make(chan struct{})
+	go func() {
+		ag.Shutdown(5 * time.Second)
+		close(done)
+	}()
+	if err := p.Wait(); err != nil {
+		t.Fatalf("in-flight explore failed during drain: %v", err)
+	}
+	if ex.Runs == 0 {
+		t.Error("drained explore answered with zero runs")
+	}
+	// The answered connection is the last straggler: closing it lets the
+	// drain finish inside the grace period instead of timing out.
+	cl.Close()
+	<-done
+
+	// A drained agent refuses fresh connections.
+	conn2, err := Loopback{Agent: ag}.Dial()
+	if err == nil {
+		cl2 := NewClient(conn2)
+		defer cl2.Close()
+		if _, err := cl2.Handshake(ProtoLatest); err == nil {
+			t.Error("handshake succeeded against a shut-down agent")
+		}
+	}
+}
+
+// TestChaosParityFederated is the chaos acceptance on the federated
+// example: for every seed, every node's connection takes one scheduled
+// fault (drop / delay / garble / mid-frame kill), and the round —
+// including witness minimization — must converge to the identical
+// snapshot the in-process backend produces.
+func TestChaosParityFederated(t *testing.T) {
+	leakCheck(t)
+	topo, err := core.LoadTopology("../../examples/federated/topo.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := core.NewFederatedExperiment(topo, minimizeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inproc, err := fe.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join(inproc.Snapshot(), "\n")
+
+	for _, seed := range chaosSeeds() {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			coord := chaosCoordinator(t, topo, minimizeOpts(), seed)
+			res, err := coord.Round()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := strings.Join(res.Snapshot(), "\n"); got != want {
+				t.Errorf("seed %d: chaos snapshot diverged:\n--- in-process ---\n%s\n--- chaos ---\n%s", seed, want, got)
+			}
+			if totalFaults(res.Health) == 0 {
+				t.Errorf("seed %d: chaos round observed no faults — plan never fired", seed)
+			}
+		})
+	}
+}
+
+// TestChaosParityReplay: the replay → round → minimize pipeline (the
+// regression harness flow) under the same per-seed chaos schedule must
+// match the in-process backend's snapshot for the committed example
+// trace.
+func TestChaosParityReplay(t *testing.T) {
+	leakCheck(t)
+	raw, err := os.ReadFile("../../examples/replay/trace.mrtl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := core.LoadTopology("../../examples/federated/topo.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := replayReference(t, topo, raw)
+
+	for _, seed := range chaosSeeds() {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			coord := chaosCoordinator(t, topo, minimizeOpts(), seed)
+			if _, err := coord.Replay("transitA", "stub", raw); err != nil {
+				t.Fatal(err)
+			}
+			res, err := coord.Round()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := strings.Join(res.Snapshot(), "\n"); got != want {
+				t.Errorf("seed %d: post-replay chaos snapshot diverged:\n--- in-process ---\n%s\n--- chaos ---\n%s", seed, want, got)
+			}
+		})
+	}
+}
+
+// TestChaosParityV1: one chaos pass over the v1 JSON codec with
+// pipelining and batching disabled — the fault ladder must hold on the
+// compatibility path too.
+func TestChaosParityV1(t *testing.T) {
+	leakCheck(t)
+	topo, err := core.LoadTopology("../../examples/federated/topo.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := core.NewFederatedExperiment(topo, fedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inproc, err := fe.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join(inproc.Snapshot(), "\n")
+
+	seed := chaosSeeds()[0]
+	coord := chaosCoordinator(t, topo, fedOpts(), seed, WithMaxVersion(ProtoV1), WithCallAndWait())
+	res, err := coord.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(res.Snapshot(), "\n"); got != want {
+		t.Errorf("v1 chaos snapshot diverged:\n--- in-process ---\n%s\n--- chaos ---\n%s", want, got)
+	}
+}
+
+// replayReference computes the in-process replay → round → minimize
+// snapshot for the example trace.
+func replayReference(t *testing.T, topo *core.Topology, raw []byte) string {
+	t.Helper()
+	records, err := traceRecords(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := core.NewFederatedExperiment(topo, minimizeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fe.Replay("transitA", "stub", records); err != nil {
+		t.Fatal(err)
+	}
+	inproc, err := fe.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Join(inproc.Snapshot(), "\n")
+}
+
+func traceRecords(raw []byte) ([]trace.Record, error) {
+	return trace.Read(bytes.NewReader(raw))
+}
+
+func newTestRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

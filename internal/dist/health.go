@@ -1,0 +1,109 @@
+package dist
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Per-node health states the coordinator reports.
+const (
+	// HealthHealthy: the node is served by its dialed agent.
+	HealthHealthy = "healthy"
+	// HealthDegraded: the agent's reconnect budget ran out and the
+	// coordinator transparently swapped in an in-process replacement —
+	// the mixed-fleet fallback. Findings are unaffected (the replacement
+	// runs the identical deterministic pipeline); only locality changed.
+	HealthDegraded = "degraded"
+	// HealthFailed: the reconnect budget ran out and fallback was
+	// disabled, so calls to this node error out.
+	HealthFailed = "failed"
+)
+
+// NodeHealth is one node's fault-tolerance record over the coordinator's
+// lifetime. It lives beside the findings, never inside them: snapshots
+// stay comparable between an all-healthy run and one that limped through
+// faults — which is exactly what the chaos parity tests assert.
+type NodeHealth struct {
+	// State is one of the Health* constants.
+	State string
+	// Reconnects counts successful re-dial + re-handshake cycles.
+	Reconnects int
+	// Faults counts connection faults observed (broken streams, call
+	// timeouts) that triggered recovery.
+	Faults int
+	// LastFault describes the most recent fault, "" if none.
+	LastFault string
+}
+
+// RetryPolicy tunes the coordinator's fault handling. The zero value
+// means: no per-call deadline, 3 reconnect attempts with 25ms–1s
+// backoff, degraded fallback enabled, jitter seeded from 1.
+type RetryPolicy struct {
+	// RPCTimeout bounds each call from send to response (0 = none).
+	RPCTimeout time.Duration
+	// MaxReconnects is the re-dial budget per recovery episode before
+	// the node degrades (or fails, under NoFallback). 0 means 3.
+	MaxReconnects int
+	// BackoffBase and BackoffCap shape the capped exponential backoff
+	// between reconnect attempts (0 = 25ms base, 1s cap).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// NoFallback disables the degraded in-process replacement: when the
+	// reconnect budget runs out the node is marked failed and calls
+	// error instead.
+	NoFallback bool
+	// Seed feeds the deterministic backoff jitter (0 means 1), so test
+	// runs schedule identically.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxReconnects <= 0 {
+		p.MaxReconnects = 3
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = 25 * time.Millisecond
+	}
+	if p.BackoffCap <= 0 {
+		p.BackoffCap = time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// backoffDelay returns the pause before reconnect attempt n (1-based):
+// capped exponential with deterministic jitter in [d/2, d), so a fleet
+// of recovering connections doesn't stampede the same instant while the
+// schedule stays reproducible under a fixed seed.
+func backoffDelay(attempt int, base, cap time.Duration, rng *rand.Rand) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
+// isConnFault reports whether err is a transport-level failure — a
+// poisoned stream or an expired deadline — as opposed to an application
+// error the agent deliberately returned. Only conn faults are worth a
+// reconnect-and-retry; application errors would just recur.
+func isConnFault(err error) bool {
+	return errors.Is(err, ErrClientBroken) || errors.Is(err, ErrCallTimeout)
+}
+
+// IsShadowLoss reports whether err is an agent telling us a shadow ID no
+// longer exists — the signature of a mid-witness agent replacement
+// (restart or degraded swap), whose fresh process knows none of the old
+// clones. The witness lifecycle is deterministic, so the caller replays
+// the whole witness on fresh shadows.
+func IsShadowLoss(err error) bool {
+	return err != nil && strings.Contains(err.Error(), noShadowMarker)
+}

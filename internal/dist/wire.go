@@ -212,6 +212,13 @@ type ExploreParams struct {
 	// the agent across rounds — warm rounds skip known paths without the
 	// state ever crossing the wire.
 	ReuseState bool `json:"reuse_state,omitempty"`
+	// Round is the coordinator's round sequence number, the explore
+	// idempotency key: the agent memoizes its last result per
+	// (peer, scenario) under this key, so a retry after a reconnect
+	// returns the memoized result instead of re-exploring (which, under
+	// ReuseState, would otherwise skip the paths the lost answer already
+	// reported). 0 (a pre-fault-tolerance coordinator) disables the memo.
+	Round uint64 `json:"round,omitempty"`
 }
 
 // WireFinding is one local oracle finding, flattened for the wire. It
@@ -283,6 +290,12 @@ type ReplayParams struct {
 	// Trace is the recorded history in the internal/trace file encoding
 	// (dump records bulk-load, update records replay at their offsets).
 	Trace []byte `json:"trace"`
+	// Key is the replay idempotency key: the agent remembers every key
+	// it has applied to its live fabric and answers a re-delivery (after
+	// a reconnect, or when re-establishing a replacement agent from the
+	// coordinator's replay history) from memory instead of double-feeding
+	// the fabric. 0 disables the memo.
+	Key uint64 `json:"key,omitempty"`
 }
 
 // ReplayResult reports one agent's replay outcome.
@@ -309,6 +322,12 @@ type InjectParams struct {
 	From string `json:"from"`
 	// Msg is the BGP wire message (bgp.Encode framing).
 	Msg []byte `json:"msg"`
+	// Key is the delivery idempotency key, unique per delivery within
+	// the shadow's lifetime. The agent memoizes the emissions per key,
+	// so a retry after a reconnect returns the original answer instead
+	// of delivering the message twice (which would double-count route
+	// churn). 0 disables the memo.
+	Key uint64 `json:"key,omitempty"`
 }
 
 // WireEmission is one message the shadow node emitted in response.
@@ -337,6 +356,10 @@ type BatchDelivery struct {
 type InjectBatchParams struct {
 	ShadowID   uint64          `json:"shadow_id"`
 	Deliveries []BatchDelivery `json:"deliveries"`
+	// Key is the batch idempotency key (see InjectParams.Key): the whole
+	// batch is memoized under it, so re-delivery after a reconnect
+	// cannot double-apply any of its deliveries. 0 disables the memo.
+	Key uint64 `json:"key,omitempty"`
 }
 
 // InjectBatchResult carries one InjectResult per delivery, in delivery

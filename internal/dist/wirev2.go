@@ -452,7 +452,8 @@ func (p *ExploreParams) appendV2(dst []byte) []byte {
 	dst = appendUint(dst, p.SolverNodes)
 	dst = appendStringV2(dst, p.Strategy)
 	dst = appendUvarint(dst, uint64(p.TimeBudgetNS))
-	return appendBoolV2(dst, p.ReuseState)
+	dst = appendBoolV2(dst, p.ReuseState)
+	return appendUvarint(dst, p.Round)
 }
 
 func (p *ExploreParams) decodeV2(d *v2dec) {
@@ -466,6 +467,7 @@ func (p *ExploreParams) decodeV2(d *v2dec) {
 	p.Strategy = d.str()
 	p.TimeBudgetNS = int64(d.uvarint())
 	p.ReuseState = d.boolean()
+	p.Round = d.uvarint()
 }
 
 func appendFindingV2(dst []byte, f *WireFinding) []byte {
@@ -589,13 +591,15 @@ func (r *ExploreResult) decodeV2(d *v2dec) {
 func (p *ReplayParams) appendV2(dst []byte) []byte {
 	dst = appendStringV2(dst, p.Node)
 	dst = appendStringV2(dst, p.Peer)
-	return appendBytesV2(dst, p.Trace)
+	dst = appendBytesV2(dst, p.Trace)
+	return appendUvarint(dst, p.Key)
 }
 
 func (p *ReplayParams) decodeV2(d *v2dec) {
 	p.Node = d.str()
 	p.Peer = d.str()
 	p.Trace = d.bytes()
+	p.Key = d.uvarint()
 }
 
 func (r *ReplayResult) appendV2(dst []byte) []byte {
@@ -619,13 +623,15 @@ func (r *ShadowOpenResult) decodeV2(d *v2dec) {
 func (p *InjectParams) appendV2(dst []byte) []byte {
 	dst = appendUvarint(dst, p.ShadowID)
 	dst = appendStringV2(dst, p.From)
-	return appendBytesV2(dst, p.Msg)
+	dst = appendBytesV2(dst, p.Msg)
+	return appendUvarint(dst, p.Key)
 }
 
 func (p *InjectParams) decodeV2(d *v2dec) {
 	p.ShadowID = d.uvarint()
 	p.From = d.str()
 	p.Msg = d.bytes()
+	p.Key = d.uvarint()
 }
 
 func appendInjectResultV2(dst []byte, r *InjectResult) []byte {
@@ -657,7 +663,7 @@ func (p *InjectBatchParams) appendV2(dst []byte) []byte {
 		dst = appendStringV2(dst, dl.From)
 		dst = appendBytesV2(dst, dl.Msg)
 	}
-	return dst
+	return appendUvarint(dst, p.Key)
 }
 
 func (p *InjectBatchParams) decodeV2(d *v2dec) {
@@ -669,6 +675,7 @@ func (p *InjectBatchParams) decodeV2(d *v2dec) {
 			p.Deliveries[i].Msg = d.bytes()
 		}
 	}
+	p.Key = d.uvarint()
 }
 
 func (r *InjectBatchResult) appendV2(dst []byte) []byte {

@@ -21,6 +21,7 @@ func sampleMessages() []v2Message {
 			Peer: "as65001", Scenario: "route-leak", Explicit: true,
 			MaxRuns: 200, MaxDepth: 64, Workers: 4, SolverNodes: 2,
 			Strategy: "generational", TimeBudgetNS: 5_000_000_000, ReuseState: true,
+			Round: 3,
 		},
 		&ExploreResult{
 			Skipped: "", Scenario: "route-leak",
@@ -44,10 +45,10 @@ func sampleMessages() []v2Message {
 			Witnesses: []WireWitness{{Finding: 0, Msg: []byte{0x02, 0x00, 0x17}}, {Finding: 1, Msg: []byte{0x01}}},
 		},
 		&ExploreResult{Skipped: "no observed seed"},
-		&ReplayParams{Node: "as65001", Peer: "stub", Trace: []byte("MRTLfakebytes")},
+		&ReplayParams{Node: "as65001", Peer: "stub", Trace: []byte("MRTLfakebytes"), Key: 11},
 		&ReplayResult{Delivered: 250, Prefixes: 771},
 		&ShadowOpenResult{ShadowID: 7},
-		&InjectParams{ShadowID: 7, From: "as65001", Msg: []byte{0xff, 0x00, 0x10}},
+		&InjectParams{ShadowID: 7, From: "as65001", Msg: []byte{0xff, 0x00, 0x10}, Key: 5},
 		&InjectResult{Emitted: []WireEmission{
 			{To: "as65003", Msg: []byte{0xaa}},
 			{To: "as65001", Msg: nil},
@@ -55,7 +56,7 @@ func sampleMessages() []v2Message {
 		&InjectBatchParams{ShadowID: 7, Deliveries: []BatchDelivery{
 			{From: "as65001", Msg: []byte{0x01, 0x02}},
 			{From: "as65003", Msg: []byte{0x03}},
-		}},
+		}, Key: 6},
 		&InjectBatchResult{Results: []InjectResult{
 			{Emitted: []WireEmission{{To: "as65003", Msg: []byte{0xbb, 0xcc}}}},
 			{},

@@ -86,7 +86,7 @@ func main() {
 		topologyFile  = flag.String("topology", "", "federated mode: JSON multi-AS topology file to explore instead of the Fig. 2 testbed")
 		propSteps     = flag.Int("propagation-steps", 0, "federated mode: max shadow propagation steps per witness (0 = 4096)")
 		distributed   = flag.String("distributed", "", "distributed mode: comma-separated dicenode agent addresses (requires -topology; one agent per node)")
-		wireVersion   = flag.String("wire", "auto", "distributed mode wire protocol: auto (negotiate, prefer v2 binary) or v1 (force the JSON codec)")
+		wireVersion   = flag.String("wire", "auto", "distributed mode wire protocol: auto (negotiate, prefer the latest binary codec) or v1 (force the JSON codec)")
 		rpcTimeout    = flag.Duration("rpc-timeout", 30*time.Second, "distributed mode: per-RPC deadline (0 = none); a timed-out call retries and may trigger reconnection")
 		dialTimeout   = flag.Duration("dial-timeout", 5*time.Second, "distributed mode: how long to retry dialing each agent address")
 		replayFile    = flag.String("replay", "", "federated mode: replay this recorded trace into the fabric before rounds run (see -replay-ingress)")

@@ -10,9 +10,9 @@
 //
 //	dicenode -topology topo.json -node provider -listen 127.0.0.1:7411
 //
-// Agents negotiate the wire protocol per connection (binary v2 with
-// pipelining and witness batching by default); -max-proto 1 pins an
-// agent to the v1 JSON codec for mixed-version fleets.
+// Agents negotiate the wire protocol per connection (the latest binary
+// codec, with pipelining and witness batching, by default); -max-proto
+// pins an agent to an older version for mixed-version fleets.
 //
 // The agent instantiates the topology locally (deterministic
 // convergence gives every agent the identical fabric picture) but

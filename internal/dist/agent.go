@@ -60,6 +60,15 @@ type Agent struct {
 	// exactly-once effects. exploreMemo keeps only the latest round per
 	// (peer, scenario); replayMemo keeps every applied key (one entry
 	// per distinct replayed trace, so it stays small).
+	//
+	// Round and replay keys are coordinator-local sequences, so the memos
+	// are only valid within one coordinator session: agents are long-lived
+	// servers, and a second dice run would otherwise collide with the
+	// first run's keys and read its stale answers. The coordinator mints a
+	// session nonce and sends it in the hello; when the nonce changes the
+	// memos are dropped (see hello). Reconnects of the same coordinator
+	// carry the same nonce and still hit the memos.
+	session     uint64
 	exploreMemo map[string]exploreMemoEntry
 	replayMemo  map[uint64]*ReplayResult
 
@@ -494,7 +503,19 @@ func (a *Agent) handleV2(method string, body []byte) (any, error) {
 // A v1 client sends no MaxVersion (reads as 0 → v1) and ignores the
 // Version field in the result, so both directions of version skew
 // degrade to JSON without configuration.
+//
+// The hello also scopes the idempotency memos: a new coordinator session
+// nonce invalidates the previous session's explore/replay memos, whose
+// keys are coordinator-local sequences that restart at 1 per session. A
+// zero nonce (a client predating the field) leaves the memos alone.
+// Shadows are untouched — their delivery memos live and die with the
+// shadow itself.
 func (a *Agent) hello(p HelloParams) *HelloResult {
+	if p.Session != 0 && p.Session != a.session {
+		a.session = p.Session
+		clear(a.exploreMemo)
+		clear(a.replayMemo)
+	}
 	agentMax := a.MaxProtoVersion
 	if agentMax <= 0 || agentMax > ProtoLatest {
 		agentMax = ProtoLatest

@@ -79,6 +79,12 @@ type Client struct {
 	// ErrCallTimeout without poisoning the connection.
 	Timeout time.Duration
 
+	// Session is the coordinator's session nonce, forwarded in the hello
+	// so the agent can scope its idempotency memos to one coordinator
+	// session (see HelloParams.Session). Set it before Handshake; 0 sends
+	// no nonce and leaves the agent's memos alone.
+	Session uint64
+
 	writeMu sync.Mutex // one frame write at a time
 
 	mu        sync.Mutex
@@ -120,7 +126,7 @@ func (c *Client) Handshake(maxVersion int) (HelloResult, error) {
 		maxVersion = ProtoLatest
 	}
 	var hr HelloResult
-	if err := c.Call(MethodHello, &HelloParams{MaxVersion: maxVersion}, &hr); err != nil {
+	if err := c.Call(MethodHello, &HelloParams{MaxVersion: maxVersion, Session: c.Session}, &hr); err != nil {
 		return HelloResult{}, err
 	}
 	ver := hr.Version
@@ -200,6 +206,16 @@ func (c *Client) Go(method string, params, result any) *Pending {
 	return p
 }
 
+// maxAbandoned caps the abandoned-ID set. Entries normally leave when
+// the late answer arrives, but a request lost before reaching the agent
+// never gets one, so repeated timeouts would otherwise grow the set for
+// the connection's lifetime. When the cap is hit the oldest (smallest)
+// ID is evicted: responses arrive in request order on a pipelined
+// stream, so the oldest entry is the one whose answer is most
+// overdue — if it does show up after eviction, the unknown ID poisons
+// the connection and the caller's recovery ladder reconnects.
+const maxAbandoned = 1024
+
 // expire times out one pending call: the ID moves to the abandoned set
 // so the reader discards the late answer instead of poisoning on an
 // unknown ID, and the caller gets ErrCallTimeout. The connection itself
@@ -213,6 +229,15 @@ func (c *Client) expire(id uint64, method string, d time.Duration) {
 	}
 	delete(c.pending, id)
 	c.abandoned[id] = struct{}{}
+	if len(c.abandoned) > maxAbandoned {
+		oldest := id
+		for a := range c.abandoned {
+			if a < oldest {
+				oldest = a
+			}
+		}
+		delete(c.abandoned, oldest)
+	}
 	c.mu.Unlock()
 	p.errc <- fmt.Errorf("%w: %s (id %d) after %v", ErrCallTimeout, method, id, d)
 }
@@ -337,7 +362,11 @@ func (c *Client) complete(p *Pending, errMsg string, body []byte, isV2 bool) err
 }
 
 // encodeRequest renders one request payload in the given protocol
-// version. v2 params must implement the binary codec.
+// version. v2 params must implement the binary codec. On a connection
+// negotiated down to exactly v2, params carrying v3 tail fields are
+// encoded in their legacy base layout — the v2 decoder on the far side
+// rejects trailing bytes, and an agent that old has no use for the tail
+// fields anyway.
 func encodeRequest(id uint64, method string, params any, version int) ([]byte, error) {
 	if version >= ProtoV2 {
 		var msg v2Message
@@ -347,6 +376,9 @@ func encodeRequest(id uint64, method string, params any, version int) ([]byte, e
 				return nil, fmt.Errorf("dist: %s params type %T has no v2 encoding", method, params)
 			}
 			msg = m
+			if tm, tail := m.(v2TailMessage); tail && version == ProtoV2 {
+				msg = v2BaseOnly{m: tm}
+			}
 		}
 		return appendRequestV2(nil, id, method, msg)
 	}

@@ -2,6 +2,8 @@ package dist
 
 import (
 	"container/heap"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -46,11 +48,19 @@ type Coordinator struct {
 	callAndWait bool // disable pipelining, batching, shared shadow sets
 	policy      RetryPolicy
 
+	// session is a random nonce minted once per Connect and sent in every
+	// hello. Agents scope their explore/replay memos to it: the keys below
+	// are coordinator-local sequences restarting at 1, so without the
+	// nonce a long-lived agent would answer a fresh run's round 1 with a
+	// previous run's memo. Reconnects reuse the nonce, so retried RPCs
+	// still hit the memos within the session.
+	session uint64
+
 	roundSeq uint64 // explore idempotency key; Round is not reentrant
 
 	replayMu      sync.Mutex
 	replaySeq     uint64
-	replayHistory []ReplayParams // keyed; re-shipped to replacement agents
+	replayHistory []ReplayParams // keyed, successful replays; re-shipped to replacement agents
 }
 
 // nodeConn manages one node's connection through faults: the current
@@ -238,6 +248,7 @@ func Connect(topo *core.Topology, opts core.FederatedOptions, dialers []Dialer, 
 		o(c)
 	}
 	c.policy = c.policy.withDefaults()
+	c.session = newSessionNonce()
 	for _, e := range topo.Edges {
 		lat := time.Duration(e.LatencyMS) * time.Millisecond
 		if lat == 0 {
@@ -304,6 +315,24 @@ func transientConnectErr(err error) bool {
 // errDial classifies Dial-level failures for the retry decision.
 var errDial = errors.New("dist: dial failed")
 
+// newSessionNonce mints the coordinator's session nonce. It comes from
+// crypto/rand — not the RetryPolicy's seeded jitter rng — because two
+// coordinator processes configured with the same seed must still get
+// distinct sessions. Never 0: agents treat 0 as "no nonce sent".
+func newSessionNonce() uint64 {
+	var b [8]byte
+	for {
+		if _, err := crand.Read(b[:]); err != nil {
+			// No entropy source is effectively unreachable on supported
+			// platforms; a time-derived nonce still separates sessions.
+			return uint64(time.Now().UnixNano()) | 1
+		}
+		if n := binary.BigEndian.Uint64(b[:]); n != 0 {
+			return n
+		}
+	}
+}
+
 // dialAndHello establishes one identified connection: dial, wrap,
 // apply the RPC deadline, run the hello negotiation, validate the
 // topology identity.
@@ -314,6 +343,7 @@ func (c *Coordinator) dialAndHello(d Dialer) (*Client, HelloResult, error) {
 	}
 	cl := NewClient(conn)
 	cl.Timeout = c.policy.RPCTimeout
+	cl.Session = c.session
 	hello, err := cl.Handshake(c.maxVersion)
 	if err != nil {
 		cl.Close()
@@ -483,7 +513,9 @@ func (c *Coordinator) recover(nc *nodeConn, gen uint64, failed *Client) error {
 }
 
 // reestablish brings a (re)connected agent up to date: the coordinator's
-// replay history is re-shipped in order. Every entry is keyed, so a
+// replay history is re-shipped in order. The history holds only replays
+// that succeeded fleet-wide (Replay commits on success), so recovery
+// never re-runs a known-failing entry. Every entry is keyed, so a
 // surviving agent that merely lost its connection answers from its
 // memo and applies nothing twice, while a fresh replacement (restarted
 // process, degraded in-process agent) replays the lot and converges
@@ -689,9 +721,15 @@ func (c *Coordinator) Round() (*RoundResult, error) {
 // it before Round: subsequent explorations seed from the replayed
 // history.
 //
-// Each replay is keyed and recorded in the coordinator's history before
-// it ships: a reconnect mid-replay retries idempotently, and replacement
-// agents re-run the full history to converge onto the fleet's state.
+// Each replay is keyed up front — a reconnect mid-replay retries
+// idempotently under the same key — but committed to the history only
+// after every agent applied it and the delivered counts agree. A failed
+// replay (unreadable trace, divergence) must not haunt the history:
+// reestablish re-runs the whole history on every reconnect, and a
+// permanently failing entry would turn each recovery into a failure.
+// The key itself is never reused even when a replay fails — an agent
+// that applied the failed replay has the key memoized, and a different
+// trace under the same key would read that stale memo.
 func (c *Coordinator) Replay(node, peer string, traceBytes []byte) (int, error) {
 	if _, ok := c.conns[node]; !ok {
 		return 0, fmt.Errorf("dist: replay ingress node %q has no agent", node)
@@ -699,7 +737,6 @@ func (c *Coordinator) Replay(node, peer string, traceBytes []byte) (int, error) 
 	c.replayMu.Lock()
 	c.replaySeq++
 	params := ReplayParams{Node: node, Peer: peer, Trace: traceBytes, Key: c.replaySeq}
-	c.replayHistory = append(c.replayHistory, params)
 	c.replayMu.Unlock()
 	outs := make([]ReplayResult, len(c.nodes))
 	errs := make([]error, len(c.nodes))
@@ -726,6 +763,9 @@ func (c *Coordinator) Replay(node, peer string, traceBytes []byte) (int, error) 
 				c.nodes[i], out.Delivered, c.nodes[0], delivered)
 		}
 	}
+	c.replayMu.Lock()
+	c.replayHistory = append(c.replayHistory, params)
+	c.replayMu.Unlock()
 	return delivered, nil
 }
 

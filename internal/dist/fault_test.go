@@ -157,6 +157,56 @@ func TestCallTimeout(t *testing.T) {
 	}
 }
 
+// blackholeConn accepts writes and never answers: every call times out
+// and its ID lands in the abandoned set with no late response to clear
+// it. Read blocks until Close.
+type blackholeConn struct {
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func newBlackholeConn() *blackholeConn {
+	return &blackholeConn{closed: make(chan struct{})}
+}
+
+func (b *blackholeConn) Write(p []byte) (int, error) { return len(p), nil }
+
+func (b *blackholeConn) Read(p []byte) (int, error) {
+	<-b.closed
+	return 0, io.EOF
+}
+
+func (b *blackholeConn) Close() error {
+	b.closeOnce.Do(func() { close(b.closed) })
+	return nil
+}
+
+// TestAbandonedSetBounded: abandoned IDs whose answers never arrive
+// (the request was lost, not delayed) must not accumulate for the
+// connection's lifetime — the set is capped, evicting the oldest ID.
+func TestAbandonedSetBounded(t *testing.T) {
+	leakCheck(t)
+	cl := NewClient(newBlackholeConn())
+	cl.Timeout = 50 * time.Millisecond
+	const calls = maxAbandoned + 200
+	pend := make([]*Pending, calls)
+	for i := range pend {
+		pend[i] = cl.Go(MethodShadowOpen, nil, nil)
+	}
+	for i, p := range pend {
+		if err := p.Wait(); !errors.Is(err, ErrCallTimeout) {
+			t.Fatalf("call %d returned %v, want ErrCallTimeout", i, err)
+		}
+	}
+	cl.mu.Lock()
+	n := len(cl.abandoned)
+	cl.mu.Unlock()
+	if n != maxAbandoned {
+		t.Errorf("abandoned set holds %d IDs after %d unanswered timeouts, want the cap %d", n, calls, maxAbandoned)
+	}
+	cl.Close()
+}
+
 // TestBrokenError: a desynchronized stream (a response ID matching no
 // pending request) poisons the connection with a BrokenError that
 // satisfies errors.Is(err, ErrClientBroken), unwraps to the cause, and

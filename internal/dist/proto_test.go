@@ -32,12 +32,14 @@ func versionedCoordinator(t *testing.T, topo *core.Topology, opts core.Federated
 	return c
 }
 
-// TestProtoNegotiationMatrix is the version-skew acceptance: a v2
-// coordinator against v1 JSON agents, a v1-capped coordinator against
-// v2 agents, and the call-and-wait discipline all negotiate the
-// expected version and complete a round whose canonical snapshot is
-// identical to the in-process backend's — findings, witnesses, minimal
-// witnesses, violations and step counts line by line.
+// TestProtoNegotiationMatrix is the version-skew acceptance: current
+// coordinator against v1 JSON agents, against v2-capped binary agents
+// (exercising the legacy base-layout encoders), a capped coordinator
+// against current agents, and the call-and-wait discipline all
+// negotiate the expected version and complete a round whose canonical
+// snapshot is identical to the in-process backend's — findings,
+// witnesses, minimal witnesses, violations and step counts line by
+// line.
 func TestProtoNegotiationMatrix(t *testing.T) {
 	topo, err := core.LoadTopology("../../examples/federated/topo.json")
 	if err != nil {
@@ -59,10 +61,13 @@ func TestProtoNegotiationMatrix(t *testing.T) {
 		copts    []ConnOption
 		wantVer  int
 	}{
-		{"v2-both", 0, nil, ProtoV2},
-		{"v2-coordinator-v1-agents", ProtoV1, nil, ProtoV1},
-		{"v1-coordinator-v2-agents", 0, []ConnOption{WithMaxVersion(ProtoV1)}, ProtoV1},
-		{"v2-call-and-wait", 0, []ConnOption{WithCallAndWait()}, ProtoV2},
+		{"v3-both", 0, nil, ProtoV3},
+		{"v3-coordinator-v1-agents", ProtoV1, nil, ProtoV1},
+		{"v3-coordinator-v2-agents", ProtoV2, nil, ProtoV2},
+		{"v1-coordinator-v3-agents", 0, []ConnOption{WithMaxVersion(ProtoV1)}, ProtoV1},
+		{"v2-coordinator-v3-agents", 0, []ConnOption{WithMaxVersion(ProtoV2)}, ProtoV2},
+		{"v3-call-and-wait", 0, []ConnOption{WithCallAndWait()}, ProtoV3},
+		{"v2-call-and-wait", ProtoV2, []ConnOption{WithCallAndWait()}, ProtoV2},
 		{"v1-call-and-wait", 0, []ConnOption{WithMaxVersion(ProtoV1), WithCallAndWait()}, ProtoV1},
 	}
 	for _, tc := range cases {
@@ -205,8 +210,8 @@ func TestClientPipelinedCalls(t *testing.T) {
 	if _, err := cl.Handshake(ProtoLatest); err != nil {
 		t.Fatal(err)
 	}
-	if cl.Version() != ProtoV2 {
-		t.Fatalf("negotiated v%d, want v%d", cl.Version(), ProtoV2)
+	if cl.Version() != ProtoLatest {
+		t.Fatalf("negotiated v%d, want v%d", cl.Version(), ProtoLatest)
 	}
 	const n = 64
 	outs := make([]ShadowOpenResult, n)

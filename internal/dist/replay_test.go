@@ -163,6 +163,15 @@ func TestDistributedReplayValidation(t *testing.T) {
 	if _, err := coord.Replay("provider", "customer", raw[:10]); err == nil {
 		t.Error("replay accepted truncated trace bytes")
 	}
+	// None of the failures may enter the replay history: reestablish
+	// re-runs the history on every reconnect, and a permanently failing
+	// entry would turn each recovery into a failure.
+	coord.replayMu.Lock()
+	histLen := len(coord.replayHistory)
+	coord.replayMu.Unlock()
+	if histLen != 0 {
+		t.Errorf("failed replays left %d history entries; recovery would re-run them forever", histLen)
+	}
 	// The fleet still rounds cleanly after the rejected calls.
 	if _, err := coord.Round(); err != nil {
 		t.Fatalf("round after rejected replays: %v", err)

@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"dice/internal/core"
+	"dice/internal/trace"
+)
+
+// TestSessionScopedExploreMemos: agents are long-lived servers, so the
+// round-keyed explore memo must be scoped to one coordinator session.
+// A reconnect carrying the same session nonce answers round-1 retries
+// from the memo; a new session (fresh nonce, round sequence restarting
+// at 1) must re-execute, not read the previous session's answer.
+func TestSessionScopedExploreMemos(t *testing.T) {
+	ag, err := NewAgent(leakTopo3(), "provider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dial := func(session uint64) *Client {
+		t.Helper()
+		conn, err := Loopback{Agent: ag}.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := NewClient(conn)
+		cl.Session = session
+		if _, err := cl.Handshake(ProtoLatest); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		return cl
+	}
+	explore := func(cl *Client, maxRuns int) ExploreResult {
+		t.Helper()
+		var ex ExploreResult
+		err := cl.Call(MethodExplore, &ExploreParams{
+			Peer: "customer", Scenario: core.ScenarioRouteLeak, Explicit: true,
+			MaxRuns: maxRuns, Round: 1,
+		}, &ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ex
+	}
+
+	first := explore(dial(111), 500)
+	if first.Runs <= 1 {
+		t.Fatalf("reference explore finished in %d runs; the memo checks below need a multi-run exploration", first.Runs)
+	}
+	// Same session, new connection (a reconnect): round 1 answers from
+	// the memo even though the params now cap the engine at one run.
+	if r := explore(dial(111), 1); r.Runs != first.Runs {
+		t.Errorf("same-session retry re-executed: %d runs, want memoized %d", r.Runs, first.Runs)
+	}
+	// New session: its own round 1 must not read the old memo. The
+	// one-run cap makes a real execution distinguishable from the
+	// multi-run memoized answer.
+	if r := explore(dial(222), 1); r.Runs == first.Runs {
+		t.Errorf("new session answered from the previous session's memo (%d runs)", r.Runs)
+	}
+}
+
+// TestSessionScopedReplayMemos is the cross-run replay collision from
+// the wild: two dice runs against the same long-lived fleet both start
+// their replay keys at 1. The second run's replay must feed its own
+// trace into the fabric, not return the first run's memoized result.
+func TestSessionScopedReplayMemos(t *testing.T) {
+	raw, err := os.ReadFile("../../examples/replay/trace.mrtl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := trace.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := records[:len(records)/2]
+	if len(half) == len(records) {
+		t.Fatal("example trace too short to split")
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, half); err != nil {
+		t.Fatal(err)
+	}
+
+	topo, err := core.LoadTopology("../../examples/federated/topo.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dialers []Dialer
+	for _, n := range topo.Nodes {
+		ag, err := NewAgent(topo, n.Name)
+		if err != nil {
+			t.Fatalf("agent %s: %v", n.Name, err)
+		}
+		dialers = append(dialers, Loopback{Agent: ag})
+	}
+
+	c1, err := Connect(topo, minimizeOpts(), dialers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := c1.Replay("transitA", "stub", buf.Bytes())
+	c1.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != len(half) {
+		t.Fatalf("first session replayed %d of %d records", n1, len(half))
+	}
+
+	c2, err := Connect(topo, minimizeOpts(), dialers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	n2, err := c2.Replay("transitA", "stub", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != len(records) {
+		t.Fatalf("second session replayed %d records, want %d — the first session's key-1 memo answered instead of the fabric", n2, len(records))
+	}
+}

@@ -36,11 +36,18 @@ import (
 
 // Wire protocol versions. Version 1 is the PR 4 length-prefixed
 // JSON-RPC; version 2 is the binary codec of wirev2.go plus the
-// inject_witness_batch method.
+// inject_witness_batch method; version 3 keeps v2's framing and method
+// codes but appends the fault-tolerance fields (ExploreParams.Round,
+// ReplayParams/InjectParams/InjectBatchParams.Key, HelloParams.Session)
+// as tail fields of the existing bodies. v2 decoders are strict about
+// trailing bytes, so a v3 client negotiated down to v2 encodes the
+// original layouts — the tail fields simply don't travel (see
+// v2TailMessage in wirev2.go for the evolution rule).
 const (
 	ProtoV1     = 1
 	ProtoV2     = 2
-	ProtoLatest = ProtoV2
+	ProtoV3     = 3
+	ProtoLatest = ProtoV3
 )
 
 // maxFrame bounds a single frame; a full-table router checkpoint is a
@@ -159,6 +166,14 @@ const (
 type HelloParams struct {
 	// MaxVersion is the highest protocol version the client speaks.
 	MaxVersion int `json:"max_version,omitempty"`
+	// Session is the coordinator's session nonce, minted fresh per
+	// Connect. Agents are long-lived servers whose idempotency memos are
+	// keyed by coordinator-local sequences (explore rounds, replay keys),
+	// so the memos are only valid within the session that minted the
+	// keys: an agent seeing a new nonce drops its memos, while reconnects
+	// of the same coordinator (same nonce) still answer retries from
+	// them. 0 — a client predating the field — leaves the memos alone.
+	Session uint64 `json:"session,omitempty"`
 }
 
 // HelloResult describes the agent.
@@ -217,7 +232,9 @@ type ExploreParams struct {
 	// (peer, scenario) under this key, so a retry after a reconnect
 	// returns the memoized result instead of re-exploring (which, under
 	// ReuseState, would otherwise skip the paths the lost answer already
-	// reported). 0 (a pre-fault-tolerance coordinator) disables the memo.
+	// reported). 0 disables the memo. The field travels on v1 JSON and
+	// ≥v3 binary connections; a v2-negotiated binary connection omits it
+	// (the agent reads 0), since v2 decoders reject the tail bytes.
 	Round uint64 `json:"round,omitempty"`
 }
 
@@ -294,7 +311,8 @@ type ReplayParams struct {
 	// it has applied to its live fabric and answers a re-delivery (after
 	// a reconnect, or when re-establishing a replacement agent from the
 	// coordinator's replay history) from memory instead of double-feeding
-	// the fabric. 0 disables the memo.
+	// the fabric. 0 disables the memo. Like ExploreParams.Round, the
+	// field travels on v1 JSON and ≥v3 binary connections only.
 	Key uint64 `json:"key,omitempty"`
 }
 

@@ -117,6 +117,28 @@ type v2Message interface {
 	decodeV2(d *v2dec)
 }
 
+// v2TailMessage marks a message that gained append-only tail fields
+// after the v2 codec shipped. This is the binary codec's one evolution
+// rule: new fields may ONLY be appended to the end of an existing body,
+// guarded by a protocol version bump. appendV2 renders the full current
+// (v3) layout; appendV2Base renders the original v2 layout without the
+// tail, for connections negotiated down to v2 — a strict v2 decoder
+// would reject the tail as trailing bytes. Decoders read the tail only
+// when bytes remain past the base fields, so one decoder accepts both
+// layouts (a missing tail reads as zero values, which every tail field
+// defines as "feature off").
+type v2TailMessage interface {
+	v2Message
+	appendV2Base(dst []byte) []byte
+}
+
+// v2BaseOnly adapts a v2TailMessage to the plain v2Message the request
+// encoder consumes, selecting the tail-free v2 layout.
+type v2BaseOnly struct{ m v2TailMessage }
+
+func (b v2BaseOnly) appendV2(dst []byte) []byte { return b.m.appendV2Base(dst) }
+func (b v2BaseOnly) decodeV2(d *v2dec)          { b.m.decodeV2(d) }
+
 // --- primitive append helpers ------------------------------------------------
 
 func appendUvarint(dst []byte, v uint64) []byte {
@@ -407,11 +429,19 @@ func decodeBodyV2(body []byte, msg v2Message) error {
 // --- message codecs ----------------------------------------------------------
 
 func (p *HelloParams) appendV2(dst []byte) []byte {
+	dst = p.appendV2Base(dst)
+	return appendUvarint(dst, p.Session)
+}
+
+func (p *HelloParams) appendV2Base(dst []byte) []byte {
 	return appendUint(dst, p.MaxVersion)
 }
 
 func (p *HelloParams) decodeV2(d *v2dec) {
 	p.MaxVersion = d.uint()
+	if d.remaining() > 0 {
+		p.Session = d.uvarint() // v3 tail; absent on a v2-layout body
+	}
 }
 
 func (r *HelloResult) appendV2(dst []byte) []byte {
@@ -443,6 +473,11 @@ func (r *CheckpointResult) decodeV2(d *v2dec) {
 }
 
 func (p *ExploreParams) appendV2(dst []byte) []byte {
+	dst = p.appendV2Base(dst)
+	return appendUvarint(dst, p.Round)
+}
+
+func (p *ExploreParams) appendV2Base(dst []byte) []byte {
 	dst = appendStringV2(dst, p.Peer)
 	dst = appendStringV2(dst, p.Scenario)
 	dst = appendBoolV2(dst, p.Explicit)
@@ -452,8 +487,7 @@ func (p *ExploreParams) appendV2(dst []byte) []byte {
 	dst = appendUint(dst, p.SolverNodes)
 	dst = appendStringV2(dst, p.Strategy)
 	dst = appendUvarint(dst, uint64(p.TimeBudgetNS))
-	dst = appendBoolV2(dst, p.ReuseState)
-	return appendUvarint(dst, p.Round)
+	return appendBoolV2(dst, p.ReuseState)
 }
 
 func (p *ExploreParams) decodeV2(d *v2dec) {
@@ -467,7 +501,9 @@ func (p *ExploreParams) decodeV2(d *v2dec) {
 	p.Strategy = d.str()
 	p.TimeBudgetNS = int64(d.uvarint())
 	p.ReuseState = d.boolean()
-	p.Round = d.uvarint()
+	if d.remaining() > 0 {
+		p.Round = d.uvarint() // v3 tail; absent on a v2-layout body
+	}
 }
 
 func appendFindingV2(dst []byte, f *WireFinding) []byte {
@@ -589,17 +625,23 @@ func (r *ExploreResult) decodeV2(d *v2dec) {
 }
 
 func (p *ReplayParams) appendV2(dst []byte) []byte {
+	dst = p.appendV2Base(dst)
+	return appendUvarint(dst, p.Key)
+}
+
+func (p *ReplayParams) appendV2Base(dst []byte) []byte {
 	dst = appendStringV2(dst, p.Node)
 	dst = appendStringV2(dst, p.Peer)
-	dst = appendBytesV2(dst, p.Trace)
-	return appendUvarint(dst, p.Key)
+	return appendBytesV2(dst, p.Trace)
 }
 
 func (p *ReplayParams) decodeV2(d *v2dec) {
 	p.Node = d.str()
 	p.Peer = d.str()
 	p.Trace = d.bytes()
-	p.Key = d.uvarint()
+	if d.remaining() > 0 {
+		p.Key = d.uvarint() // v3 tail; absent on a v2-layout body
+	}
 }
 
 func (r *ReplayResult) appendV2(dst []byte) []byte {
@@ -621,17 +663,23 @@ func (r *ShadowOpenResult) decodeV2(d *v2dec) {
 }
 
 func (p *InjectParams) appendV2(dst []byte) []byte {
+	dst = p.appendV2Base(dst)
+	return appendUvarint(dst, p.Key)
+}
+
+func (p *InjectParams) appendV2Base(dst []byte) []byte {
 	dst = appendUvarint(dst, p.ShadowID)
 	dst = appendStringV2(dst, p.From)
-	dst = appendBytesV2(dst, p.Msg)
-	return appendUvarint(dst, p.Key)
+	return appendBytesV2(dst, p.Msg)
 }
 
 func (p *InjectParams) decodeV2(d *v2dec) {
 	p.ShadowID = d.uvarint()
 	p.From = d.str()
 	p.Msg = d.bytes()
-	p.Key = d.uvarint()
+	if d.remaining() > 0 {
+		p.Key = d.uvarint() // v3 tail; absent on a v2-layout body
+	}
 }
 
 func appendInjectResultV2(dst []byte, r *InjectResult) []byte {
@@ -657,13 +705,18 @@ func (r *InjectResult) appendV2(dst []byte) []byte { return appendInjectResultV2
 func (r *InjectResult) decodeV2(d *v2dec)          { decodeInjectResultV2(d, r) }
 
 func (p *InjectBatchParams) appendV2(dst []byte) []byte {
+	dst = p.appendV2Base(dst)
+	return appendUvarint(dst, p.Key)
+}
+
+func (p *InjectBatchParams) appendV2Base(dst []byte) []byte {
 	dst = appendUvarint(dst, p.ShadowID)
 	dst = appendUint(dst, len(p.Deliveries))
 	for _, dl := range p.Deliveries {
 		dst = appendStringV2(dst, dl.From)
 		dst = appendBytesV2(dst, dl.Msg)
 	}
-	return appendUvarint(dst, p.Key)
+	return dst
 }
 
 func (p *InjectBatchParams) decodeV2(d *v2dec) {
@@ -675,7 +728,9 @@ func (p *InjectBatchParams) decodeV2(d *v2dec) {
 			p.Deliveries[i].Msg = d.bytes()
 		}
 	}
-	p.Key = d.uvarint()
+	if d.remaining() > 0 {
+		p.Key = d.uvarint() // v3 tail; absent on a v2-layout body
+	}
 }
 
 func (r *InjectBatchResult) appendV2(dst []byte) []byte {

@@ -14,7 +14,7 @@ import (
 // TestV2SampleCompleteness.
 func sampleMessages() []v2Message {
 	return []v2Message{
-		&HelloParams{MaxVersion: 2},
+		&HelloParams{MaxVersion: 2, Session: 0xfeedbeefcafe},
 		&HelloResult{Node: "as65002", Topology: "line-3-dense-256", AS: 65002, Prefixes: 771, Version: 2},
 		&CheckpointResult{State: []byte{0xca, 0xfe, 0x00, 0x01}, Pages: 12, UniquePages: 3},
 		&ExploreParams{
@@ -105,10 +105,23 @@ func TestV2RoundTripProperty(t *testing.T) {
 // TestV2TruncationErrors: every strict prefix of a valid body must fail
 // to decode — the codec reads a fixed field sequence, so cutting the
 // tail starves some read, and finish() catches anything shorter still.
+// The one designed exception: messages with a v3 tail decode cleanly
+// when truncated to exactly their legacy v2 base layout, because that
+// is a valid frame from a v2-negotiated peer.
 func TestV2TruncationErrors(t *testing.T) {
 	for i, msg := range sampleMessages() {
 		body := msg.appendV2(nil)
+		baseLen := -1
+		if tm, ok := msg.(v2TailMessage); ok {
+			baseLen = len(tm.appendV2Base(nil))
+		}
 		for k := 0; k < len(body); k++ {
+			if k == baseLen {
+				if err := decodeBodyV2(body[:k], freshLike(msg)); err != nil {
+					t.Errorf("sample %d (%T): legacy v2 base layout (%d bytes) failed to decode: %v", i, msg, k, err)
+				}
+				continue
+			}
 			if err := decodeBodyV2(body[:k], freshLike(msg)); err == nil {
 				t.Errorf("sample %d (%T): truncation to %d of %d bytes decoded cleanly", i, msg, k, len(body))
 			}
@@ -116,6 +129,52 @@ func TestV2TruncationErrors(t *testing.T) {
 		// And trailing garbage is rejected too.
 		if err := decodeBodyV2(append(append([]byte(nil), body...), 0x00), freshLike(msg)); err == nil {
 			t.Errorf("sample %d (%T): trailing byte accepted", i, msg)
+		}
+	}
+}
+
+// TestV2LegacyBaseLayout: a client negotiated down to exactly v2 must
+// encode tail-bearing params in their legacy base layout (a strict v2
+// decoder rejects trailing bytes), while a v3 connection carries the
+// tail. Decoding a base layout leaves the tail fields zero.
+func TestV2LegacyBaseLayout(t *testing.T) {
+	for _, msg := range sampleMessages() {
+		tm, ok := msg.(v2TailMessage)
+		if !ok {
+			continue
+		}
+		legacy, err := encodeRequest(9, MethodExplore, msg, ProtoV2)
+		if err != nil {
+			t.Fatalf("%T: encode at v2: %v", msg, err)
+		}
+		wantLegacy, err := appendRequestV2(nil, 9, MethodExplore, v2BaseOnly{m: tm})
+		if err != nil {
+			t.Fatalf("%T: base envelope: %v", msg, err)
+		}
+		if !reflect.DeepEqual(legacy, wantLegacy) {
+			t.Errorf("%T: v2-negotiated encoding carries tail fields:\n got: %x\nwant: %x", msg, legacy, wantLegacy)
+		}
+		full, err := encodeRequest(9, MethodExplore, msg, ProtoV3)
+		if err != nil {
+			t.Fatalf("%T: encode at v3: %v", msg, err)
+		}
+		if reflect.DeepEqual(full, legacy) {
+			t.Errorf("%T: v3 encoding identical to legacy layout — tail fields lost", msg)
+		}
+		base := tm.appendV2Base(nil)
+		got := freshLike(msg)
+		if err := decodeBodyV2(base, got); err != nil {
+			t.Errorf("%T: decode of base layout failed: %v", msg, err)
+			continue
+		}
+		// Base fields round-trip; the tail stays zero, so the full
+		// encoding of the decoded value is exactly base + zero tail,
+		// never the sample's (nonzero-tail) encoding.
+		if gotBase := got.(v2TailMessage).appendV2Base(nil); !reflect.DeepEqual(gotBase, base) {
+			t.Errorf("%T: base fields did not round-trip:\n got: %x\nwant: %x", msg, gotBase, base)
+		}
+		if reflect.DeepEqual(got.appendV2(nil), msg.appendV2(nil)) {
+			t.Errorf("%T: base-layout decode populated tail fields: %+v", msg, got)
 		}
 	}
 }

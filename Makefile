@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-short
+.PHONY: build test race vet bench bench-replicas bench-short
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,15 @@ vet:
 # BENCH_PR3.json and BENCH_PR4.json are the frozen earlier trajectories.
 bench:
 	$(GO) run ./cmd/bench -out BENCH_PR6.json
+
+# bench-replicas measures distributed round wall-clock on the generated
+# 1k-node AS topology as the replica pool grows (1/2/4/8 workers, each
+# behind a simulated 30ms WAN RTT) and updates BENCH_PR8.json. The
+# acceptance criterion is monotone improvement 1→4 with ≥1.8× at 4.
+# Rounds are deterministic and latency-dominated, so one round per leg
+# (-benchtime 1x) measures cleanly.
+bench-replicas:
+	$(GO) run ./cmd/bench -bench '^BenchmarkReplicaScaling$$' -pkgs ./internal/dist -benchtime 1x -out BENCH_PR8.json
 
 # bench-short is the CI smoke variant: one iteration of every benchmark,
 # no JSON output — it only proves the benchmarks still run.

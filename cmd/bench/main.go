@@ -9,11 +9,15 @@
 // fresh file (BENCH_PR2.json froze the pre-hash-consing engine;
 // BENCH_PR3.json added the federated round benchmarks; BENCH_PR6.json
 // adds the distributed wire-transport benchmarks, whose v1-json mode is
-// the frozen baseline the v2 protocol is measured against).
+// the frozen baseline the v2 protocol is measured against;
+// BENCH_PR8.json tracks replica-pool round scaling on the generated
+// 1k-node AS topology, whose replicas-1 leg is the baseline the larger
+// pools are measured against).
 //
 //	go run ./cmd/bench                 # S-series + federated + wire, writes BENCH_PR6.json
 //	go run ./cmd/bench -bench 'S3' -benchtime 10x
 //	go run ./cmd/bench -bench BenchmarkWireRound -benchtime 5x
+//	go run ./cmd/bench -bench '^BenchmarkReplicaScaling$' -pkgs ./internal/dist -benchtime 1x -out BENCH_PR8.json
 package main
 
 import (

@@ -35,6 +35,21 @@
 // and a node whose agent stays unreachable degrades to an in-process
 // replacement (reported after the run) without changing the findings.
 //
+// Distributed exploration can be offloaded to an elastic pool of
+// stateless replicas (cmd/dicereplica) over the checkpoint RPC — the
+// coordinator ships each target's checkpointed state and scenario seed,
+// and shards are work-stolen across the pool:
+//
+//	dice -topology topo.json -distributed ... -replicas 4
+//	dice -topology topo.json -distributed ... -replica-addrs 127.0.0.1:7421,127.0.0.1:7422
+//
+// AS-relationship topologies (customer/provider/peer tiers with
+// Gao-Rexford export policies, 8..10000 nodes, deterministic by seed)
+// are generated with -asgen (see examples/asgen/README.md):
+//
+//	dice -asgen 200 -asgen-seed 7 -runs 50       # generate and explore
+//	dice -asgen 1000 -asgen-out topo.json        # write for dicenode fleets
+//
 // The regression harness replays a recorded trace through the topology,
 // minimizes every violating witness, and diffs the round's finding set
 // against a committed golden snapshot (non-zero exit on mismatch — see
@@ -61,6 +76,7 @@ import (
 	"dice/internal/minimize"
 	"dice/internal/netaddr"
 	"dice/internal/regress"
+	"dice/internal/topo"
 	"dice/internal/trace"
 )
 
@@ -86,6 +102,12 @@ func main() {
 		topologyFile  = flag.String("topology", "", "federated mode: JSON multi-AS topology file to explore instead of the Fig. 2 testbed")
 		propSteps     = flag.Int("propagation-steps", 0, "federated mode: max shadow propagation steps per witness (0 = 4096)")
 		distributed   = flag.String("distributed", "", "distributed mode: comma-separated dicenode agent addresses (requires -topology; one agent per node)")
+		replicasN     = flag.Int("replicas", 0, "distributed mode: offload exploration to this many in-process replicas (an elastic pool over the checkpoint RPC)")
+		replicaAddrs  = flag.String("replica-addrs", "", "distributed mode: comma-separated dicereplica addresses to offload exploration to")
+		asgenNodes    = flag.Int("asgen", 0, "generate an AS-relationship topology with this many nodes (customer/provider/peer tiers, Gao-Rexford export policies) and explore it as the federated topology")
+		asgenSeed     = flag.Int64("asgen-seed", 1, "asgen: generator seed (the same seed always yields the identical topology)")
+		asgenClauses  = flag.Int("asgen-clauses", 0, "asgen: extra policy clauses per customer-import filter (deepens the concolic search space)")
+		asgenOut      = flag.String("asgen-out", "", "asgen: write the generated topology JSON here and exit (feed it to -topology and dicenode)")
 		wireVersion   = flag.String("wire", "auto", "distributed mode wire protocol: auto (negotiate, prefer the latest binary codec) or v1 (force the JSON codec)")
 		rpcTimeout    = flag.Duration("rpc-timeout", 30*time.Second, "distributed mode: per-RPC deadline (0 = none); a timed-out call retries and may trigger reconnection")
 		dialTimeout   = flag.Duration("dial-timeout", 5*time.Second, "distributed mode: how long to retry dialing each agent address")
@@ -125,7 +147,40 @@ func main() {
 	if *wireVersion != "auto" && *wireVersion != "v1" {
 		log.Fatalf("-wire %q: want auto or v1", *wireVersion)
 	}
-	if *topologyFile == "" {
+	if (*replicasN > 0 || *replicaAddrs != "") && *distributed == "" {
+		log.Fatal("-replicas and -replica-addrs require -distributed (replicas offload the agents' exploration phase)")
+	}
+	if *asgenNodes > 0 && *topologyFile != "" {
+		log.Fatal("-asgen and -topology are exclusive (asgen generates the topology)")
+	}
+	if (*asgenOut != "" || *asgenClauses != 0) && *asgenNodes == 0 {
+		log.Fatal("-asgen-out and -asgen-clauses require -asgen (the generator they parameterize)")
+	}
+	var genTopo *core.Topology
+	if *asgenNodes > 0 {
+		t, layout, err := topo.Generate(topo.Spec{
+			Seed:          *asgenSeed,
+			Nodes:         *asgenNodes,
+			PolicyClauses: *asgenClauses,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *asgenOut != "" {
+			data, err := topo.EncodeJSON(t)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*asgenOut, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s: topology %q, %d nodes (%d core), %d edges, %d explore targets\n",
+				*asgenOut, t.Name, len(t.Nodes), len(layout.Core), len(t.Edges), len(t.Explore))
+			return
+		}
+		genTopo = t
+	}
+	if *topologyFile == "" && genTopo == nil {
 		for name, set := range map[string]bool{
 			"-replay":          *replayFile != "",
 			"-replay-ingress":  *replayIngress != "",
@@ -147,7 +202,7 @@ func main() {
 	if *minimizeBudg != 0 && !*minimizeFlag {
 		log.Fatal("-minimize-budget requires -minimize (the loop it budgets)")
 	}
-	if *topologyFile != "" {
+	if *topologyFile != "" || genTopo != nil {
 		// The default scenario for targets that don't name one: what the
 		// user asked for with an explicit -scenario, else the federated
 		// workhorse (routeleak — FederatedOptions' own default).
@@ -162,6 +217,7 @@ func main() {
 		}
 		run := fedRun{
 			topoPath:        *topologyFile,
+			topo:            genTopo,
 			defaultScenario: defaultScenario,
 			engOpts: concolic.Options{
 				MaxRuns:  *runs,
@@ -180,6 +236,8 @@ func main() {
 			wire:           *wireVersion,
 			rpcTimeout:     *rpcTimeout,
 			dialTimeout:    *dialTimeout,
+			replicas:       *replicasN,
+			replicaAddrs:   *replicaAddrs,
 		}
 		if *distributed != "" {
 			runDistributed(run, *distributed)
@@ -313,6 +371,7 @@ func parseStrategy(name string) (concolic.Strategy, error) {
 // replay, witness minimization, golden-file comparison).
 type fedRun struct {
 	topoPath        string
+	topo            *core.Topology // pre-generated (-asgen); topoPath unused when set
 	defaultScenario string
 	engOpts         concolic.Options
 	workers         int
@@ -328,6 +387,17 @@ type fedRun struct {
 	wire            string
 	rpcTimeout      time.Duration
 	dialTimeout     time.Duration
+	replicas        int
+	replicaAddrs    string
+}
+
+// loadTopo resolves the run's topology: the pre-generated one (-asgen)
+// or the -topology file.
+func (r fedRun) loadTopo() (*core.Topology, error) {
+	if r.topo != nil {
+		return r.topo, nil
+	}
+	return core.LoadTopology(r.topoPath)
 }
 
 func (r fedRun) options() core.FederatedOptions {
@@ -414,7 +484,7 @@ func printMinimization(findings []core.Finding, st *minimize.Stats) {
 // minimization) and report both the per-node results and the cross-node
 // violations; -golden then diffs the final round's finding snapshot.
 func runFederated(run fedRun) {
-	topo, err := core.LoadTopology(run.topoPath)
+	topo, err := run.loadTopo()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -480,7 +550,7 @@ func runFederated(run fedRun) {
 // candidate re-injections behind -minimize — crosses the dist wire
 // protocol.
 func runDistributed(run fedRun, addrs string) {
-	topo, err := core.LoadTopology(run.topoPath)
+	topo, err := run.loadTopo()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -495,6 +565,22 @@ func runDistributed(run fedRun, addrs string) {
 	copts := []dist.ConnOption{dist.WithRetryPolicy(dist.RetryPolicy{RPCTimeout: run.rpcTimeout})}
 	if run.wire == "v1" {
 		copts = append(copts, dist.WithMaxVersion(dist.ProtoV1), dist.WithCallAndWait())
+	}
+	var pool *dist.ReplicaPool
+	if run.replicas > 0 || run.replicaAddrs != "" {
+		var rdialers []dist.Dialer
+		for i := 0; i < run.replicas; i++ {
+			rdialers = append(rdialers, dist.ReplicaLoopback{Replica: dist.NewReplica()})
+		}
+		for _, addr := range strings.Split(run.replicaAddrs, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			rdialers = append(rdialers, dist.TCPDialer{Addr: addr, Timeout: run.dialTimeout})
+		}
+		pool = &dist.ReplicaPool{Dialers: rdialers}
+		copts = append(copts, dist.WithReplicas(pool))
 	}
 	coord, err := dist.Connect(topo, run.options(), dialers, copts...)
 	if err != nil {
@@ -572,6 +658,11 @@ func runDistributed(run fedRun, addrs string) {
 	}
 	if run.rounds > 1 {
 		fmt.Printf("\n%d violation(s) confirmed across %d rounds\n", confirmed, run.rounds)
+	}
+	if pool != nil {
+		st := pool.Stats()
+		fmt.Printf("\nreplica pool: %d worker(s) started (%d by autoscale), %d shard(s) explored, %d stolen, %d reconnect(s)\n",
+			st.Started, st.Scaled, st.Completed, st.Requeues, st.Reconnects)
 	}
 	printFleetHealth(last.Health)
 	run.checkGolden(last.Snapshot())

@@ -1,0 +1,123 @@
+package concolic
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestStateWireRoundTrip: a round warmed by a decoded state must skip
+// exactly the work a round warmed by the original in-process state
+// skips — the replica contract: exploration memory survives the wire
+// with no loss and no spurious suppression.
+func TestStateWireRoundTrip(t *testing.T) {
+	original := NewExploreState()
+	cold := exploreWith(Options{State: original})
+	if len(cold.Paths) != 4 {
+		t.Fatalf("cold round found %d paths, want 4", len(cold.Paths))
+	}
+
+	restored, err := DecodeExploreState(original.EncodeWire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inproc := exploreWith(Options{State: original})
+	wire := exploreWith(Options{State: restored})
+
+	if wire.Runs != inproc.Runs {
+		t.Errorf("wire-warmed round ran %d times, in-process %d", wire.Runs, inproc.Runs)
+	}
+	if len(wire.Paths) != 0 {
+		t.Errorf("wire-warmed round re-reported %d paths", len(wire.Paths))
+	}
+	if wire.SkippedPaths != inproc.SkippedPaths {
+		t.Errorf("wire-warmed round skipped %d paths, in-process %d", wire.SkippedPaths, inproc.SkippedPaths)
+	}
+	if wire.SkippedNegations != inproc.SkippedNegations {
+		t.Errorf("wire-warmed round skipped %d negations, in-process %d",
+			wire.SkippedNegations, inproc.SkippedNegations)
+	}
+	if wire.SkippedPaths == 0 || wire.SkippedNegations == 0 {
+		t.Errorf("wire-warmed round skipped nothing (%d paths / %d negations) — state lost in transit",
+			wire.SkippedPaths, wire.SkippedNegations)
+	}
+	// The solver cache deliberately does not travel: a wire-warmed round
+	// may re-solve, but must not re-run or re-report.
+}
+
+// TestStateWireCanonical: the encoding is schedule-independent — two
+// states accumulating the same exploration (even with different worker
+// counts) encode byte-identically, and encode∘decode is a fixpoint.
+func TestStateWireCanonical(t *testing.T) {
+	a, b := NewExploreState(), NewExploreState()
+	exploreWith(Options{State: a})
+	exploreWith(Options{State: b, Workers: 4})
+	ea, eb := a.EncodeWire(), b.EncodeWire()
+	if !bytes.Equal(ea, eb) {
+		t.Fatalf("same exploration encoded differently: %d vs %d bytes", len(ea), len(eb))
+	}
+
+	restored, err := DecodeExploreState(ea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again := restored.EncodeWire(); !bytes.Equal(ea, again) {
+		t.Fatalf("decode->encode not a fixpoint: %d vs %d bytes", len(ea), len(again))
+	}
+	st := restored.Stats()
+	if st.Paths != a.Stats().Paths || st.Negations != a.Stats().Negations {
+		t.Fatalf("restored stats %+v, want %d paths / %d negations",
+			st, a.Stats().Paths, a.Stats().Negations)
+	}
+}
+
+// TestStateWireGrowsThroughRestore: an imported state keeps accumulating
+// — new paths recorded after a round-trip coexist with imported records
+// and the re-encoded state carries both.
+func TestStateWireGrowsThroughRestore(t *testing.T) {
+	seedState := NewExploreState()
+	run := func(st *ExploreState, seed uint64) *Report {
+		eng := NewEngine(twoPredicateHandler, Options{State: st})
+		eng.Var("x", 32, seed)
+		return eng.Explore()
+	}
+	run(seedState, 4)
+	restored, err := DecodeExploreState(seedState.EncodeWire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four paths are already known; a warm round from any seed skips
+	// them, and the state after re-encoding still holds all four.
+	if rep := run(restored, 9); len(rep.Paths) != 0 {
+		t.Fatalf("warm round on imported state reported %d paths", len(rep.Paths))
+	}
+	second, err := DecodeExploreState(restored.EncodeWire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := second.Stats().Paths, seedState.Stats().Paths; got != want {
+		t.Fatalf("twice-shipped state holds %d paths, want %d", got, want)
+	}
+}
+
+// TestStateWireDecodeRejectsMalformed: truncation at any offset and
+// trailing garbage must error, never yield a partial state.
+func TestStateWireDecodeRejectsMalformed(t *testing.T) {
+	st := NewExploreState()
+	exploreWith(Options{State: st})
+	enc := st.EncodeWire()
+
+	if _, err := DecodeExploreState(nil); err == nil {
+		t.Error("decoding nil succeeded")
+	}
+	if _, err := DecodeExploreState([]byte("XXXX")); err == nil {
+		t.Error("decoding bad magic succeeded")
+	}
+	for _, cut := range []int{5, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodeExploreState(enc[:cut]); err == nil {
+			t.Errorf("decoding truncation at %d succeeded", cut)
+		}
+	}
+	if _, err := DecodeExploreState(append(append([]byte{}, enc...), 0x00)); err == nil {
+		t.Error("decoding trailing garbage succeeded")
+	}
+}

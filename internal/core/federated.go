@@ -242,6 +242,28 @@ func PrepareTarget(live *router.Router, tg ResolvedTarget, engOpts concolic.Opti
 	if err != nil {
 		return nil, &SeedUnavailableError{Err: err}
 	}
+	return prepareSeeded(live, tg, sc, seed, engOpts, states, reuse)
+}
+
+// PrepareTargetSeeded is PrepareTarget with the scenario seed supplied by
+// the caller instead of derived from the live node. This is the replica
+// entry point: a checkpoint-restored router has no observation history
+// (DecodeState rebuilds routes and sessions, not the last-seen UPDATE
+// templates), so the seed ships over the wire alongside the checkpoint.
+// Warm cross-round memory, when any, arrives pre-attached on
+// engOpts.State rather than through a StateMap.
+func PrepareTargetSeeded(live *router.Router, tg ResolvedTarget, seed any, engOpts concolic.Options) (*TargetPrep, error) {
+	sc, ok := LookupScenario(tg.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("unknown scenario %q (registered: %v)", tg.Scenario, ScenarioNames())
+	}
+	if seed == nil {
+		return nil, &SeedUnavailableError{Err: fmt.Errorf("no seed supplied for %s/%s", tg.Node, tg.Peer)}
+	}
+	return prepareSeeded(live, tg, sc, seed, engOpts, nil, false)
+}
+
+func prepareSeeded(live *router.Router, tg ResolvedTarget, sc Scenario, seed any, engOpts concolic.Options, states *concolic.StateMap, reuse bool) (*TargetPrep, error) {
 	sink := netsim.NewCaptureSink()
 	ckpt := live.Clone(sink)
 	handler := func(rc *concolic.RunContext) any {

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+
 	"dice/internal/bgp"
+	"dice/internal/concolic"
 	"dice/internal/config"
 	"dice/internal/netsim"
 	"dice/internal/router"
@@ -22,4 +26,49 @@ func ExploreSnapshot(name string, cfg *config.Config, state []byte, peerName str
 	}
 	d := New(restored, opts)
 	return d.ExploreSeed(peerName, seed)
+}
+
+// ErrSeedNotShippable marks a scenario whose seed is not a concrete
+// UPDATE and therefore cannot travel to an exploration replica; the
+// caller explores such targets on the node itself.
+var ErrSeedNotShippable = errors.New("scenario seed is not a BGP UPDATE; explore on the node")
+
+// ShippableSeed derives tg's scenario seed from the live node in the
+// form a replica can receive: a concrete UPDATE. A missing observation
+// returns *SeedUnavailableError (same contract as PrepareTarget); a
+// scenario whose seed is some other type returns ErrSeedNotShippable.
+func ShippableSeed(live *router.Router, tg ResolvedTarget) (*bgp.Update, error) {
+	sc, ok := LookupScenario(tg.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("unknown scenario %q (registered: %v)", tg.Scenario, ScenarioNames())
+	}
+	seed, err := sc.Seed(live, tg.Peer)
+	if err != nil {
+		return nil, &SeedUnavailableError{Err: err}
+	}
+	u, ok := seed.(*bgp.Update)
+	if !ok {
+		return nil, ErrSeedNotShippable
+	}
+	return u, nil
+}
+
+// PrepareRestored is the replica-side counterpart of the node agent's
+// explore pipeline: restore the shipped checkpoint, then run the exact
+// PrepareTarget prep over the restored router with the shipped seed —
+// same scenario lookup, checkpoint clone, COW handler, declaration. The
+// caller runs tp.Engine.Explore() and tp.Analyze(restored, ...), so a
+// replica reproduces the agent's per-target results finding for finding.
+// Warm cross-round memory (a decoded ExploreState) may be attached via
+// engOpts.State; nil explores cold.
+func PrepareRestored(node string, cfg *config.Config, state []byte, tg ResolvedTarget, seed *bgp.Update, engOpts concolic.Options) (*TargetPrep, *router.Router, error) {
+	restored, err := router.DecodeState(node, cfg, netsim.NewCaptureSink(), state)
+	if err != nil {
+		return nil, nil, err
+	}
+	tp, err := PrepareTargetSeeded(restored, tg, seed, engOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tp, restored, nil
 }

@@ -1,0 +1,71 @@
+package core_test
+
+// The fuzz target lives in an external test package so the seed corpus
+// can include internal/topo generator output (topo imports core).
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dice/internal/core"
+	"dice/internal/topo"
+)
+
+// FuzzParseTopology: malformed topology JSON must error, never panic,
+// and anything that parses must re-encode to a form that parses to the
+// same topology (the generator round-trip contract). Seeds: every
+// committed example topology plus generated AS topologies.
+func FuzzParseTopology(f *testing.F) {
+	examples, err := filepath.Glob("../../examples/*/topo.json")
+	if err != nil || len(examples) == 0 {
+		f.Fatalf("no example topologies found: %v", err)
+	}
+	for _, path := range examples {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	for _, spec := range []topo.Spec{
+		{Seed: 1, Nodes: topo.MinNodes},
+		{Seed: 2, Nodes: 40},
+		{Seed: 3, Nodes: 40, CoreSize: 3, TransitFrac: 0.5},
+	} {
+		t, _, err := topo.Generate(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		raw, err := topo.EncodeJSON(t)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte(`{"name":"x","nodes":[],"edges":[]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := core.ParseTopology(data)
+		if err != nil {
+			return
+		}
+		re, err := topo.EncodeJSON(parsed)
+		if err != nil {
+			t.Fatalf("re-encode of parsed topology failed: %v", err)
+		}
+		again, err := core.ParseTopology(re)
+		if err != nil {
+			t.Fatalf("re-encoded topology rejected: %v", err)
+		}
+		re2, err := topo.EncodeJSON(again)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatal("parse → encode not a fixpoint")
+		}
+	})
+}

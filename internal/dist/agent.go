@@ -5,8 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"net"
 	"sync"
 	"time"
 
@@ -31,11 +29,17 @@ import (
 // never crosses the RPC boundary; the coordinator composes the
 // cross-node picture purely from the narrow per-node answers.
 type Agent struct {
+	rpcServer
+
 	topo     *core.Topology
 	node     string
 	fabric   *core.Fabric
 	self     *router.Router
 	boundary uint32
+	// sharedFabric marks an agent built by NewSharedAgents: its fabric is
+	// shared with the topology's other agents, so fabric-mutating methods
+	// (replay) are refused.
+	sharedFabric bool
 
 	// MaxProtoVersion caps the wire protocol version this agent will
 	// negotiate (0 means ProtoLatest). Setting it to ProtoV1 makes the
@@ -71,13 +75,6 @@ type Agent struct {
 	session     uint64
 	exploreMemo map[string]exploreMemoEntry
 	replayMemo  map[uint64]*ReplayResult
-
-	// connMu guards the drain state and the live-connection set for
-	// graceful shutdown; connWG counts connections being served.
-	connMu   sync.Mutex
-	conns    map[io.Closer]struct{}
-	connWG   sync.WaitGroup
-	draining bool
 
 	mu       sync.Mutex
 	shadows  map[uint64]*shadowClone
@@ -141,242 +138,82 @@ func NewAgent(topo *core.Topology, node string) (*Agent, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newAgent(topo, node, fabric, boundary, false)
+}
+
+// NewSharedAgents builds one agent per topology node over a single
+// shared fabric. A topology is instantiated and converged once — at
+// thousands of nodes a per-agent fabric would multiply a
+// gigabyte-scale build by the node count — and every agent serves its
+// own node of it. All RPC methods except replay operate on clones or
+// read-only views, so agents over a shared fabric stay independent;
+// replay (which mutates the live fabric, and fanned out to N agents
+// would apply one trace N times) is refused.
+func NewSharedAgents(topo *core.Topology) (map[string]*Agent, error) {
+	boundary, err := topo.BoundaryCommunity()
+	if err != nil {
+		return nil, err
+	}
+	fabric, err := topo.Build()
+	if err != nil {
+		return nil, err
+	}
+	agents := make(map[string]*Agent, len(topo.Nodes))
+	for _, n := range topo.Nodes {
+		a, err := newAgent(topo, n.Name, fabric, boundary, true)
+		if err != nil {
+			return nil, err
+		}
+		agents[n.Name] = a
+	}
+	return agents, nil
+}
+
+func newAgent(topo *core.Topology, node string, fabric *core.Fabric, boundary uint32, shared bool) (*Agent, error) {
 	self, ok := fabric.Routers[node]
 	if !ok {
 		return nil, fmt.Errorf("dist: topology %q has no node %q (nodes: %v)", topo.Name, node, fabric.NodeNames())
 	}
-	return &Agent{
-		topo:        topo,
-		node:        node,
-		fabric:      fabric,
-		self:        self,
-		boundary:    boundary,
-		states:      concolic.NewStateMap(),
-		store:       checkpoint.NewStore(0),
-		shadows:     make(map[uint64]*shadowClone),
-		exploreMemo: make(map[string]exploreMemoEntry),
-		replayMemo:  make(map[uint64]*ReplayResult),
-		conns:       make(map[io.Closer]struct{}),
-	}, nil
+	a := &Agent{
+		topo:         topo,
+		node:         node,
+		fabric:       fabric,
+		self:         self,
+		boundary:     boundary,
+		sharedFabric: shared,
+		states:       concolic.NewStateMap(),
+		store:        checkpoint.NewStore(0),
+		shadows:      make(map[uint64]*shadowClone),
+		exploreMemo:  make(map[string]exploreMemoEntry),
+		replayMemo:   make(map[uint64]*ReplayResult),
+	}
+	a.rpcServer = rpcServer{handler: a, name: node}
+	return a, nil
 }
 
 // Node returns the node this agent administers.
 func (a *Agent) Node() string { return a.node }
 
-// connReq is one decoded request envelope queued for the per-connection
-// worker. Exactly one of jsonParams/v2Body is meaningful, per isV2.
-type connReq struct {
-	id         uint64
-	method     string
-	jsonParams json.RawMessage
-	v2Body     []byte
-	isV2       bool
-}
-
-// ServeConn answers requests on one connection until it closes. The
-// reader goroutine (this one) drains frames eagerly so a pipelining
-// client never blocks on its sends; decoded requests queue to a
-// per-connection worker that executes them in arrival order and writes
-// responses. Requests from concurrent connections still serialize on
-// the agent (reqMu) — the node's routers and shadow clones are
-// single-threaded state.
-//
-// Each request is answered in the codec it arrived in: the first octet
-// of a v2 payload is a kind byte that can never open a JSON document,
-// so the codecs self-describe and the v1→v2 switch after hello needs no
-// shared state between reader and worker.
-//
-// The connection closes only after the worker has answered every
-// request already read: a clean client EOF — or a draining Shutdown —
-// never cuts a response frame in half.
-func (a *Agent) ServeConn(conn io.ReadWriteCloser) error {
-	if err := a.trackConn(conn); err != nil {
-		conn.Close()
-		return err
+// SeedExploreState attaches serialized cross-round exploration memory
+// (concolic ExploreState wire encoding) to the agent's warm-state slot
+// for one (scenario, peer) target — the coordinator's warm handoff: a
+// replacement agent establishing cold inherits the frontier its dead
+// predecessor had shipped, so its first warm round skips every path the
+// fleet already explored instead of rediscovering them.
+func (a *Agent) SeedExploreState(scenario, peer string, data []byte) error {
+	st, err := concolic.DecodeExploreState(data)
+	if err != nil {
+		return fmt.Errorf("dist: %s warm state for %s/%s: %w", a.node, scenario, peer, err)
 	}
-	defer a.untrackConn(conn)
-	reqs := make(chan connReq, 256)
-	errc := make(chan error, 1)
-	workerDone := make(chan struct{})
-	go func() {
-		a.serveRequests(conn, reqs, errc)
-		close(workerDone)
-	}()
-	err := a.readRequests(conn, reqs, errc)
-	close(reqs)
-	<-workerDone // pending responses flushed before the close below
-	conn.Close()
-	return err
-}
-
-// readRequests drains frames into the worker queue until the connection
-// errors, the worker reports a write failure, or the agent starts
-// draining (checked between frames; Shutdown force-closes connections
-// blocked mid-read once the grace period expires).
-func (a *Agent) readRequests(conn io.ReadWriteCloser, reqs chan<- connReq, errc <-chan error) error {
-	for !a.isDraining() {
-		payload, err := readPayload(conn)
-		if err != nil {
-			select {
-			case werr := <-errc:
-				return werr
-			default:
-			}
-			if err == io.EOF {
-				return nil
-			}
-			return err
-		}
-		var cr connReq
-		if len(payload) > 0 && payload[0] == frameRequestV2 {
-			id, method, body, perr := parseRequestV2(payload)
-			if perr != nil {
-				return perr
-			}
-			cr = connReq{id: id, method: method, v2Body: body, isV2: true}
-		} else {
-			var req request
-			if err := json.Unmarshal(payload, &req); err != nil {
-				return fmt.Errorf("dist: garbled request: %w", err)
-			}
-			cr = connReq{id: req.ID, method: req.Method, jsonParams: req.Params}
-		}
-		select {
-		case reqs <- cr:
-		case werr := <-errc:
-			return werr
-		}
-	}
+	a.reqMu.Lock()
+	defer a.reqMu.Unlock()
+	a.states.Attach(a.node+"/"+scenario+"/"+peer, st)
 	return nil
 }
 
-// trackConn registers a connection for drain accounting; a draining
-// agent refuses new connections.
-func (a *Agent) trackConn(conn io.Closer) error {
-	a.connMu.Lock()
-	defer a.connMu.Unlock()
-	if a.draining {
-		return fmt.Errorf("dist: %s is shutting down", a.node)
-	}
-	if a.conns == nil {
-		a.conns = make(map[io.Closer]struct{})
-	}
-	a.conns[conn] = struct{}{}
-	a.connWG.Add(1)
-	return nil
-}
-
-func (a *Agent) untrackConn(conn io.Closer) {
-	a.connMu.Lock()
-	delete(a.conns, conn)
-	a.connMu.Unlock()
-	a.connWG.Done()
-}
-
-func (a *Agent) isDraining() bool {
-	a.connMu.Lock()
-	defer a.connMu.Unlock()
-	return a.draining
-}
-
-// Shutdown drains the agent gracefully: new connections are refused,
-// existing connections stop picking up frames, and every request
-// already read is answered before its connection closes. Shutdown
-// blocks until all connections have drained, or until grace expires —
-// then it force-closes the stragglers (unblocking readers parked in a
-// frame read) and waits for them to unwind. The caller is responsible
-// for closing any listener first so no new connections race in.
-func (a *Agent) Shutdown(grace time.Duration) {
-	a.connMu.Lock()
-	a.draining = true
-	a.connMu.Unlock()
-	done := make(chan struct{})
-	go func() {
-		a.connWG.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-		return
-	case <-time.After(grace):
-	}
-	a.connMu.Lock()
-	for conn := range a.conns {
-		conn.Close()
-	}
-	a.connMu.Unlock()
-	<-done
-}
-
-// serveRequests is the per-connection worker: it executes queued
-// requests in order and writes each response. On a write failure it
-// closes the connection so the reader unblocks, and parks the error for
-// the reader to return.
-func (a *Agent) serveRequests(conn io.ReadWriteCloser, reqs <-chan connReq, errc chan<- error) {
-	for cr := range reqs {
-		payload, err := a.respond(cr)
-		if err == nil {
-			err = writePayload(conn, payload)
-		}
-		if err != nil {
-			errc <- err
-			conn.Close()
-			return
-		}
-	}
-}
-
-// respond executes one request and renders the response payload in the
-// request's codec. Handler errors become error responses; only encoding
-// the envelope itself can fail.
-func (a *Agent) respond(cr connReq) ([]byte, error) {
-	var result any
-	var herr error
-	if cr.isV2 {
-		result, herr = a.handleV2(cr.method, cr.v2Body)
-	} else {
-		result, herr = a.handle(cr.method, cr.jsonParams)
-	}
-	if cr.isV2 {
-		if herr != nil {
-			return appendResponseV2(nil, cr.id, herr.Error(), nil), nil
-		}
-		var msg v2Message
-		if result != nil {
-			m, ok := result.(v2Message)
-			if !ok {
-				return appendResponseV2(nil, cr.id, fmt.Sprintf("dist: %s result type %T has no v2 encoding", cr.method, result), nil), nil
-			}
-			msg = m
-		}
-		return appendResponseV2(nil, cr.id, "", msg), nil
-	}
-	resp := response{ID: cr.id}
-	if herr != nil {
-		resp.Error = herr.Error()
-	} else if result != nil {
-		body, err := json.Marshal(result)
-		if err != nil {
-			resp.Error = fmt.Sprintf("dist: encode %s result: %v", cr.method, err)
-		} else {
-			resp.Result = body
-		}
-	}
-	return json.Marshal(resp)
-}
-
-// ListenAndServe accepts connections until the listener closes.
-func (a *Agent) ListenAndServe(ln net.Listener) error {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return err
-		}
-		go a.ServeConn(conn) //nolint:errcheck // per-conn errors end that conn only
-	}
-}
-
-// handle dispatches one request, one at a time per agent.
+// handle dispatches one request, one at a time per agent. Requests from
+// concurrent connections serialize on reqMu — the node's routers and
+// shadow clones are single-threaded state.
 func (a *Agent) handle(method string, params json.RawMessage) (any, error) {
 	a.reqMu.Lock()
 	defer a.reqMu.Unlock()
@@ -430,6 +267,12 @@ func (a *Agent) handle(method string, params json.RawMessage) (any, error) {
 			return nil, err
 		}
 		return a.replay(p)
+	case MethodSeed:
+		var p SeedParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		return a.seed(p)
 	}
 	return nil, fmt.Errorf("dist: unknown method %q", method)
 }
@@ -494,6 +337,12 @@ func (a *Agent) handleV2(method string, body []byte) (any, error) {
 			return nil, err
 		}
 		return a.replay(p)
+	case MethodSeed:
+		var p SeedParams
+		if err := decodeBodyV2(body, &p); err != nil {
+			return nil, err
+		}
+		return a.seed(p)
 	}
 	return nil, fmt.Errorf("dist: unknown method %q", method)
 }
@@ -646,12 +495,39 @@ func (a *Agent) explore(p ExploreParams) (*ExploreResult, error) {
 	return out, nil
 }
 
+// seed derives the target's scenario seed in replica-shippable form — a
+// concrete BGP UPDATE — or reports why none ships: Missing (nothing
+// observed yet, the defaulted-target skip condition) or Unsupported (the
+// scenario's seed is not an UPDATE, so the target explores on the node).
+func (a *Agent) seed(p SeedParams) (*SeedResult, error) {
+	tg := core.ResolvedTarget{Node: a.node, Peer: p.Peer, Scenario: p.Scenario}
+	u, err := core.ShippableSeed(a.self, tg)
+	if err != nil {
+		var seedErr *core.SeedUnavailableError
+		if errors.As(err, &seedErr) {
+			return &SeedResult{Missing: seedErr.Err.Error()}, nil
+		}
+		if errors.Is(err, core.ErrSeedNotShippable) {
+			return &SeedResult{Unsupported: true}, nil
+		}
+		return nil, err
+	}
+	wire, err := bgp.Encode(u)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %s encode seed for %s: %w", a.node, p.Peer, err)
+	}
+	return &SeedResult{Msg: wire}, nil
+}
+
 // replay feeds a recorded trace into the agent's live local fabric. The
 // fabric is deterministic, so every agent replaying the same trace —
 // the coordinator fans it to all of them — converges on the same state,
 // and subsequent explorations seed from the replayed history exactly as
 // the in-process backend's do.
 func (a *Agent) replay(p ReplayParams) (*ReplayResult, error) {
+	if a.sharedFabric {
+		return nil, fmt.Errorf("dist: %s shares its fabric; replay would apply the trace once per agent", a.node)
+	}
 	// Key-based idempotency: the coordinator re-ships its whole replay
 	// history when (re-)establishing an agent. A surviving agent has
 	// every key memoized and applies nothing twice; a fresh replacement

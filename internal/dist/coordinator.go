@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -47,6 +48,19 @@ type Coordinator struct {
 	maxVersion  int  // wire protocol cap offered at handshake
 	callAndWait bool // disable pipelining, batching, shared shadow sets
 	policy      RetryPolicy
+
+	// replicas, when set, offloads phase-1 exploration to a pool of
+	// stateless workers: each round the coordinator checkpoints the node
+	// over MethodCheckpoint, derives the scenario seed over MethodSeed,
+	// and ships both to whichever replica pulls the shard. configs holds
+	// each node's config lines for the shipment; warm holds the
+	// per-shard frontier memory the replicas return (ReuseState only) —
+	// it both keeps rounds incremental as shards migrate between
+	// replicas and seeds degraded replacement agents warm.
+	replicas *ReplicaPool
+	configs  map[string][]string
+	warmMu   sync.Mutex
+	warm     map[string][]byte // node/scenario/peer → ExploreState wire encoding
 
 	// session is a random nonce minted once per Connect and sent in every
 	// hello. Agents scope their explore/replay memos to it: the keys below
@@ -130,6 +144,17 @@ func WithCallAndWait() ConnOption {
 // seed. Zero fields take the RetryPolicy defaults.
 func WithRetryPolicy(p RetryPolicy) ConnOption {
 	return func(c *Coordinator) { c.policy = p }
+}
+
+// WithReplicas offloads each round's exploration phase to a pool of
+// stateless replicas over the checkpoint RPC. The pool binds to this
+// coordinator's session and retry policy at Connect and closes with it.
+// Targets whose scenario seed cannot ship (SeedResult.Unsupported, or
+// an agent predating MethodSeed) explore on their agent as before, so
+// mixed fleets keep working; a pool whose replicas all die degrades the
+// same way instead of failing the round.
+func WithReplicas(pool *ReplicaPool) ConnOption {
+	return func(c *Coordinator) { c.replicas = pool }
 }
 
 // Versions reports the negotiated wire protocol version per node.
@@ -249,6 +274,16 @@ func Connect(topo *core.Topology, opts core.FederatedOptions, dialers []Dialer, 
 	}
 	c.policy = c.policy.withDefaults()
 	c.session = newSessionNonce()
+	if c.replicas != nil {
+		if err := c.replicas.bind(c.session, c.maxVersion, c.policy); err != nil {
+			return nil, err
+		}
+		c.configs = make(map[string][]string, len(topo.Nodes))
+		for _, n := range topo.Nodes {
+			c.configs[n.Name] = n.Config
+		}
+		c.warm = make(map[string][]byte)
+	}
 	for _, e := range topo.Edges {
 		lat := time.Duration(e.LatencyMS) * time.Millisecond
 		if lat == 0 {
@@ -357,9 +392,12 @@ func (c *Coordinator) dialAndHello(d Dialer) (*Client, HelloResult, error) {
 	return cl, hello, nil
 }
 
-// Close closes every agent connection.
+// Close closes every agent connection and shuts down the replica pool.
 func (c *Coordinator) Close() error {
 	var first error
+	if c.replicas != nil {
+		c.replicas.Close()
+	}
 	for _, nc := range c.conns {
 		cl, _ := nc.current()
 		if cl == nil {
@@ -492,6 +530,7 @@ func (c *Coordinator) recover(nc *nodeConn, gen uint64, failed *Client) error {
 		nc.failErr = fmt.Errorf("dist: degraded fallback for %q: %w", nc.node, err)
 		return nc.failErr
 	}
+	c.seedWarmState(local, nc.node)
 	cl, _, err := c.dialAndHello(Loopback{Agent: local})
 	if err == nil {
 		err = c.reestablish(cl)
@@ -510,6 +549,32 @@ func (c *Coordinator) recover(nc *nodeConn, gen uint64, failed *Client) error {
 	nc.gen++
 	nc.health.State = HealthDegraded
 	return nil
+}
+
+// seedWarmState hands a degraded replacement agent the frontier memory
+// the dead node's shards accumulated on the replicas: the replacement's
+// next ReuseState explore runs warm instead of cold, closing the one
+// gap reestablish's comment concedes. Without a replica pool (or
+// without ReuseState) there is nothing cached and the replacement
+// explores cold, exactly as before.
+func (c *Coordinator) seedWarmState(local *Agent, node string) {
+	if c.replicas == nil || !c.opts.ReuseState {
+		return
+	}
+	c.warmMu.Lock()
+	defer c.warmMu.Unlock()
+	for key, data := range c.warm {
+		rest, ok := strings.CutPrefix(key, node+"/")
+		if !ok {
+			continue
+		}
+		scenario, peer, ok := strings.Cut(rest, "/")
+		if !ok {
+			continue
+		}
+		// Best effort: an undecodable entry just leaves that shard cold.
+		_ = local.SeedExploreState(scenario, peer, data)
+	}
 }
 
 // reestablish brings a (re)connected agent up to date: the coordinator's
@@ -580,6 +645,7 @@ func (c *Coordinator) Round() (*RoundResult, error) {
 	targets := c.Topo.ResolveTargets(c.opts.DefaultScenario)
 	outs := make([]*ExploreResult, len(targets))
 	errs := make([]error, len(targets))
+	ckpts := &checkpointCache{m: make(map[string]*ckptEntry)}
 	var wg sync.WaitGroup
 	for i, tg := range targets {
 		if _, ok := c.conns[tg.Node]; !ok {
@@ -588,25 +654,7 @@ func (c *Coordinator) Round() (*RoundResult, error) {
 		wg.Add(1)
 		go func(i int, tg core.ResolvedTarget) {
 			defer wg.Done()
-			params := ExploreParams{
-				Peer:         tg.Peer,
-				Scenario:     tg.Scenario,
-				Explicit:     tg.Explicit,
-				MaxRuns:      c.opts.Engine.MaxRuns,
-				MaxDepth:     c.opts.Engine.MaxDepth,
-				Workers:      c.opts.Workers,
-				SolverNodes:  c.opts.Engine.SolverNodes,
-				Strategy:     c.opts.Engine.Strategy.String(),
-				TimeBudgetNS: c.opts.Engine.TimeBudget.Nanoseconds(),
-				ReuseState:   c.opts.ReuseState,
-				Round:        round,
-			}
-			var out ExploreResult
-			if err := c.call(tg.Node, MethodExplore, &params, &out); err != nil {
-				errs[i] = err
-				return
-			}
-			outs[i] = &out
+			outs[i], errs[i] = c.exploreTarget(tg, round, ckpts)
 		}(i, tg)
 	}
 	wg.Wait()
@@ -707,6 +755,152 @@ func (c *Coordinator) Round() (*RoundResult, error) {
 	res.Elapsed = time.Since(start)
 	res.Health = c.Health()
 	return res, nil
+}
+
+// exploreTarget runs one target's phase-1 exploration: on the replica
+// pool when one is configured (checkpoint + seed shipped over the
+// wire), on the owning agent otherwise — and on the agent again as the
+// fallback when the target can't ship (unsupported seed, pre-MethodSeed
+// agent) or the pool has died. The round key makes every path
+// idempotent under retries.
+func (c *Coordinator) exploreTarget(tg core.ResolvedTarget, round uint64, ckpts *checkpointCache) (*ExploreResult, error) {
+	if c.replicas != nil {
+		out, err := c.exploreOnReplica(tg, round, ckpts)
+		if err == nil {
+			return out, nil
+		}
+		if !errors.Is(err, errExploreLocally) && !errors.Is(err, ErrReplicaPoolDown) {
+			return nil, err
+		}
+	}
+	params := ExploreParams{
+		Peer:         tg.Peer,
+		Scenario:     tg.Scenario,
+		Explicit:     tg.Explicit,
+		MaxRuns:      c.opts.Engine.MaxRuns,
+		MaxDepth:     c.opts.Engine.MaxDepth,
+		Workers:      c.opts.Workers,
+		SolverNodes:  c.opts.Engine.SolverNodes,
+		Strategy:     c.opts.Engine.Strategy.String(),
+		TimeBudgetNS: c.opts.Engine.TimeBudget.Nanoseconds(),
+		ReuseState:   c.opts.ReuseState,
+		Round:        round,
+	}
+	var out ExploreResult
+	if err := c.call(tg.Node, MethodExplore, &params, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// errExploreLocally routes a target back to its agent: the shard cannot
+// ship to a replica, but the agent-side explore is exactly equivalent.
+var errExploreLocally = errors.New("dist: target explores on its agent")
+
+// warmKey matches the agent-side StateMap key for the shard, so warm
+// state cached from replicas seeds exactly the state a degraded
+// replacement agent would consult.
+func warmKey(node, scenario, peer string) string {
+	return node + "/" + scenario + "/" + peer
+}
+
+// exploreOnReplica ships one target to the replica pool: the node's
+// checkpoint (fetched once per node per round over MethodCheckpoint),
+// its scenario seed (MethodSeed), config lines, engine knobs and — under
+// ReuseState — the shard's cached frontier memory. The replica's answer
+// is the agent-shaped ExploreResult; the frontier memory it returns
+// refreshes the warm cache.
+func (c *Coordinator) exploreOnReplica(tg core.ResolvedTarget, round uint64, ckpts *checkpointCache) (*ExploreResult, error) {
+	var sr SeedResult
+	if err := c.call(tg.Node, MethodSeed, &SeedParams{Peer: tg.Peer, Scenario: tg.Scenario}, &sr); err != nil {
+		if isConnFault(err) || errors.Is(err, ErrClientBroken) {
+			return nil, err
+		}
+		// An agent predating MethodSeed answers with an application
+		// error; the target explores where it always did.
+		return nil, errExploreLocally
+	}
+	if sr.Unsupported {
+		return nil, errExploreLocally
+	}
+	if sr.Missing != "" {
+		if tg.Explicit {
+			// Mirror the agent's explicit-target seed failure exactly.
+			return nil, fmt.Errorf("dist: %s/%s: deriving scenario seed: %s", tg.Node, tg.Peer, sr.Missing)
+		}
+		return &ExploreResult{Skipped: sr.Missing, Scenario: tg.Scenario}, nil
+	}
+	state, err := ckpts.get(tg.Node, func() ([]byte, error) {
+		var ck CheckpointResult
+		if err := c.call(tg.Node, MethodCheckpoint, nil, &ck); err != nil {
+			return nil, err
+		}
+		return ck.State, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	key := warmKey(tg.Node, tg.Scenario, tg.Peer)
+	var warm []byte
+	if c.opts.ReuseState {
+		c.warmMu.Lock()
+		warm = c.warm[key]
+		c.warmMu.Unlock()
+	}
+	params := &ReplicaExploreParams{
+		Node:         tg.Node,
+		Config:       c.configs[tg.Node],
+		State:        state,
+		Peer:         tg.Peer,
+		Scenario:     tg.Scenario,
+		Explicit:     tg.Explicit,
+		MaxRuns:      c.opts.Engine.MaxRuns,
+		MaxDepth:     c.opts.Engine.MaxDepth,
+		Workers:      c.opts.Workers,
+		SolverNodes:  c.opts.Engine.SolverNodes,
+		Strategy:     c.opts.Engine.Strategy.String(),
+		TimeBudgetNS: c.opts.Engine.TimeBudget.Nanoseconds(),
+		Boundary:     c.boundary,
+		Seed:         sr.Msg,
+		WarmState:    warm,
+		Round:        round,
+		Shard:        key,
+	}
+	out, err := c.replicas.submit(params)
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.ReuseState && len(out.WarmState) > 0 {
+		c.warmMu.Lock()
+		c.warm[key] = out.WarmState
+		c.warmMu.Unlock()
+	}
+	return &out.ExploreResult, nil
+}
+
+// checkpointCache deduplicates per-node checkpoint fetches within one
+// round: targets sharing a node ship the identical snapshot.
+type checkpointCache struct {
+	mu sync.Mutex
+	m  map[string]*ckptEntry
+}
+
+type ckptEntry struct {
+	once  sync.Once
+	state []byte
+	err   error
+}
+
+func (cc *checkpointCache) get(node string, fetch func() ([]byte, error)) ([]byte, error) {
+	cc.mu.Lock()
+	e, ok := cc.m[node]
+	if !ok {
+		e = &ckptEntry{}
+		cc.m[node] = e
+	}
+	cc.mu.Unlock()
+	e.once.Do(func() { e.state, e.err = fetch() })
+	return e.state, e.err
 }
 
 // Replay feeds a recorded trace (internal/trace file bytes) into every

@@ -1,0 +1,232 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"dice/internal/bgp"
+	"dice/internal/concolic"
+	"dice/internal/config"
+	"dice/internal/core"
+	"dice/internal/netaddr"
+)
+
+// Replica is a stateless exploration worker: it serves the wire protocol
+// like an Agent but administers no node and holds no fabric. Every
+// explore_checkpoint request is self-contained — node config, serialized
+// checkpoint, scenario seed, engine knobs — so one replica serves
+// shards from any node of any topology, and a pool of them scales a
+// round's exploration horizontally without any replica ever seeing
+// state it wasn't shipped (the §2.4 "process these messages in
+// isolation over their checkpointed states" worker, as a server).
+type Replica struct {
+	rpcServer
+
+	// MaxProtoVersion caps the negotiated wire protocol version
+	// (0 = ProtoLatest), exactly as on the Agent.
+	MaxProtoVersion int
+
+	// reqMu serializes request handling: each replica explores one shard
+	// at a time (a pool's parallelism is across replicas, like the
+	// coordinator's is across agents).
+	reqMu sync.Mutex
+
+	// Shard-keyed idempotency memo, session-scoped like the Agent's
+	// explore memo: the coordinator keys replica explores by (Shard,
+	// Round), retries after a replica reconnect answer from the memo, and
+	// a new session nonce in the hello drops it — replica memos must not
+	// outlive the coordinator-local sequences that key them, or a second
+	// dice run would read the first run's stale shard results.
+	session uint64
+	memo    map[string]replicaMemoEntry
+}
+
+// replicaMemoEntry is one memoized shard answer, valid for one round.
+type replicaMemoEntry struct {
+	round uint64
+	out   *ReplicaExploreResult
+}
+
+// NewReplica builds an idle exploration replica.
+func NewReplica() *Replica {
+	r := &Replica{memo: make(map[string]replicaMemoEntry)}
+	r.rpcServer = rpcServer{handler: r, name: "replica"}
+	return r
+}
+
+// handle dispatches one v1 request. Replicas answer only hello and
+// explore_checkpoint — they have no node to checkpoint, shadow or query.
+func (r *Replica) handle(method string, params json.RawMessage) (any, error) {
+	r.reqMu.Lock()
+	defer r.reqMu.Unlock()
+	switch method {
+	case MethodHello:
+		var p HelloParams
+		if len(params) > 0 {
+			if err := json.Unmarshal(params, &p); err != nil {
+				return nil, err
+			}
+		}
+		return r.hello(p), nil
+	case MethodExploreCheckpoint:
+		var p ReplicaExploreParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		return r.explore(p)
+	}
+	return nil, fmt.Errorf("dist: replica does not serve %q", method)
+}
+
+// handleV2 dispatches one binary-codec request.
+func (r *Replica) handleV2(method string, body []byte) (any, error) {
+	r.reqMu.Lock()
+	defer r.reqMu.Unlock()
+	switch method {
+	case MethodHello:
+		var p HelloParams
+		if err := decodeBodyV2(body, &p); err != nil {
+			return nil, err
+		}
+		return r.hello(p), nil
+	case MethodExploreCheckpoint:
+		var p ReplicaExploreParams
+		if err := decodeBodyV2(body, &p); err != nil {
+			return nil, err
+		}
+		return r.explore(p)
+	}
+	return nil, fmt.Errorf("dist: replica does not serve %q", method)
+}
+
+// hello negotiates the protocol version and scopes the memo to the
+// coordinator session, mirroring the Agent's hello. The Node field
+// carries the replica role marker instead of a topology node — a
+// coordinator cross-checking node identity fails fast if it dials a
+// replica where it expected an agent.
+func (r *Replica) hello(p HelloParams) *HelloResult {
+	if p.Session != 0 && p.Session != r.session {
+		r.session = p.Session
+		clear(r.memo)
+	}
+	replicaMax := r.MaxProtoVersion
+	if replicaMax <= 0 || replicaMax > ProtoLatest {
+		replicaMax = ProtoLatest
+	}
+	clientMax := p.MaxVersion
+	if clientMax <= 0 {
+		clientMax = ProtoV1
+	}
+	return &HelloResult{
+		Node:     "(replica)",
+		Topology: "(replica)",
+		Version:  min(clientMax, replicaMax),
+	}
+}
+
+// explore restores the shipped checkpoint and runs the node agent's
+// exact per-target pipeline over it (core.PrepareRestored → Explore →
+// Analyze → WitnessRefs), so a shard explored on a replica reproduces
+// the agent's answer finding for finding. The result also carries the
+// post-round frontier memory for the coordinator's warm cache.
+func (r *Replica) explore(p ReplicaExploreParams) (*ReplicaExploreResult, error) {
+	if p.Round != 0 && p.Shard != "" {
+		if e, ok := r.memo[p.Shard]; ok && e.round == p.Round {
+			return e.out, nil
+		}
+	}
+	strat, err := parseStrategy(p.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := config.Parse(strings.Join(p.Config, "\n"))
+	if err != nil {
+		return nil, fmt.Errorf("dist: replica: %s config: %w", p.Node, err)
+	}
+	msg, err := bgp.Decode(p.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("dist: replica: %s/%s seed: %w", p.Node, p.Peer, err)
+	}
+	seed, ok := msg.(*bgp.Update)
+	if !ok {
+		return nil, fmt.Errorf("dist: replica: %s/%s seed is %T, want UPDATE", p.Node, p.Peer, msg)
+	}
+	engOpts := concolic.Options{
+		Strategy:    strat,
+		MaxRuns:     p.MaxRuns,
+		MaxDepth:    p.MaxDepth,
+		Workers:     p.Workers,
+		SolverNodes: p.SolverNodes,
+		TimeBudget:  time.Duration(p.TimeBudgetNS),
+	}
+	if len(p.WarmState) > 0 {
+		st, err := concolic.DecodeExploreState(p.WarmState)
+		if err != nil {
+			return nil, fmt.Errorf("dist: replica: %s/%s warm state: %w", p.Node, p.Peer, err)
+		}
+		engOpts.State = st
+	} else {
+		// Cold shards still explore under fresh state so the frontier
+		// memory exists to ship back.
+		engOpts.State = concolic.NewExploreState()
+	}
+	tg := core.ResolvedTarget{Node: p.Node, Peer: p.Peer, Scenario: p.Scenario, Explicit: p.Explicit}
+	tp, restored, err := core.PrepareRestored(p.Node, cfg, p.State, tg, seed, engOpts)
+	if err != nil {
+		return nil, fmt.Errorf("dist: replica: %s/%s: %w", p.Node, p.Peer, err)
+	}
+	rep := tp.Engine.Explore()
+	res := tp.Analyze(restored, engOpts, p.Boundary, rep)
+
+	out := &ReplicaExploreResult{
+		ExploreResult: ExploreResult{
+			Scenario:          res.Scenario,
+			Runs:              rep.Runs,
+			NewPaths:          len(rep.Paths),
+			BranchesSeen:      rep.BranchesSeen,
+			SolverCalls:       rep.SolverCalls,
+			SolverSat:         rep.SolverSat,
+			SolverUnsat:       rep.SolverUnsat,
+			CacheHits:         rep.CacheHits,
+			SkippedPaths:      rep.SkippedPaths,
+			SkippedNegations:  rep.SkippedNegations,
+			ElapsedNS:         rep.Elapsed.Nanoseconds(),
+			CapturedMessages:  res.CapturedMessages,
+			WitnessesRejected: res.WitnessesRejected,
+		},
+		WarmState: engOpts.State.EncodeWire(),
+	}
+	for _, f := range res.Findings {
+		wf := WireFinding{
+			Kind:      f.Kind,
+			Peer:      f.Peer,
+			Prefix:    f.Prefix.String(),
+			LeakRange: f.LeakRange,
+			OriginAS:  f.OriginAS,
+			VictimAS:  f.VictimAS,
+			Seq:       f.Seq,
+			Validated: f.Validated,
+			SpreadTo:  f.SpreadTo,
+			Input:     f.Input,
+			Rendered:  f.String(),
+		}
+		if f.VictimPrefix != (netaddr.Prefix{}) {
+			wf.VictimPrefix = f.VictimPrefix.String()
+		}
+		out.Findings = append(out.Findings, wf)
+	}
+	for _, wr := range tp.WitnessRefs(res) {
+		wire, err := bgp.Encode(wr.Update)
+		if err != nil {
+			return nil, fmt.Errorf("dist: replica: encode witness for %s: %w", wr.Update.NLRI[0], err)
+		}
+		out.Witnesses = append(out.Witnesses, WireWitness{Finding: wr.Finding, Msg: wire})
+	}
+	if p.Round != 0 && p.Shard != "" {
+		r.memo[p.Shard] = replicaMemoEntry{round: p.Round, out: out}
+	}
+	return out, nil
+}

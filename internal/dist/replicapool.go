@@ -1,0 +1,331 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrReplicaPoolDown reports that the pool has no live replica and can
+// never get one: every dialer has been consumed and every worker has
+// died past its reconnect budget (or the pool was closed). The
+// coordinator treats it as "explore on the agent instead", so a dead
+// pool degrades a round's locality, never its findings.
+var ErrReplicaPoolDown = errors.New("dist: replica pool has no live replicas")
+
+// ReplicaPool drives a fleet of stateless exploration replicas behind
+// one shared work queue. The coordinator submits per-target shards
+// (checkpoint + seed + knobs, see ReplicaExploreParams); workers — one
+// per dialed replica — pull shards off the queue in FIFO order, so a
+// slow replica naturally takes fewer shards and a dead one takes none:
+// the queue IS the work-stealing mechanism.
+//
+// The pool is elastic between Min and Max workers. It starts Min
+// workers at Connect and dials another replica whenever the backlog
+// exceeds the live worker count (up to Max, and never more than one
+// worker per dialer). A worker whose replica dies past the reconnect
+// budget re-enqueues its in-flight shard for the survivors and exits;
+// replica-side memos keyed on (Shard, Round) make the re-run
+// idempotent even when the lost replica had already answered.
+type ReplicaPool struct {
+	// Dialers produce connections to the replicas, one replica per
+	// dialer. A dialer is consumed when its worker starts and never
+	// redialed after that worker dies past its reconnect budget — a
+	// replica that stays down stays out of the pool.
+	Dialers []Dialer
+	// Min and Max bound the live worker count: Min workers start at
+	// bind time, autoscaling adds more up to Max. Zero values mean
+	// Min=1 and Max=len(Dialers); both are clamped to len(Dialers).
+	Min, Max int
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      []*replicaTask
+	session    uint64
+	maxVersion int
+	policy     RetryPolicy
+	bound      bool
+	closed     bool
+	dead       bool // all dialers consumed, all workers gone
+	started    int  // dialers consumed (== workers ever started)
+	active     int  // workers currently alive
+	stats      ReplicaPoolStats
+}
+
+// ReplicaPoolStats is the pool's lifetime accounting, for tests and the
+// operator-facing round summary.
+type ReplicaPoolStats struct {
+	// Started counts workers ever started (== dialers consumed).
+	Started int
+	// Active is the live worker count at the time of the Stats call.
+	Active int
+	// Scaled counts autoscale starts: workers beyond the initial Min
+	// that a backlog demanded.
+	Scaled int
+	// Requeues counts shards re-enqueued after their replica died
+	// mid-explore — each one is a successful work steal.
+	Requeues int
+	// Reconnects counts successful re-dial + re-handshake cycles on
+	// replica connections.
+	Reconnects int
+	// Completed counts shards answered (successfully or with an
+	// application error).
+	Completed int
+}
+
+// replicaTask is one queued shard: the request, and the slot its waiter
+// blocks on.
+type replicaTask struct {
+	params *ReplicaExploreParams
+	out    *ReplicaExploreResult
+	err    error
+	done   chan struct{}
+}
+
+func (t *replicaTask) finish(out *ReplicaExploreResult, err error) {
+	t.out, t.err = out, err
+	close(t.done)
+}
+
+// bind attaches the pool to a coordinator session: every worker
+// handshakes with the coordinator's nonce (so replica memos share the
+// session lifecycle with agent memos) and recovers under the
+// coordinator's retry policy. Connect calls it; a pool binds once.
+func (p *ReplicaPool) bind(session uint64, maxVersion int, policy RetryPolicy) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.bound {
+		return fmt.Errorf("dist: replica pool already bound to a coordinator")
+	}
+	if len(p.Dialers) == 0 {
+		return fmt.Errorf("dist: replica pool has no dialers")
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.session = session
+	p.maxVersion = maxVersion
+	p.policy = policy
+	p.bound = true
+	for i := 0; i < p.minWorkers(); i++ {
+		p.startWorkerLocked()
+	}
+	return nil
+}
+
+func (p *ReplicaPool) minWorkers() int {
+	n := p.Min
+	if n <= 0 {
+		n = 1
+	}
+	if max := p.maxWorkers(); n > max {
+		n = max
+	}
+	return n
+}
+
+func (p *ReplicaPool) maxWorkers() int {
+	n := p.Max
+	if n <= 0 || n > len(p.Dialers) {
+		n = len(p.Dialers)
+	}
+	return n
+}
+
+// startWorkerLocked consumes the next dialer and launches its worker.
+// Callers hold p.mu and have checked started < maxWorkers().
+func (p *ReplicaPool) startWorkerLocked() {
+	idx := p.started
+	p.started++
+	p.active++
+	p.stats.Started++
+	go p.worker(idx)
+}
+
+// Stats returns a snapshot of the pool's accounting.
+func (p *ReplicaPool) Stats() ReplicaPoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Active = p.active
+	return s
+}
+
+// submit queues one shard and blocks until a replica answers it (or the
+// pool proves it never can). Safe for concurrent use — Round fans one
+// goroutine out per target.
+func (p *ReplicaPool) submit(params *ReplicaExploreParams) (*ReplicaExploreResult, error) {
+	t := &replicaTask{params: params, done: make(chan struct{})}
+	p.mu.Lock()
+	if !p.bound {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("dist: replica pool not bound; pass it to Connect via WithReplicas")
+	}
+	if p.closed || p.dead {
+		p.mu.Unlock()
+		return nil, ErrReplicaPoolDown
+	}
+	p.queue = append(p.queue, t)
+	// Autoscale: a backlog deeper than the live worker set means shards
+	// are waiting while dialers sit idle — bring another replica in.
+	if len(p.queue) > p.active && p.started < p.maxWorkers() {
+		p.stats.Scaled++
+		p.startWorkerLocked()
+	}
+	p.cond.Signal()
+	p.mu.Unlock()
+	<-t.done
+	return t.out, t.err
+}
+
+// pop blocks until a shard is available (nil when the pool closes).
+func (p *ReplicaPool) pop() *replicaTask {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.queue) == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	if len(p.queue) == 0 {
+		return nil
+	}
+	t := p.queue[0]
+	p.queue = p.queue[1:]
+	return t
+}
+
+// requeue steals a dying worker's in-flight shard back for the
+// survivors.
+func (p *ReplicaPool) requeue(t *replicaTask) {
+	p.mu.Lock()
+	p.stats.Requeues++
+	p.queue = append(p.queue, t)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// workerExit retires one worker. The last worker out either recruits a
+// replacement from the unconsumed dialers or — when none remain —
+// declares the pool dead and fails everything still queued, so no
+// submitter blocks forever on a fleet that cannot answer.
+func (p *ReplicaPool) workerExit() {
+	p.mu.Lock()
+	p.active--
+	if p.active == 0 {
+		if !p.closed && p.started < p.maxWorkers() {
+			p.startWorkerLocked()
+		} else if !p.dead {
+			p.dead = true
+			failed := p.queue
+			p.queue = nil
+			p.mu.Unlock()
+			for _, t := range failed {
+				t.finish(nil, ErrReplicaPoolDown)
+			}
+			return
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Close shuts the pool down: queued shards fail with ErrReplicaPoolDown
+// and workers exit after their current shard.
+func (p *ReplicaPool) Close() {
+	p.mu.Lock()
+	if !p.bound || p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	failed := p.queue
+	p.queue = nil
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	for _, t := range failed {
+		t.finish(nil, ErrReplicaPoolDown)
+	}
+}
+
+// worker owns one replica connection for its lifetime: dial and
+// handshake (with backoff — replicas may still be starting), then pull
+// shards until the pool closes or the replica dies past the reconnect
+// budget. A shard in flight when the replica dies is re-enqueued, not
+// failed: the memo keys make the surviving replicas' re-run exact.
+func (p *ReplicaPool) worker(idx int) {
+	defer p.workerExit()
+	rng := rand.New(rand.NewSource(p.policy.Seed ^ int64(nodeHash(fmt.Sprintf("replica-%d", idx)))))
+	cl := p.dialReplica(idx, rng, true)
+	if cl == nil {
+		return
+	}
+	defer func() {
+		if cl != nil {
+			cl.Close()
+		}
+	}()
+	for {
+		t := p.pop()
+		if t == nil {
+			return
+		}
+		for {
+			var out ReplicaExploreResult
+			err := cl.Call(MethodExploreCheckpoint, t.params, &out)
+			if err == nil {
+				p.noteCompleted()
+				t.finish(&out, nil)
+				break
+			}
+			if !isConnFault(err) {
+				// The replica answered: an application error (bad config,
+				// undecodable checkpoint) would recur on any replica.
+				p.noteCompleted()
+				t.finish(nil, err)
+				break
+			}
+			cl.Close()
+			if cl = p.dialReplica(idx, rng, false); cl == nil {
+				// Replica dead past the budget: give the shard back to
+				// the survivors and retire this worker.
+				p.requeue(t)
+				return
+			}
+			p.noteReconnect()
+		}
+	}
+}
+
+func (p *ReplicaPool) noteCompleted() {
+	p.mu.Lock()
+	p.stats.Completed++
+	p.mu.Unlock()
+}
+
+func (p *ReplicaPool) noteReconnect() {
+	p.mu.Lock()
+	p.stats.Reconnects++
+	p.mu.Unlock()
+}
+
+// dialReplica establishes one identified replica connection within the
+// reconnect budget. first skips the pre-dial backoff pause (the initial
+// dial of a healthy replica should not wait).
+func (p *ReplicaPool) dialReplica(idx int, rng *rand.Rand, first bool) *Client {
+	for attempt := 1; attempt <= p.policy.MaxReconnects+1; attempt++ {
+		if !(first && attempt == 1) {
+			time.Sleep(backoffDelay(attempt, p.policy.BackoffBase, p.policy.BackoffCap, rng))
+		}
+		conn, err := p.Dialers[idx].Dial()
+		if err != nil {
+			continue
+		}
+		cl := NewClient(conn)
+		cl.Timeout = p.policy.RPCTimeout
+		cl.Session = p.session
+		if _, err := cl.Handshake(p.maxVersion); err != nil {
+			cl.Close()
+			continue
+		}
+		return cl
+	}
+	return nil
+}

@@ -156,6 +156,17 @@ const (
 	// fabrics are deterministic, so all agents converge on identical
 	// post-replay state without any node state crossing the wire.
 	MethodReplay = "replay"
+	// MethodSeed derives the target's scenario seed on the agent in the
+	// one form a stateless replica can consume: a concrete BGP UPDATE.
+	// Together with MethodCheckpoint it is everything the coordinator
+	// ships when it offloads exploration to a replica pool.
+	MethodSeed = "seed"
+	// MethodExploreCheckpoint is the replica-side explore: restore a
+	// shipped checkpoint (the node's config and serialized state), run
+	// the same per-target pipeline the node agent runs, and return the
+	// same ExploreResult — plus the exploration's frontier memory, so
+	// the coordinator can keep rounds warm and reseed replacements.
+	MethodExploreCheckpoint = "explore_checkpoint"
 )
 
 // --- Method payloads ---------------------------------------------------------
@@ -296,6 +307,78 @@ type WireWitness struct {
 	Finding int `json:"finding"`
 	// Msg is the announcement in BGP wire encoding.
 	Msg []byte `json:"msg"`
+}
+
+// SeedParams selects which target's scenario seed to derive.
+type SeedParams struct {
+	Peer     string `json:"peer"`
+	Scenario string `json:"scenario"`
+}
+
+// SeedResult is the derived seed, or why none shipped. Exactly one of
+// the three outcomes holds: Msg set (a concrete UPDATE in BGP wire
+// encoding), Unsupported (the scenario's seed is not an UPDATE — the
+// target must explore on the node itself), or Missing (the node has
+// observed nothing usable yet — the same condition PrepareTarget
+// reports as SeedUnavailableError).
+type SeedResult struct {
+	Msg         []byte `json:"msg,omitempty"`
+	Unsupported bool   `json:"unsupported,omitempty"`
+	Missing     string `json:"missing,omitempty"`
+}
+
+// ReplicaExploreParams ships one exploration target to a stateless
+// replica: the node's identity and configuration, its checkpointed
+// state, the scenario seed, the engine knobs, and the round/shard keys
+// that make the call idempotent. Nothing here refers back to the
+// coordinator's fabric — the replica reconstructs the target entirely
+// from the message.
+type ReplicaExploreParams struct {
+	// Node names the checkpointed node; Config is its topology config
+	// (one line per element, config.Parse grammar); State is the
+	// MethodCheckpoint snapshot to restore.
+	Node   string   `json:"node"`
+	Config []string `json:"config"`
+	State  []byte   `json:"state"`
+	// Peer/Scenario/Explicit select the target, as in ExploreParams.
+	Peer     string `json:"peer"`
+	Scenario string `json:"scenario"`
+	Explicit bool   `json:"explicit"`
+	// Engine knobs (the serializable subset, as in ExploreParams).
+	MaxRuns      int    `json:"max_runs,omitempty"`
+	MaxDepth     int    `json:"max_depth,omitempty"`
+	Workers      int    `json:"workers,omitempty"`
+	SolverNodes  int    `json:"solver_nodes,omitempty"`
+	Strategy     string `json:"strategy,omitempty"`
+	TimeBudgetNS int64  `json:"time_budget_ns,omitempty"`
+	// Boundary is the topology's leak-boundary community (the replica
+	// has no topology to derive it from).
+	Boundary uint32 `json:"boundary"`
+	// Seed is the scenario seed UPDATE in BGP wire encoding (from
+	// MethodSeed).
+	Seed []byte `json:"seed"`
+	// WarmState, when set, is serialized cross-round exploration memory
+	// (concolic ExploreState wire encoding): the replica resumes from it
+	// instead of exploring cold, which is how ReuseState survives the
+	// shard moving between replicas.
+	WarmState []byte `json:"warm_state,omitempty"`
+	// Round and Shard key the replica's idempotency memo: the replica
+	// memoizes its last result per Shard under Round, so a retried shard
+	// (after a replica loss mid-call) returns the memoized result
+	// instead of re-exploring. Round 0 disables the memo.
+	Round uint64 `json:"round,omitempty"`
+	Shard string `json:"shard,omitempty"`
+}
+
+// ReplicaExploreResult is the replica's answer: the agent-shaped
+// ExploreResult plus the post-exploration frontier memory.
+type ReplicaExploreResult struct {
+	ExploreResult
+	// WarmState is the exploration's frontier memory after this round
+	// (concolic ExploreState wire encoding) — ship it back in the next
+	// round's WarmState to explore incrementally, or seed a replacement
+	// agent with it.
+	WarmState []byte `json:"warm_state,omitempty"`
 }
 
 // ReplayParams feeds a recorded trace into the agent's live fabric.

@@ -47,6 +47,8 @@ const (
 	codeQueryOracle
 	codeReplay
 	codeInjectWitnessBatch
+	codeSeed
+	codeExploreCheckpoint
 )
 
 // methodCode maps a method name to its v2 code.
@@ -70,6 +72,10 @@ func methodCode(method string) (uint8, error) {
 		return codeReplay, nil
 	case MethodInjectWitnessBatch:
 		return codeInjectWitnessBatch, nil
+	case MethodSeed:
+		return codeSeed, nil
+	case MethodExploreCheckpoint:
+		return codeExploreCheckpoint, nil
 	}
 	return 0, fmt.Errorf("dist: method %q has no v2 code", method)
 }
@@ -95,6 +101,10 @@ func methodName(code uint8) (string, error) {
 		return MethodReplay, nil
 	case codeInjectWitnessBatch:
 		return MethodInjectWitnessBatch, nil
+	case codeSeed:
+		return MethodSeed, nil
+	case codeExploreCheckpoint:
+		return MethodExploreCheckpoint, nil
 	}
 	return "", fmt.Errorf("dist: unknown v2 method code %d", code)
 }
@@ -622,6 +632,86 @@ func (r *ExploreResult) decodeV2(d *v2dec) {
 			r.Witnesses[i].Msg = d.bytes()
 		}
 	}
+}
+
+func (p *SeedParams) appendV2(dst []byte) []byte {
+	dst = appendStringV2(dst, p.Peer)
+	return appendStringV2(dst, p.Scenario)
+}
+
+func (p *SeedParams) decodeV2(d *v2dec) {
+	p.Peer = d.str()
+	p.Scenario = d.str()
+}
+
+func (r *SeedResult) appendV2(dst []byte) []byte {
+	dst = appendBytesV2(dst, r.Msg)
+	dst = appendBoolV2(dst, r.Unsupported)
+	return appendStringV2(dst, r.Missing)
+}
+
+func (r *SeedResult) decodeV2(d *v2dec) {
+	r.Msg = d.bytes()
+	r.Unsupported = d.boolean()
+	r.Missing = d.str()
+}
+
+func (p *ReplicaExploreParams) appendV2(dst []byte) []byte {
+	dst = appendStringV2(dst, p.Node)
+	dst = appendUint(dst, len(p.Config))
+	for _, line := range p.Config {
+		dst = appendStringV2(dst, line)
+	}
+	dst = appendBytesV2(dst, p.State)
+	dst = appendStringV2(dst, p.Peer)
+	dst = appendStringV2(dst, p.Scenario)
+	dst = appendBoolV2(dst, p.Explicit)
+	dst = appendUint(dst, p.MaxRuns)
+	dst = appendUint(dst, p.MaxDepth)
+	dst = appendUint(dst, p.Workers)
+	dst = appendUint(dst, p.SolverNodes)
+	dst = appendStringV2(dst, p.Strategy)
+	dst = appendUvarint(dst, uint64(p.TimeBudgetNS))
+	dst = binary.BigEndian.AppendUint32(dst, p.Boundary)
+	dst = appendBytesV2(dst, p.Seed)
+	dst = appendBytesV2(dst, p.WarmState)
+	dst = appendUvarint(dst, p.Round)
+	return appendStringV2(dst, p.Shard)
+}
+
+func (p *ReplicaExploreParams) decodeV2(d *v2dec) {
+	p.Node = d.str()
+	if n := d.count(1); n > 0 {
+		p.Config = make([]string, n)
+		for i := range p.Config {
+			p.Config[i] = d.str()
+		}
+	}
+	p.State = d.bytes()
+	p.Peer = d.str()
+	p.Scenario = d.str()
+	p.Explicit = d.boolean()
+	p.MaxRuns = d.uint()
+	p.MaxDepth = d.uint()
+	p.Workers = d.uint()
+	p.SolverNodes = d.uint()
+	p.Strategy = d.str()
+	p.TimeBudgetNS = int64(d.uvarint())
+	p.Boundary = d.u32()
+	p.Seed = d.bytes()
+	p.WarmState = d.bytes()
+	p.Round = d.uvarint()
+	p.Shard = d.str()
+}
+
+func (r *ReplicaExploreResult) appendV2(dst []byte) []byte {
+	dst = r.ExploreResult.appendV2(dst)
+	return appendBytesV2(dst, r.WarmState)
+}
+
+func (r *ReplicaExploreResult) decodeV2(d *v2dec) {
+	r.ExploreResult.decodeV2(d)
+	r.WarmState = d.bytes()
 }
 
 func (p *ReplayParams) appendV2(dst []byte) []byte {

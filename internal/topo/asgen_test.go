@@ -1,0 +1,275 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dice/internal/bgp"
+	"dice/internal/config"
+	"dice/internal/core"
+	"dice/internal/filter"
+	"dice/internal/netaddr"
+)
+
+func mustGenerate(t *testing.T, spec Spec) (*core.Topology, *Layout) {
+	t.Helper()
+	topo, lay, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, lay
+}
+
+// TestGenerateDeterministic: the Spec is the topology's identity — the
+// same spec renders byte-identical topo.json, a different seed does not.
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Seed: 7, Nodes: 200}
+	a, _ := mustGenerate(t, spec)
+	b, _ := mustGenerate(t, spec)
+	ja, err := EncodeJSON(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := EncodeJSON(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatal("same spec generated different topologies")
+	}
+	c, _ := mustGenerate(t, Spec{Seed: 8, Nodes: 200})
+	jc, err := EncodeJSON(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ja, jc) {
+		t.Fatal("different seeds generated identical topologies")
+	}
+	d, _ := mustGenerate(t, Spec{Seed: 7, Nodes: 200, PolicyClauses: 4})
+	jd, err := EncodeJSON(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ja, jd) {
+		t.Fatal("policy clauses did not change the generated configs")
+	}
+	if _, _, err := Generate(Spec{Seed: 1, Nodes: 200, PolicyClauses: 33}); err == nil {
+		t.Error("generation above the policy-clause cap succeeded")
+	}
+}
+
+// TestGenerateRoundTripsThroughParser: generator output is a valid
+// topology file — EncodeJSON → ParseTopology → EncodeJSON is a fixpoint.
+func TestGenerateRoundTripsThroughParser(t *testing.T) {
+	topo, _ := mustGenerate(t, Spec{Seed: 3, Nodes: 120})
+	raw, err := EncodeJSON(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := core.ParseTopology(raw)
+	if err != nil {
+		t.Fatalf("generated topology rejected by the parser: %v", err)
+	}
+	again, err := EncodeJSON(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, again) {
+		t.Fatal("parse → encode not a fixpoint on generated output")
+	}
+}
+
+// TestGenerateTierCounts: the tier assignment matches the spec's knobs.
+func TestGenerateTierCounts(t *testing.T) {
+	spec := Spec{Seed: 1, Nodes: 500, CoreSize: 5, TransitFrac: 0.1}
+	topo, lay := mustGenerate(t, spec)
+	if len(lay.Core) != 5 {
+		t.Errorf("core size %d, want 5", len(lay.Core))
+	}
+	wantTransit := int(float64(500-5) * spec.TransitFrac)
+	if len(lay.Transit) != wantTransit {
+		t.Errorf("transit count %d, want %d", len(lay.Transit), wantTransit)
+	}
+	if got := len(lay.Core) + len(lay.Transit) + len(lay.Stub); got != 500 {
+		t.Errorf("tiers sum to %d nodes, want 500", got)
+	}
+	if len(topo.Nodes) != 500 {
+		t.Errorf("topology has %d nodes", len(topo.Nodes))
+	}
+	for _, n := range topo.Nodes {
+		if lay.Tier(n.Name) == 0 {
+			t.Fatalf("node %s in no tier", n.Name)
+		}
+	}
+}
+
+// TestGenerateConnected: every generated graph is connected — each stub
+// reaches the core clique through its providers.
+func TestGenerateConnected(t *testing.T) {
+	for _, nodes := range []int{MinNodes, 200, 1000} {
+		topo, _ := mustGenerate(t, Spec{Seed: 11, Nodes: nodes})
+		adj := make(map[string][]string)
+		for _, e := range topo.Edges {
+			adj[e.A] = append(adj[e.A], e.B)
+			adj[e.B] = append(adj[e.B], e.A)
+		}
+		seen := map[string]bool{topo.Nodes[0].Name: true}
+		queue := []string{topo.Nodes[0].Name}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, m := range adj[n] {
+				if !seen[m] {
+					seen[m] = true
+					queue = append(queue, m)
+				}
+			}
+		}
+		if len(seen) != nodes {
+			t.Errorf("%d nodes: BFS reached %d", nodes, len(seen))
+		}
+	}
+}
+
+// routeTagged builds a filter subject for a route carrying the given
+// relationship tags.
+func routeTagged(rels ...Relationship) *filter.Subject {
+	attrs := &bgp.Attrs{}
+	for _, r := range rels {
+		attrs.Communities = append(attrs.Communities, bgp.MakeCommunity(RelationshipAS, uint16(r)))
+	}
+	return filter.SubjectFromRoute(netaddr.MustParsePrefix("10.85.3.0/24"), attrs)
+}
+
+// TestGenerateValleyFree: the emitted export policies implement the
+// Gao–Rexford conditions on every single edge — routes tagged as learned
+// from a peer or provider are rejected toward any peer or provider,
+// customer routes and untagged local networks pass everywhere. Per-edge
+// enforcement plus the import tagging gives valley-freedom of every
+// propagation path by induction.
+func TestGenerateValleyFree(t *testing.T) {
+	for _, spec := range []Spec{
+		{Seed: 5, Nodes: 300},
+		{Seed: 5, Nodes: 120, PolicyClauses: 6},
+	} {
+		testValleyFree(t, spec)
+	}
+}
+
+func testValleyFree(t *testing.T, spec Spec) {
+	topo, lay := mustGenerate(t, spec)
+	for _, n := range topo.Nodes {
+		cfg, err := config.Parse(strings.Join(n.Config, "\n"))
+		if err != nil {
+			t.Fatalf("node %s config: %v", n.Name, err)
+		}
+		for _, p := range cfg.Peers {
+			relToPeer := lay.Rel[n.Name][p.Name]
+			if relToPeer == RelNone {
+				t.Fatalf("edge %s-%s has no relationship", n.Name, p.Name)
+			}
+			if p.Export == nil {
+				t.Fatalf("node %s peer %s: no export filter", n.Name, p.Name)
+			}
+			if p.Import == nil {
+				t.Fatalf("node %s peer %s: no import filter", n.Name, p.Name)
+			}
+			run := func(subj *filter.Subject) filter.Disposition {
+				return filter.Run(p.Export, subj, filter.ConcreteBrancher{}).Disposition
+			}
+			toUpstream := relToPeer == RelPeer || relToPeer == RelProvider
+			for _, tc := range []struct {
+				name string
+				subj *filter.Subject
+				// leaked = the export must reject it toward peers/providers
+				leaked bool
+			}{
+				{"local", routeTagged(), false},
+				{"from-customer", routeTagged(RelCustomer), false},
+				{"from-peer", routeTagged(RelPeer), true},
+				{"from-provider", routeTagged(RelProvider), true},
+				{"mixed-path", routeTagged(RelCustomer, RelProvider), true},
+			} {
+				got := run(tc.subj)
+				want := filter.Accept
+				if toUpstream && tc.leaked {
+					want = filter.Reject
+				}
+				if got != want {
+					t.Errorf("node %s -> %s (%v): %s route got %v, want %v",
+						n.Name, p.Name, relToPeer, tc.name, got, want)
+				}
+			}
+			// Import filters must tag the relationship the edge carries.
+			v := filter.Run(p.Import, routeTagged(), filter.ConcreteBrancher{})
+			if v.Disposition != filter.Accept {
+				t.Errorf("node %s import from %s rejected a clean route", n.Name, p.Name)
+				continue
+			}
+			wantTag := bgp.MakeCommunity(RelationshipAS, uint16(relToPeer))
+			tagged := false
+			for _, c := range v.AddCommunities {
+				if c == wantTag {
+					tagged = true
+				}
+			}
+			if !tagged {
+				t.Errorf("node %s import from %s (%v) does not tag the relationship",
+					n.Name, p.Name, relToPeer)
+			}
+		}
+	}
+}
+
+// TestGenerateBuildsAndConverges: a small generated topology builds a
+// working fabric; after convergence the provider side of every explore
+// target has an announcement from its customer to seed exploration with.
+func TestGenerateBuildsAndConverges(t *testing.T) {
+	topo, _ := mustGenerate(t, Spec{Seed: 9, Nodes: 24})
+	if len(topo.Explore) == 0 {
+		t.Fatal("no explore targets generated")
+	}
+	fab, err := topo.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tg := range topo.Explore {
+		r := fab.Routers[tg.Node]
+		if r == nil {
+			t.Fatalf("explore target node %s not in fabric", tg.Node)
+		}
+		if r.LastAnnounced(tg.Peer) == nil {
+			t.Errorf("target %s/%s: no announcement from the customer after convergence", tg.Node, tg.Peer)
+		}
+		if r.RIB().Prefixes() == 0 {
+			t.Errorf("node %s converged with an empty RIB", tg.Node)
+		}
+	}
+}
+
+// TestGenerateAtScale: the full supported range stays valid — 10k nodes
+// generate, every config parses, and the bounds are enforced.
+func TestGenerateAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-node generation in short mode")
+	}
+	topo, lay := mustGenerate(t, Spec{Seed: 42, Nodes: MaxNodes})
+	if len(topo.Nodes) != MaxNodes {
+		t.Fatalf("generated %d nodes", len(topo.Nodes))
+	}
+	if len(lay.Core) != 8 {
+		t.Errorf("10k topology core size %d, want 8", len(lay.Core))
+	}
+	for _, n := range topo.Nodes {
+		if _, err := config.Parse(strings.Join(n.Config, "\n")); err != nil {
+			t.Fatalf("node %s config: %v", n.Name, err)
+		}
+	}
+	if _, _, err := Generate(Spec{Seed: 1, Nodes: MaxNodes + 1}); err == nil {
+		t.Error("generation above MaxNodes succeeded")
+	}
+	if _, _, err := Generate(Spec{Seed: 1, Nodes: MinNodes - 1}); err == nil {
+		t.Error("generation below MinNodes succeeded")
+	}
+}

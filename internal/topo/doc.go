@@ -1,0 +1,20 @@
+// Package topo generates internet-like AS-relationship topologies for
+// federated exploration at realistic scale (1k–10k nodes), replacing the
+// toy line/mesh fixtures when DiCE is benchmarked or stress-tested.
+//
+// The generator follows the standard three-tier model: a small clique of
+// tier-1 core ASes peering with each other, a layer of transit ASes
+// buying from the core (and occasionally peering laterally), and a large
+// population of stub ASes buying from transits. Every edge carries a
+// customer/provider or peer/peer relationship, and each node's policy is
+// compiled to internal/filter rules implementing the Gao–Rexford export
+// conditions: routes learned from a peer or a provider are tagged with a
+// relationship community at import and rejected by the export filter
+// toward any other peer or provider, so only customer routes and locally
+// originated networks propagate upward or sideways — all generated
+// routing trees are valley-free by construction.
+//
+// Generation is fully deterministic: the same Spec (seed included)
+// produces a byte-identical topology, so a JSON dump of a generated
+// topology is a reproducible artifact (see EncodeJSON).
+package topo

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-replicas bench-short
+.PHONY: build test race vet bench bench-replicas bench-telemetry bench-short
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,13 @@ bench:
 # (-benchtime 1x) measures cleanly.
 bench-replicas:
 	$(GO) run ./cmd/bench -bench '^BenchmarkReplicaScaling$$' -pkgs ./internal/dist -benchtime 1x -out BENCH_PR8.json
+
+# bench-telemetry measures the cost of full instrumentation (metrics +
+# per-RPC spans) against the nil no-op path on the line-3-dense
+# federated round and updates BENCH_PR9.json. The acceptance criterion
+# is instrumented within 5% of noop.
+bench-telemetry:
+	$(GO) run ./cmd/bench -bench '^BenchmarkTelemetryOverhead$$' -pkgs ./internal/dist -benchtime 300x -out BENCH_PR9.json
 
 # bench-short is the CI smoke variant: one iteration of every benchmark,
 # no JSON output — it only proves the benchmarks still run.

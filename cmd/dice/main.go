@@ -61,9 +61,11 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"sort"
 	"strings"
@@ -76,6 +78,7 @@ import (
 	"dice/internal/minimize"
 	"dice/internal/netaddr"
 	"dice/internal/regress"
+	"dice/internal/telemetry"
 	"dice/internal/topo"
 	"dice/internal/trace"
 )
@@ -117,6 +120,8 @@ func main() {
 		minimizeBudg  = flag.Int("minimize-budget", 0, "candidate re-injections per witness under -minimize (0 = 256)")
 		goldenFile    = flag.String("golden", "", "federated mode: diff the last round's finding snapshot against this golden file; exit non-zero on mismatch")
 		updateGolden  = flag.Bool("update-golden", false, "rewrite -golden from the last round instead of comparing")
+		metricsAddr   = flag.String("metrics-addr", "", "federated/distributed mode: TCP address for the telemetry endpoint (/metrics, /healthz, /debug/pprof/); empty disables it")
+		traceOut      = flag.String("trace-out", "", "federated/distributed mode: write a Chrome trace_event JSON of the run's rounds here (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -187,9 +192,11 @@ func main() {
 			"-minimize":        *minimizeFlag,
 			"-minimize-budget": *minimizeBudg != 0,
 			"-golden":          *goldenFile != "",
+			"-metrics-addr":    *metricsAddr != "",
+			"-trace-out":       *traceOut != "",
 		} {
 			if set {
-				log.Fatalf("%s requires -topology (it is part of the federated regression harness)", name)
+				log.Fatalf("%s requires -topology (it only applies to federated/distributed runs)", name)
 			}
 		}
 	}
@@ -238,6 +245,8 @@ func main() {
 			dialTimeout:    *dialTimeout,
 			replicas:       *replicasN,
 			replicaAddrs:   *replicaAddrs,
+			metricsAddr:    *metricsAddr,
+			traceOut:       *traceOut,
 		}
 		if *distributed != "" {
 			runDistributed(run, *distributed)
@@ -389,6 +398,47 @@ type fedRun struct {
 	dialTimeout     time.Duration
 	replicas        int
 	replicaAddrs    string
+	metricsAddr     string
+	traceOut        string
+}
+
+// telemetrySetup builds the run's registry and tracer (nil when the
+// flags are off) and serves the HTTP endpoint when -metrics-addr is
+// set. The coordinator process never drains, so its readiness check is
+// unconditional.
+func (r fedRun) telemetrySetup() (*telemetry.Registry, *telemetry.Tracer) {
+	var reg *telemetry.Registry
+	if r.metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		health := telemetry.NewHealth()
+		mln, err := net.Listen("tcp", r.metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry on http://%s/metrics\n", mln.Addr())
+		go func() {
+			srv := telemetry.NewServer(reg, health)
+			if err := srv.Serve(mln); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("telemetry server: %v", err)
+			}
+		}()
+	}
+	var tracer *telemetry.Tracer
+	if r.traceOut != "" {
+		tracer = telemetry.NewTracer()
+	}
+	return reg, tracer
+}
+
+// writeTrace dumps the collected spans to -trace-out.
+func (r fedRun) writeTrace(tracer *telemetry.Tracer) {
+	if tracer == nil {
+		return
+	}
+	if err := tracer.WriteFile(r.traceOut); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s (%d span(s))\n", r.traceOut, tracer.Len())
 }
 
 // loadTopo resolves the run's topology: the pre-generated one (-asgen)
@@ -488,6 +538,12 @@ func runFederated(run fedRun) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	reg, tracer := run.telemetrySetup()
+	if reg != nil {
+		// In-process rounds surface the concolic engine's own families;
+		// there is no RPC layer to instrument.
+		run.engOpts.Metrics = concolic.NewMetrics(reg)
+	}
 	fe, err := core.NewFederatedExperiment(topo, run.options())
 	if err != nil {
 		log.Fatal(err)
@@ -519,10 +575,14 @@ func runFederated(run fedRun) {
 		if run.rounds > 1 {
 			fmt.Printf("\n======== federated round %d/%d ========\n", round, run.rounds)
 		}
+		roundStart := time.Now()
 		res, err := fe.Round()
 		if err != nil {
 			log.Fatal(err)
 		}
+		// In-process rounds get one coarse span each; the distributed
+		// mode traces per-RPC inside the coordinator instead.
+		tracer.Add("federated", fmt.Sprintf("round %d", round), roundStart, time.Since(roundStart))
 		last = res
 		for _, tr := range res.Targets {
 			label := fmt.Sprintf("%s←%s", tr.Node, tr.Peer)
@@ -541,6 +601,7 @@ func runFederated(run fedRun) {
 	if run.rounds > 1 {
 		fmt.Printf("\n%d violation(s) confirmed across %d rounds\n", confirmed, run.rounds)
 	}
+	run.writeTrace(tracer)
 	run.checkGolden(last.Snapshot())
 }
 
@@ -563,6 +624,13 @@ func runDistributed(run fedRun, addrs string) {
 		dialers = append(dialers, dist.TCPDialer{Addr: addr, Timeout: run.dialTimeout})
 	}
 	copts := []dist.ConnOption{dist.WithRetryPolicy(dist.RetryPolicy{RPCTimeout: run.rpcTimeout})}
+	reg, tracer := run.telemetrySetup()
+	if reg != nil {
+		copts = append(copts, dist.WithTelemetry(dist.NewMetrics(reg)))
+	}
+	if tracer != nil {
+		copts = append(copts, dist.WithTracer(tracer))
+	}
 	if run.wire == "v1" {
 		copts = append(copts, dist.WithMaxVersion(dist.ProtoV1), dist.WithCallAndWait())
 	}
@@ -665,6 +733,7 @@ func runDistributed(run fedRun, addrs string) {
 			st.Started, st.Scaled, st.Completed, st.Requeues, st.Reconnects)
 	}
 	printFleetHealth(last.Health)
+	run.writeTrace(tracer)
 	run.checkGolden(last.Snapshot())
 }
 

@@ -31,6 +31,7 @@ import (
 
 	"dice/internal/core"
 	"dice/internal/dist"
+	"dice/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 		listen       = flag.String("listen", "127.0.0.1:7411", "TCP address to serve the wire protocol on")
 		maxProto     = flag.Int("max-proto", 0, "highest wire protocol version to negotiate (0 = latest; 1 forces the v1 JSON codec)")
 		grace        = flag.Duration("shutdown-grace", 5*time.Second, "on SIGTERM/SIGINT: how long to drain in-flight requests before force-closing connections")
+		metricsAddr  = flag.String("metrics-addr", "", "TCP address for the telemetry endpoint (/metrics, /healthz, /debug/pprof/); empty disables it")
 	)
 	flag.Parse()
 
@@ -61,6 +63,34 @@ func main() {
 		log.Fatal(err)
 	}
 	agent.MaxProtoVersion = *maxProto
+
+	// Telemetry endpoint: metrics exposition, drain-aware readiness, and
+	// pprof. Readiness flips to 503 the moment the drain starts, so a
+	// fleet manager stops routing to an agent that is on its way out
+	// while its in-flight requests still complete.
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		agent.EnableTelemetry(reg)
+		health := telemetry.NewHealth()
+		health.AddReadiness("drain", func() error {
+			if agent.Draining() {
+				return errors.New("draining")
+			}
+			return nil
+		})
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("telemetry on http://%s/metrics", mln.Addr())
+		go func() {
+			srv := telemetry.NewServer(reg, health)
+			if err := srv.Serve(mln); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("telemetry server: %v", err)
+			}
+		}()
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"dice/internal/dist"
+	"dice/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:7421", "TCP address to serve the wire protocol on")
 		maxProto = flag.Int("max-proto", 0, "highest wire protocol version to negotiate (0 = latest; 1 forces the v1 JSON codec)")
 		grace    = flag.Duration("shutdown-grace", 5*time.Second, "on SIGTERM/SIGINT: how long to drain in-flight requests before force-closing connections")
+		metrics  = flag.String("metrics-addr", "", "TCP address for the telemetry endpoint (/metrics, /healthz, /debug/pprof/); empty disables it")
 	)
 	flag.Parse()
 
@@ -44,6 +46,32 @@ func main() {
 	}
 	replica := dist.NewReplica()
 	replica.MaxProtoVersion = *maxProto
+
+	// Telemetry endpoint, mirroring dicenode: exposition + drain-aware
+	// readiness + pprof.
+	if *metrics != "" {
+		reg := telemetry.NewRegistry()
+		replica.EnableTelemetry(reg)
+		health := telemetry.NewHealth()
+		health.AddReadiness("drain", func() error {
+			if replica.Draining() {
+				return errors.New("draining")
+			}
+			return nil
+		})
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("telemetry on http://%s/metrics", mln.Addr())
+		go func() {
+			srv := telemetry.NewServer(reg, health)
+			if err := srv.Serve(mln); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("telemetry server: %v", err)
+			}
+		}()
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)

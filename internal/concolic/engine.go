@@ -164,6 +164,11 @@ type Options struct {
 	// SolverCache memoizes negation queries. Defaults to State's cache
 	// when State is set; nil otherwise (every query is solved).
 	SolverCache *solver.Cache
+	// Metrics, when non-nil, receives per-round exploration telemetry
+	// (frontier peak, paths, negations, solver cache hit ratio). It is
+	// process-local — recorded once per round at scheduler drain, never
+	// shipped over the wire — so the hot path pays nothing for it.
+	Metrics *Metrics
 }
 
 // Handler is the instrumented message-handler body: it executes one input

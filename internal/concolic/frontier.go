@@ -108,6 +108,7 @@ type frontier struct {
 	nbranches int
 
 	queue []workItem
+	peak  int // high-water mark of len(queue) this round
 
 	skippedPaths     int // paths suppressed because a prior round explored them
 	skippedNegations int // negations suppressed because a prior round attempted them
@@ -126,6 +127,7 @@ func newFrontier(strategy Strategy, maxDepth int, state *ExploreState) *frontier
 		// Resume frontier work a budget-stopped earlier round left behind
 		// (its parent paths are in the state and will not be re-folded).
 		f.queue = state.takePending()
+		f.peak = len(f.queue)
 		for _, it := range f.queue {
 			f.attempts[it.key] = append(f.attempts[it.key],
 				negRec{assumes: it.assumes, path: it.path, depth: it.depth, negated: it.negated})
@@ -231,6 +233,9 @@ func (f *frontier) fold(assumes, path []sym.Expr, env sym.Env, bound int) (fresh
 			key:     key,
 			hint:    cloneEnv(env),
 		})
+	}
+	if n := len(f.queue); n > f.peak {
+		f.peak = n
 	}
 	f.order()
 	return fresh

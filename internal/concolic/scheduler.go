@@ -342,6 +342,7 @@ func (sch *scheduler) run() []*Report {
 			Budget:           sh.budget,
 			Elapsed:          elapsed,
 		}
+		sh.e.opts.Metrics.observeRound(reports[i], sh.front.peak)
 	}
 	return reports
 }

@@ -16,6 +16,7 @@ import (
 	"dice/internal/netsim"
 	"dice/internal/rib"
 	"dice/internal/router"
+	"dice/internal/telemetry"
 	"dice/internal/trace"
 )
 
@@ -50,6 +51,11 @@ type Agent struct {
 
 	states *concolic.StateMap // per-(scenario, peer) warm exploration state
 	store  *checkpoint.Store  // page-deduplicating snapshot store
+
+	// Telemetry (nil unless EnableTelemetry ran): handler-level counters
+	// and the per-round concolic metrics threaded into every explore.
+	am        *agentMetrics
+	concolicM *concolic.Metrics
 
 	// reqMu serializes request handling across connections: routers and
 	// shadow clones are not thread-safe, and one request at a time is
@@ -193,6 +199,16 @@ func newAgent(topo *core.Topology, node string, fabric *core.Fabric, boundary ui
 
 // Node returns the node this agent administers.
 func (a *Agent) Node() string { return a.node }
+
+// EnableTelemetry registers this agent's metric families on reg and
+// starts recording: RPC server counters, checkpoint pages, memo hits,
+// open shadows, and the concolic engine's per-round exploration metrics.
+// Call it before serving; a nil registry leaves telemetry off.
+func (a *Agent) EnableTelemetry(reg *telemetry.Registry) {
+	a.rpcServer.tm = newServerMetrics(reg)
+	a.am = newAgentMetrics(reg)
+	a.concolicM = concolic.NewMetrics(reg)
+}
 
 // SeedExploreState attaches serialized cross-round exploration memory
 // (concolic ExploreState wire encoding) to the agent's warm-state slot
@@ -397,6 +413,7 @@ func (a *Agent) checkpoint() (*CheckpointResult, error) {
 	a.lastSnap = snap
 	ingested := int(after.Ingested - before.Ingested)
 	shared := int(after.SharedHits - before.SharedHits)
+	a.am.noteCheckpoint(snap.Pages(), ingested-shared)
 	return &CheckpointResult{
 		State:       snap.Bytes(),
 		Pages:       snap.Pages(),
@@ -417,6 +434,7 @@ func (a *Agent) explore(p ExploreParams) (*ExploreResult, error) {
 	memoKey := p.Peer + "|" + p.Scenario
 	if p.Round != 0 {
 		if e, ok := a.exploreMemo[memoKey]; ok && e.round == p.Round {
+			a.am.noteMemoHit("explore")
 			return e.out, nil
 		}
 	}
@@ -431,6 +449,7 @@ func (a *Agent) explore(p ExploreParams) (*ExploreResult, error) {
 		Workers:     p.Workers,
 		SolverNodes: p.SolverNodes,
 		TimeBudget:  time.Duration(p.TimeBudgetNS),
+		Metrics:     a.concolicM,
 	}
 	tg := core.ResolvedTarget{Node: a.node, Peer: p.Peer, Scenario: p.Scenario, Explicit: p.Explicit}
 	tp, err := core.PrepareTarget(a.self, tg, engOpts, a.states, p.ReuseState)
@@ -534,6 +553,7 @@ func (a *Agent) replay(p ReplayParams) (*ReplayResult, error) {
 	// applies the lot and converges onto the fleet's state.
 	if p.Key != 0 {
 		if out, ok := a.replayMemo[p.Key]; ok {
+			a.am.noteMemoHit("replay")
 			return out, nil
 		}
 	}
@@ -565,6 +585,7 @@ func (a *Agent) shadowOpen() *ShadowOpenResult {
 		routeIDs: make(map[*rib.Route]uint64),
 		applied:  make(map[uint64]any),
 	}
+	a.am.noteShadowOpened()
 	return &ShadowOpenResult{ShadowID: a.nextID}
 }
 
@@ -581,7 +602,12 @@ func (a *Agent) shadow(id uint64) (*shadowClone, error) {
 func (a *Agent) shadowClose(id uint64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	delete(a.shadows, id)
+	if _, ok := a.shadows[id]; ok {
+		delete(a.shadows, id)
+		// Gauge decrement only for shadows that existed: a re-sent close
+		// (retry after a lost answer) must not drive the count negative.
+		a.am.noteShadowClosed()
+	}
 }
 
 // inject delivers one BGP message into a shadow clone as if sent by the
@@ -596,6 +622,7 @@ func (a *Agent) inject(p InjectParams) (*InjectResult, error) {
 	if p.Key != 0 {
 		if prev, ok := sh.applied[p.Key]; ok {
 			if out, ok := prev.(*InjectResult); ok {
+				a.am.noteMemoHit("inject")
 				return out, nil
 			}
 			return nil, fmt.Errorf("dist: %s delivery key %d was a batch", a.node, p.Key)
@@ -630,6 +657,7 @@ func (a *Agent) injectBatch(p InjectBatchParams) (*InjectBatchResult, error) {
 	if p.Key != 0 {
 		if prev, ok := sh.applied[p.Key]; ok {
 			if out, ok := prev.(*InjectBatchResult); ok {
+				a.am.noteMemoHit("inject")
 				return out, nil
 			}
 			return nil, fmt.Errorf("dist: %s delivery key %d was a single inject", a.node, p.Key)

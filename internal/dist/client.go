@@ -7,6 +7,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"dice/internal/telemetry"
 )
 
 // ErrClientBroken marks a connection poisoned by a protocol error: a
@@ -56,6 +58,12 @@ type Pending struct {
 	result any
 	errc   chan error  // buffered 1; receives exactly one completion
 	timer  *time.Timer // deadline, nil when the client has no Timeout
+
+	// Telemetry (zero/nil when none is attached): start stamps latency
+	// observations; span is the per-call trace span, ended on completion,
+	// timeout or poison.
+	start time.Time
+	span  *telemetry.Span
 }
 
 // Wait blocks until the response arrives (or the connection breaks, or
@@ -94,7 +102,22 @@ type Client struct {
 	version   int
 	broken    error
 
+	// Telemetry, attached via setTelemetry after the handshake and read
+	// under mu wherever the read loop or timers may race the attach.
+	tm     *Metrics
+	tracer *telemetry.Tracer
+	node   string
+
 	readerOnce sync.Once
+}
+
+// setTelemetry attaches metrics, tracing and the node identity to this
+// client. Calls issued afterwards are instrumented; safe to call while
+// the read loop is running (all access is under mu).
+func (c *Client) setTelemetry(tm *Metrics, tracer *telemetry.Tracer, node string) {
+	c.mu.Lock()
+	c.tm, c.tracer, c.node = tm, tracer, node
+	c.mu.Unlock()
 }
 
 // NewClient wraps an established connection.
@@ -168,6 +191,11 @@ func (c *Client) Go(method string, params, result any) *Pending {
 	p.id = id
 	c.pending[id] = p
 	ver := c.version
+	tm := c.tm
+	if tm != nil || c.tracer != nil {
+		p.start = time.Now()
+		p.span = c.tracer.Start("rpc/"+c.node, method)
+	}
 	c.mu.Unlock()
 
 	// Register before writing, then start the reader: the response may
@@ -184,6 +212,7 @@ func (c *Client) Go(method string, params, result any) *Pending {
 		p.errc <- err
 		return p
 	}
+	tm.clientSent(method, len(payload))
 	c.writeMu.Lock()
 	werr := writePayload(c.conn, payload)
 	c.writeMu.Unlock()
@@ -238,7 +267,10 @@ func (c *Client) expire(id uint64, method string, d time.Duration) {
 		}
 		delete(c.abandoned, oldest)
 	}
+	tm := c.tm
 	c.mu.Unlock()
+	tm.clientError(method, "timeout")
+	p.span.End()
 	p.errc <- fmt.Errorf("%w: %s (id %d) after %v", ErrCallTimeout, method, id, d)
 }
 
@@ -256,12 +288,15 @@ func (c *Client) fail(frameID uint64, cause error) {
 	err := c.broken
 	pend := c.pending
 	c.pending = make(map[uint64]*Pending)
+	tm := c.tm
 	c.mu.Unlock()
 	c.conn.Close()
 	for _, p := range pend {
 		if p.timer != nil {
 			p.timer.Stop()
 		}
+		tm.clientError(p.method, "broken")
+		p.span.End()
 		p.errc <- err
 	}
 }
@@ -300,6 +335,7 @@ func (c *Client) readLoop() {
 		c.mu.Lock()
 		p, ok := c.pending[id]
 		delete(c.pending, id)
+		tm := c.tm
 		if !ok {
 			// A late answer to a timed-out call is expected and harmless:
 			// drop the body undecoded and keep reading. Any other unknown
@@ -317,6 +353,8 @@ func (c *Client) readLoop() {
 		if p.timer != nil {
 			p.timer.Stop()
 		}
+		tm.clientDone(p.method, p.start, len(payload))
+		p.span.End()
 		callErr := c.complete(p, errMsg, body, isV2)
 		p.errc <- callErr
 		if callErr != nil && errors.Is(callErr, ErrClientBroken) {

@@ -18,6 +18,7 @@ import (
 	"dice/internal/core"
 	"dice/internal/minimize"
 	"dice/internal/netaddr"
+	"dice/internal/telemetry"
 )
 
 // Coordinator drives federated exploration rounds over node agents. It
@@ -48,6 +49,11 @@ type Coordinator struct {
 	maxVersion  int  // wire protocol cap offered at handshake
 	callAndWait bool // disable pipelining, batching, shared shadow sets
 	policy      RetryPolicy
+
+	// metrics and tracer instrument the coordinator and every client it
+	// dials (WithTelemetry / WithTracer); both are nil-safe no-ops.
+	metrics *Metrics
+	tracer  *telemetry.Tracer
 
 	// replicas, when set, offloads phase-1 exploration to a pool of
 	// stateless workers: each round the coordinator checkpoints the node
@@ -144,6 +150,20 @@ func WithCallAndWait() ConnOption {
 // seed. Zero fields take the RetryPolicy defaults.
 func WithRetryPolicy(p RetryPolicy) ConnOption {
 	return func(c *Coordinator) { c.policy = p }
+}
+
+// WithTelemetry instruments the coordinator and every connection it
+// dials with the given metrics bundle (build one with NewMetrics). Round
+// accounting, per-method RPC counters/latency, node health gauges and
+// replica-pool gauges all record into it; nil disables telemetry.
+func WithTelemetry(m *Metrics) ConnOption {
+	return func(c *Coordinator) { c.metrics = m }
+}
+
+// WithTracer records round, explore and per-RPC spans into tr for
+// Chrome-trace export (`dice -trace-out`). nil disables tracing.
+func WithTracer(tr *telemetry.Tracer) ConnOption {
+	return func(c *Coordinator) { c.tracer = tr }
 }
 
 // WithReplicas offloads each round's exploration phase to a pool of
@@ -275,6 +295,7 @@ func Connect(topo *core.Topology, opts core.FederatedOptions, dialers []Dialer, 
 	c.policy = c.policy.withDefaults()
 	c.session = newSessionNonce()
 	if c.replicas != nil {
+		c.replicas.setMetrics(c.metrics)
 		if err := c.replicas.bind(c.session, c.maxVersion, c.policy); err != nil {
 			return nil, err
 		}
@@ -389,6 +410,10 @@ func (c *Coordinator) dialAndHello(d Dialer) (*Client, HelloResult, error) {
 		return nil, HelloResult{}, fmt.Errorf("dist: agent for %q administers topology %q, coordinator drives %q",
 			hello.Node, hello.Topology, c.Topo.Name)
 	}
+	if c.metrics != nil || c.tracer != nil {
+		cl.setTelemetry(c.metrics, c.tracer, hello.Node)
+		c.metrics.noteWireVersion(hello.Node, cl.Version())
+	}
 	return cl, hello, nil
 }
 
@@ -442,6 +467,7 @@ func (c *Coordinator) call(node, method string, params, result any) error {
 		}
 		lastErr = err
 		nc.noteFault(err)
+		c.metrics.noteNodeFault(node)
 		if rerr := c.recover(nc, gen, cl); rerr != nil {
 			return rerr
 		}
@@ -503,6 +529,7 @@ func (c *Coordinator) recover(nc *nodeConn, gen uint64, failed *Client) error {
 		nc.gen++
 		nc.health.Reconnects++
 		nc.health.State = HealthHealthy
+		c.metrics.noteClientReconnect(nc.node)
 		return nil
 	}
 	if lastErr == nil {
@@ -637,6 +664,8 @@ func (c *Coordinator) Round() (*RoundResult, error) {
 	res := &RoundResult{}
 	c.roundSeq++
 	round := c.roundSeq
+	roundSpan := c.tracer.Start("coordinator", fmt.Sprintf("round %d", round))
+	defer roundSpan.End()
 
 	// Phase 1: fan Explore out to the owning agents, one goroutine per
 	// target (calls to the same agent serialize on its connection). The
@@ -654,7 +683,9 @@ func (c *Coordinator) Round() (*RoundResult, error) {
 		wg.Add(1)
 		go func(i int, tg core.ResolvedTarget) {
 			defer wg.Done()
+			sp := c.tracer.Start("explore/"+tg.Node, tg.Scenario+"/"+tg.Peer)
 			outs[i], errs[i] = c.exploreTarget(tg, round, ckpts)
+			sp.End()
 		}(i, tg)
 	}
 	wg.Wait()
@@ -730,7 +761,9 @@ func (c *Coordinator) Round() (*RoundResult, error) {
 		specs[i] = WitnessSpec{Node: w.node, Peer: w.peer, Update: w.update}
 		res.Targets[w.target].Findings[w.finding].Witness = w.update
 	}
+	wsp := c.tracer.Start("coordinator", fmt.Sprintf("witnesses round %d", round))
 	outcomes, err := c.CheckWitnesses(specs)
+	wsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -754,6 +787,7 @@ func (c *Coordinator) Round() (*RoundResult, error) {
 
 	res.Elapsed = time.Since(start)
 	res.Health = c.Health()
+	c.metrics.noteRound(res)
 	return res, nil
 }
 
@@ -772,6 +806,7 @@ func (c *Coordinator) exploreTarget(tg core.ResolvedTarget, round uint64, ckpts 
 		if !errors.Is(err, errExploreLocally) && !errors.Is(err, ErrReplicaPoolDown) {
 			return nil, err
 		}
+		c.metrics.notePoolFallback()
 	}
 	params := ExploreParams{
 		Peer:         tg.Peer,
@@ -1174,6 +1209,7 @@ func (c *Coordinator) relay(shadows *shadowSet, queue *relayQueue, maxSteps int)
 	seq := uint64(queue.Len())
 	var last time.Duration
 	for queue.Len() > 0 && steps < maxSteps {
+		c.metrics.setRelayDepth(queue.Len())
 		e := heap.Pop(queue).(*relayEvent)
 		// Coalesce the run of deliveries sharing this event's virtual
 		// timestamp and destination into one batch. The coalesced pops
@@ -1190,6 +1226,9 @@ func (c *Coordinator) relay(shadows *shadowSet, queue *relayQueue, maxSteps int)
 				}
 				batch = append(batch, heap.Pop(queue).(*relayEvent))
 			}
+		}
+		if len(batch) > 1 {
+			c.metrics.noteWitnessBatch()
 		}
 		results, err := c.deliver(shadows, e.to, batch)
 		if err != nil {
@@ -1215,6 +1254,7 @@ func (c *Coordinator) relay(shadows *shadowSet, queue *relayQueue, maxSteps int)
 			}
 		}
 	}
+	c.metrics.setRelayDepth(queue.Len())
 	return steps, queue.Len(), waves, nil
 }
 

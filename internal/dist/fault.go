@@ -9,6 +9,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"dice/internal/telemetry"
 )
 
 // Fault injection for the chaos suite: a FaultDialer wraps any Dialer
@@ -108,6 +110,11 @@ func RandomFaultPlan(seed int64, node string, delay time.Duration) *FaultPlan {
 type FaultDialer struct {
 	Inner Dialer
 	Plan  *FaultPlan
+	// Faults, when set, counts every fault that actually fires, labeled
+	// by kind — the chaos suite asserts its injections through /metrics
+	// instead of groveling through logs. Register one per fleet with
+	// ChaosFaultCounter.
+	Faults *telemetry.CounterVec
 
 	mu    sync.Mutex
 	dials int
@@ -135,7 +142,7 @@ func (d *FaultDialer) Dial() (io.ReadWriteCloser, error) {
 	}
 	for _, spec := range d.Plan.Specs {
 		if spec.Conn == idx && spec.Kind != FaultNone {
-			return &faultConn{inner: conn, spec: spec, delay: d.Plan.Delay}, nil
+			return &faultConn{inner: conn, spec: spec, delay: d.Plan.Delay, faults: d.Faults}, nil
 		}
 	}
 	return conn, nil
@@ -148,9 +155,10 @@ func (d *FaultDialer) Dial() (io.ReadWriteCloser, error) {
 // boundary (or deliberately inside one, for FaultKill) regardless of
 // how the transport chunks reads. Writes pass through untouched.
 type faultConn struct {
-	inner io.ReadWriteCloser
-	spec  FaultSpec
-	delay time.Duration
+	inner  io.ReadWriteCloser
+	spec   FaultSpec
+	delay  time.Duration
+	faults *telemetry.CounterVec
 
 	frame int          // inbound frames read so far
 	buf   bytes.Reader // re-serialized bytes awaiting the caller
@@ -169,6 +177,7 @@ func (f *faultConn) Read(p []byte) (int, error) {
 		f.frame++
 		var out []byte
 		if f.frame == f.spec.Frame {
+			f.faults.With(f.spec.Kind.String()).Inc()
 			switch f.spec.Kind {
 			case FaultDrop:
 				f.err = fmt.Errorf("dist: fault injection: connection dropped before frame %d", f.frame)

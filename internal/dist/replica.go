@@ -12,6 +12,7 @@ import (
 	"dice/internal/config"
 	"dice/internal/core"
 	"dice/internal/netaddr"
+	"dice/internal/telemetry"
 )
 
 // Replica is a stateless exploration worker: it serves the wire protocol
@@ -42,6 +43,10 @@ type Replica struct {
 	// dice run would read the first run's stale shard results.
 	session uint64
 	memo    map[string]replicaMemoEntry
+
+	// Telemetry (nil unless EnableTelemetry ran).
+	rm        *replicaMetrics
+	concolicM *concolic.Metrics
 }
 
 // replicaMemoEntry is one memoized shard answer, valid for one round.
@@ -55,6 +60,16 @@ func NewReplica() *Replica {
 	r := &Replica{memo: make(map[string]replicaMemoEntry)}
 	r.rpcServer = rpcServer{handler: r, name: "replica"}
 	return r
+}
+
+// EnableTelemetry registers this replica's metric families on reg and
+// starts recording: RPC server counters, explore/memo counts, and the
+// concolic engine's per-round metrics. Call it before serving; a nil
+// registry leaves telemetry off.
+func (r *Replica) EnableTelemetry(reg *telemetry.Registry) {
+	r.rpcServer.tm = newServerMetrics(reg)
+	r.rm = newReplicaMetrics(reg)
+	r.concolicM = concolic.NewMetrics(reg)
 }
 
 // handle dispatches one v1 request. Replicas answer only hello and
@@ -135,9 +150,11 @@ func (r *Replica) hello(p HelloParams) *HelloResult {
 func (r *Replica) explore(p ReplicaExploreParams) (*ReplicaExploreResult, error) {
 	if p.Round != 0 && p.Shard != "" {
 		if e, ok := r.memo[p.Shard]; ok && e.round == p.Round {
+			r.rm.noteMemoHit()
 			return e.out, nil
 		}
 	}
+	r.rm.noteExplore()
 	strat, err := parseStrategy(p.Strategy)
 	if err != nil {
 		return nil, err
@@ -161,6 +178,7 @@ func (r *Replica) explore(p ReplicaExploreParams) (*ReplicaExploreResult, error)
 		Workers:     p.Workers,
 		SolverNodes: p.SolverNodes,
 		TimeBudget:  time.Duration(p.TimeBudgetNS),
+		Metrics:     r.concolicM,
 	}
 	if len(p.WarmState) > 0 {
 		st, err := concolic.DecodeExploreState(p.WarmState)

@@ -52,6 +52,15 @@ type ReplicaPool struct {
 	started    int  // dialers consumed (== workers ever started)
 	active     int  // workers currently alive
 	stats      ReplicaPoolStats
+	tm         *Metrics // coordinator's telemetry bundle; nil-safe
+}
+
+// setMetrics attaches the coordinator's telemetry bundle. Connect calls
+// it before bind so the initial workers are counted.
+func (p *ReplicaPool) setMetrics(m *Metrics) {
+	p.mu.Lock()
+	p.tm = m
+	p.mu.Unlock()
 }
 
 // ReplicaPoolStats is the pool's lifetime accounting, for tests and the
@@ -139,6 +148,7 @@ func (p *ReplicaPool) startWorkerLocked() {
 	p.started++
 	p.active++
 	p.stats.Started++
+	p.tm.setPoolWorkers(p.active)
 	go p.worker(idx)
 }
 
@@ -166,6 +176,7 @@ func (p *ReplicaPool) submit(params *ReplicaExploreParams) (*ReplicaExploreResul
 		return nil, ErrReplicaPoolDown
 	}
 	p.queue = append(p.queue, t)
+	p.tm.setPoolDepth(len(p.queue))
 	// Autoscale: a backlog deeper than the live worker set means shards
 	// are waiting while dialers sit idle — bring another replica in.
 	if len(p.queue) > p.active && p.started < p.maxWorkers() {
@@ -190,6 +201,7 @@ func (p *ReplicaPool) pop() *replicaTask {
 	}
 	t := p.queue[0]
 	p.queue = p.queue[1:]
+	p.tm.setPoolDepth(len(p.queue))
 	return t
 }
 
@@ -199,6 +211,8 @@ func (p *ReplicaPool) requeue(t *replicaTask) {
 	p.mu.Lock()
 	p.stats.Requeues++
 	p.queue = append(p.queue, t)
+	p.tm.notePoolSteal()
+	p.tm.setPoolDepth(len(p.queue))
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }
@@ -210,6 +224,7 @@ func (p *ReplicaPool) requeue(t *replicaTask) {
 func (p *ReplicaPool) workerExit() {
 	p.mu.Lock()
 	p.active--
+	p.tm.setPoolWorkers(p.active)
 	if p.active == 0 {
 		if !p.closed && p.started < p.maxWorkers() {
 			p.startWorkerLocked()
@@ -217,6 +232,7 @@ func (p *ReplicaPool) workerExit() {
 			p.dead = true
 			failed := p.queue
 			p.queue = nil
+			p.tm.setPoolDepth(0)
 			p.mu.Unlock()
 			for _, t := range failed {
 				t.finish(nil, ErrReplicaPoolDown)
@@ -303,6 +319,7 @@ func (p *ReplicaPool) noteCompleted() {
 func (p *ReplicaPool) noteReconnect() {
 	p.mu.Lock()
 	p.stats.Reconnects++
+	p.tm.notePoolReconnect()
 	p.mu.Unlock()
 }
 

@@ -26,6 +26,10 @@ type rpcServer struct {
 	// name labels shutdown errors (the agent's node, the replica's role).
 	name string
 
+	// tm instruments served requests and the drain state; nil (the
+	// default) records nothing. Set via EnableTelemetry before serving.
+	tm *serverMetrics
+
 	// connMu guards the drain state and the live-connection set for
 	// graceful shutdown; connWG counts connections being served.
 	connMu   sync.Mutex
@@ -149,6 +153,11 @@ func (s *rpcServer) isDraining() bool {
 	return s.draining
 }
 
+// Draining reports whether Shutdown has started. The telemetry readiness
+// check (/healthz) uses it to flip a draining server to 503 while its
+// in-flight requests finish.
+func (s *rpcServer) Draining() bool { return s.isDraining() }
+
 // Shutdown drains the server gracefully: new connections are refused,
 // existing connections stop picking up frames, and every request
 // already read is answered before its connection closes. Shutdown
@@ -160,6 +169,7 @@ func (s *rpcServer) Shutdown(grace time.Duration) {
 	s.connMu.Lock()
 	s.draining = true
 	s.connMu.Unlock()
+	s.tm.setDraining(true)
 	done := make(chan struct{})
 	go func() {
 		s.connWG.Wait()
@@ -207,6 +217,7 @@ func (s *rpcServer) respond(cr connReq) ([]byte, error) {
 	} else {
 		result, herr = s.handler.handle(cr.method, cr.jsonParams)
 	}
+	s.tm.noteRequest(cr.method, herr != nil)
 	if cr.isV2 {
 		if herr != nil {
 			return appendResponseV2(nil, cr.id, herr.Error(), nil), nil

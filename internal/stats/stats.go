@@ -64,14 +64,29 @@ func (r *Rate) Stop(now time.Time) {
 	}
 }
 
-// PerSecond returns events per second across all completed windows.
-func (r *Rate) PerSecond() float64 {
+// PerSecond returns events per second across all windows, including an
+// in-progress one measured up to time.Now.
+func (r *Rate) PerSecond() float64 { return r.PerSecondAt(time.Now()) }
+
+// PerSecondAt is PerSecond against an explicit clock. A running window
+// contributes its events AND its elapsed time up to now: a live read
+// landing mid-window (a /metrics scrape mid-round) previously counted
+// the window's events against only the completed windows' elapsed,
+// overstating the rate — and read 0 during a first, still-running
+// window.
+func (r *Rate) PerSecondAt(now time.Time) float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.elapsed <= 0 {
+	elapsed := r.elapsed
+	if r.running {
+		if d := now.Sub(r.started); d > 0 {
+			elapsed += d
+		}
+	}
+	if elapsed <= 0 {
 		return 0
 	}
-	return float64(r.events) / r.elapsed.Seconds()
+	return float64(r.events) / elapsed.Seconds()
 }
 
 // Events returns the total recorded events.

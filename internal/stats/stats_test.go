@@ -56,6 +56,44 @@ func TestRate(t *testing.T) {
 	}
 }
 
+// TestRateMidWindow is the regression for the live-scrape bug: a read
+// during a running window used to count that window's events against
+// only the completed windows' elapsed time, overstating the rate (and
+// reading 0 during a first, still-running window).
+func TestRateMidWindow(t *testing.T) {
+	var r Rate
+	t0 := time.Unix(0, 0)
+
+	// First window still running: 100 events over 2s reads 50/s, not 0.
+	r.Start(t0)
+	r.Record(100)
+	if got := r.PerSecondAt(t0.Add(2 * time.Second)); got != 50 {
+		t.Fatalf("first running window rate = %v, want 50", got)
+	}
+	r.Stop(t0.Add(2 * time.Second))
+
+	// Second window running with prior completed elapsed: 200 events
+	// over 2s+2s must read 50/s. The old code divided by the completed
+	// 2s only and reported 100/s.
+	r.Start(t0.Add(10 * time.Second))
+	r.Record(100)
+	if got := r.PerSecondAt(t0.Add(12 * time.Second)); got != 50 {
+		t.Fatalf("mid-window rate = %v, want 50", got)
+	}
+
+	// Stopping at the same instant must agree with the mid-window read.
+	r.Stop(t0.Add(12 * time.Second))
+	if got := r.PerSecondAt(t0.Add(20 * time.Second)); got != 50 {
+		t.Fatalf("stopped rate = %v, want 50", got)
+	}
+
+	// A clock that went backwards must not subtract elapsed time.
+	r.Start(t0.Add(30 * time.Second))
+	if got := r.PerSecondAt(t0.Add(29 * time.Second)); got != 50 {
+		t.Fatalf("backwards-clock rate = %v, want 50", got)
+	}
+}
+
 func TestRateEmpty(t *testing.T) {
 	var r Rate
 	if r.PerSecond() != 0 {

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Health aggregates readiness checks for /healthz. Liveness is implied
+// by answering at all; readiness is the conjunction of every registered
+// check (a draining agent registers one that fails once shutdown
+// starts). A nil *Health is always ready.
+type Health struct {
+	mu     sync.Mutex
+	names  []string
+	checks map[string]func() error
+}
+
+// NewHealth returns a Health with no checks (always ready).
+func NewHealth() *Health {
+	return &Health{checks: make(map[string]func() error)}
+}
+
+// AddReadiness registers a named readiness check. The check runs on
+// every /healthz request; returning an error marks the process not
+// ready (503). Re-registering a name replaces the check.
+func (h *Health) AddReadiness(name string, check func() error) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.checks[name]; !ok {
+		h.names = append(h.names, name)
+	}
+	h.checks[name] = check
+}
+
+// ServeHTTP answers 200 "ok" when every check passes, 503 naming the
+// first failing check otherwise.
+func (h *Health) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if h != nil {
+		h.mu.Lock()
+		names := append([]string(nil), h.names...)
+		checks := make([]func() error, len(names))
+		for i, n := range names {
+			checks[i] = h.checks[n]
+		}
+		h.mu.Unlock()
+		for i, check := range checks {
+			if err := check(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "not ready: %s: %v\n", names[i], err)
+				return
+			}
+		}
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// Handler serves the registry as Prometheus text exposition v0.0.4.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w) //nolint:errcheck // client gone; nothing to do
+	})
+}
+
+// NewMux builds the shared telemetry mux: /metrics (exposition),
+// /healthz (liveness + readiness), and the net/http/pprof suite under
+// /debug/pprof/. The pprof handlers are registered explicitly rather
+// than through http.DefaultServeMux so binaries embedding this mux
+// don't leak profiling onto other listeners.
+func NewMux(reg *Registry, h *Health) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/healthz", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// NewServer wraps NewMux in an http.Server ready for Serve(listener) —
+// the shape the dice binaries use for -metrics-addr.
+func NewServer(reg *Registry, h *Health) *http.Server {
+	return &http.Server{Handler: NewMux(reg, h)}
+}

@@ -1,0 +1,318 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// buildFixedRegistry populates a registry with one instrument of every
+// kind and deterministic values — the golden exposition fixture.
+func buildFixedRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("dice_test_events_total", "Events observed.").Add(42)
+	cv := reg.CounterVec("dice_test_rpc_total", "RPCs by method.", "method")
+	cv.With("explore").Add(7)
+	cv.With("checkpoint").Inc()
+	reg.Gauge("dice_test_queue_depth", "Current queue depth.").Set(3)
+	gv := reg.GaugeVec("dice_test_health", "Per-node health bit.", "node", "state")
+	gv.With("as65001", "healthy").Set(1)
+	gv.With("as65001", "failed").Set(0)
+	h := reg.Histogram("dice_test_latency_seconds", "Call latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	hv := reg.HistogramVec("dice_test_bytes", "Payload bytes.", []float64{10, 100}, "dir")
+	hv.With("sent").Observe(64)
+	return reg
+}
+
+// TestExpositionGolden pins the rendered text format byte-for-byte:
+// family ordering, label escaping, histogram buckets, float rendering.
+// Regenerate with -update after an intentional format change.
+func TestExpositionGolden(t *testing.T) {
+	var b strings.Builder
+	if err := buildFixedRegistry().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("exposition drifted from golden.\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	var b strings.Builder
+	if err := buildFixedRegistry().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE dice_test_events_total counter",
+		"dice_test_events_total 42",
+		`dice_test_rpc_total{method="explore"} 7`,
+		"# TYPE dice_test_queue_depth gauge",
+		"dice_test_queue_depth 3",
+		`dice_test_health{node="as65001",state="healthy"} 1`,
+		`dice_test_latency_seconds_bucket{le="0.01"} 1`,
+		`dice_test_latency_seconds_bucket{le="0.1"} 2`,
+		`dice_test_latency_seconds_bucket{le="1"} 3`,
+		`dice_test_latency_seconds_bucket{le="+Inf"} 4`,
+		"dice_test_latency_seconds_sum 5.555",
+		"dice_test_latency_seconds_count 4",
+		`dice_test_bytes_bucket{dir="sent",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") && !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("dice_test_esc_total", "Escaping.", "v").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `dice_test_esc_total{v="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped series %q missing in:\n%s", want, b.String())
+	}
+}
+
+// TestNilSafety: every handle from a nil registry must be a usable
+// no-op — the disabled-telemetry configuration has no branches.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.Counter("a", "").Inc()
+	reg.Counter("a", "").Add(3)
+	reg.CounterVec("b", "", "l").With("x").Inc()
+	reg.Gauge("c", "").Set(1)
+	reg.GaugeVec("d", "", "l").With("x").Add(-2)
+	reg.Histogram("e", "", nil).Observe(0.5)
+	reg.HistogramVec("f", "", nil, "l").With("x").Observe(1)
+	if err := reg.WriteText(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("a", "").Value(); got != 0 {
+		t.Errorf("nil counter Value = %d", got)
+	}
+	var tr *Tracer
+	sp := tr.Start("track", "name")
+	sp.End()
+	tr.Add("track", "name", time.Time{}, time.Second)
+	if tr.Len() != 0 {
+		t.Errorf("nil tracer Len = %d", tr.Len())
+	}
+	var h *Health
+	h.AddReadiness("x", func() error { return nil })
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Errorf("nil health = %d, want 200", rec.Code)
+	}
+}
+
+// TestIdempotentRegistration: the same name hands back the same series
+// (agents and coordinator share one registry in-process) and a
+// conflicting re-registration panics.
+func TestIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("dice_test_shared_total", "Shared.")
+	b := reg.Counter("dice_test_shared_total", "Shared.")
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 || b.Value() != 2 {
+		t.Errorf("re-registered counter not shared: %d, %d", a.Value(), b.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind-conflicting re-registration did not panic")
+		}
+	}()
+	reg.Gauge("dice_test_shared_total", "Now a gauge.")
+}
+
+func TestVecLabelArity(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("dice_test_arity_total", "", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity did not panic")
+		}
+	}()
+	cv.With("only-one")
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	g := NewRegistry().Gauge("dice_test_g", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 8000 {
+		t.Errorf("gauge = %v, want 8000", g.Value())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewRegistry().Histogram("dice_test_h", "", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	h.Observe(1.5)
+	h.Observe(99)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("bucket le=1 raw count = %d, want 1", got)
+	}
+	if got := h.counts[2].Load(); got != 1 {
+		t.Errorf("+Inf raw count = %d, want 1", got)
+	}
+}
+
+// TestChromeTrace pins the export shape: X events in microseconds with
+// per-track tids and thread_name metadata.
+func TestChromeTrace(t *testing.T) {
+	tr := NewTracer()
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	tr.Add("coordinator", "round", base, 10*time.Millisecond, A("round", "1"))
+	tr.Add("as65001", "explore", base.Add(time.Millisecond), 4*time.Millisecond)
+	tr.Add("as65001", "rpc:inject_witness", base.Add(6*time.Millisecond), 2*time.Millisecond)
+
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   int64             `json:"ts"`
+			Dur  int64             `json:"dur"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, b.String())
+	}
+	var meta, spans int
+	tids := make(map[string]int)
+	for _, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			tids[ev.Args["name"]] = ev.Tid
+		case "X":
+			spans++
+			if ev.Name == "round" {
+				if ev.Ts != 0 || ev.Dur != 10000 {
+					t.Errorf("round span ts=%d dur=%d, want 0/10000", ev.Ts, ev.Dur)
+				}
+				if ev.Args["round"] != "1" {
+					t.Errorf("round span args = %v", ev.Args)
+				}
+			}
+			if ev.Name == "explore" && ev.Ts != 1000 {
+				t.Errorf("explore ts = %d, want 1000", ev.Ts)
+			}
+		}
+	}
+	if meta != 2 || spans != 3 {
+		t.Fatalf("got %d metadata + %d span events, want 2 + 3", meta, spans)
+	}
+	if tids["coordinator"] == tids["as65001"] {
+		t.Error("tracks share a tid")
+	}
+}
+
+func TestSpanStartEnd(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("node", "work", A("k", "v"))
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.spans[0].dur <= 0 {
+		t.Error("span recorded non-positive duration")
+	}
+}
+
+func TestHealthHandler(t *testing.T) {
+	h := NewHealth()
+	ready := true
+	h.AddReadiness("drain", func() error {
+		if !ready {
+			return errors.New("draining")
+		}
+		return nil
+	})
+	get := func() *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		return rec
+	}
+	if rec := get(); rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Errorf("ready: %d %q", rec.Code, rec.Body.String())
+	}
+	ready = false
+	if rec := get(); rec.Code != 503 || !strings.Contains(rec.Body.String(), "drain") {
+		t.Errorf("not ready: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := buildFixedRegistry()
+	srv := httptest.NewServer(NewMux(reg, NewHealth()))
+	defer srv.Close()
+	for path, want := range map[string]string{
+		"/metrics":      "dice_test_events_total 42",
+		"/healthz":      "ok",
+		"/debug/pprof/": "profiles",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, 1<<16)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body[:n]), want) {
+			t.Errorf("%s: body missing %q", path, want)
+		}
+		if path == "/metrics" {
+			if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+				t.Errorf("/metrics content-type = %q", ct)
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// A makes an Attr — shorthand for call sites.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Tracer records completed spans — (track, name, start, duration,
+// attrs) — and exports them as Chrome trace_event JSON for flame-chart
+// inspection (chrome://tracing, Perfetto, speedscope). Tracks map to
+// trace threads: the coordinator gets one, each node gets its own, so a
+// federated round renders as parallel per-node lanes under the round
+// span. A nil *Tracer is a safe no-op; tracing is meant for one-shot
+// round inspection (`dice -trace-out`), not always-on collection, so
+// spans accumulate unbounded until written.
+type Tracer struct {
+	mu    sync.Mutex
+	spans []spanRec
+}
+
+type spanRec struct {
+	track string
+	name  string
+	start time.Time
+	dur   time.Duration
+	attrs []Attr
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Span is one in-flight measurement started by Tracer.Start. A nil
+// *Span (from a nil tracer) is a safe no-op.
+type Span struct {
+	t     *Tracer
+	track string
+	name  string
+	start time.Time
+	attrs []Attr
+}
+
+// Start opens a span on the given track. End records it.
+func (t *Tracer) Start(track, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, track: track, name: name, start: time.Now(), attrs: attrs}
+}
+
+// End records the span with its elapsed duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.Add(s.track, s.name, s.start, time.Since(s.start), s.attrs...)
+}
+
+// Add records an already-measured span — the hook for synthesizing
+// coarse spans from durations reported by another process or backend.
+func (t *Tracer) Add(track, name string, start time.Time, dur time.Duration, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, spanRec{track: track, name: name, start: start, dur: dur, attrs: attrs})
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans (0 on nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// chromeEvent is one trace_event entry. Complete spans use ph "X" with
+// microsecond ts/dur; track names ride on ph "M" thread_name metadata.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports every recorded span as Chrome trace_event
+// JSON. Timestamps are microseconds relative to the earliest span so
+// viewers open at t=0; tracks become threads named via metadata events,
+// numbered in sorted track order for determinism.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	t.mu.Lock()
+	spans := append([]spanRec(nil), t.spans...)
+	t.mu.Unlock()
+
+	tracks := make(map[string]int)
+	var trackNames []string
+	for _, s := range spans {
+		if _, ok := tracks[s.track]; !ok {
+			tracks[s.track] = 0
+			trackNames = append(trackNames, s.track)
+		}
+	}
+	sort.Strings(trackNames)
+	for i, name := range trackNames {
+		tracks[name] = i + 1
+	}
+
+	var epoch time.Time
+	for _, s := range spans {
+		if epoch.IsZero() || s.start.Before(epoch) {
+			epoch = s.start
+		}
+	}
+
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, name := range trackNames {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tracks[name],
+			Args: map[string]string{"name": name},
+		})
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].start.Before(spans[j].start) })
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.name, Ph: "X",
+			Ts:  s.start.Sub(epoch).Microseconds(),
+			Dur: s.dur.Microseconds(),
+			Pid: 1, Tid: tracks[s.track],
+		}
+		if len(s.attrs) > 0 {
+			ev.Args = make(map[string]string, len(s.attrs))
+			for _, a := range s.attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
+
+// WriteFile writes the Chrome trace to path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

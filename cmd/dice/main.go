@@ -22,6 +22,14 @@
 //	dice -scenario routeleak -topology examples/routeleak/topo.json
 //	dice -topology topo.json -rounds 3   # warm per-node state across rounds
 //
+// Cross-node oracles can be declared in the property DSL instead of
+// (or on top of) the built-in Go oracles — .prop files load from the
+// topology's "properties" section or the -properties flag, and a
+// declared property replaces the builtin of the same kind (see
+// examples/properties/README.md and ARCHITECTURE.md §9):
+//
+//	dice -topology topo.json -properties leak.prop,stale.prop
+//
 // Distributed mode runs the same federated rounds against node agents
 // in separate processes (cmd/dicenode), one per administrative domain,
 // over the dist wire protocol (see examples/distributed/README.md):
@@ -104,6 +112,7 @@ func main() {
 		listScenarios = flag.Bool("list-scenarios", false, "list registered scenarios and exit")
 		topologyFile  = flag.String("topology", "", "federated mode: JSON multi-AS topology file to explore instead of the Fig. 2 testbed")
 		propSteps     = flag.Int("propagation-steps", 0, "federated mode: max shadow propagation steps per witness (0 = 4096)")
+		propsFlag     = flag.String("properties", "", "federated mode: comma-separated .prop files with declarative cross-node properties (merged over the built-in oracles by kind)")
 		distributed   = flag.String("distributed", "", "distributed mode: comma-separated dicenode agent addresses (requires -topology; one agent per node)")
 		replicasN     = flag.Int("replicas", 0, "distributed mode: offload exploration to this many in-process replicas (an elastic pool over the checkpoint RPC)")
 		replicaAddrs  = flag.String("replica-addrs", "", "distributed mode: comma-separated dicereplica addresses to offload exploration to")
@@ -187,6 +196,7 @@ func main() {
 	}
 	if *topologyFile == "" && genTopo == nil {
 		for name, set := range map[string]bool{
+			"-properties":      *propsFlag != "",
 			"-replay":          *replayFile != "",
 			"-replay-ingress":  *replayIngress != "",
 			"-minimize":        *minimizeFlag,
@@ -222,10 +232,23 @@ func main() {
 		if defaultScenario != "" && len(scenarios) > 1 {
 			log.Printf("federated mode uses one default scenario; taking %q (topology explore entries may still name others)", defaultScenario)
 		}
+		var properties []string
+		for _, path := range strings.Split(*propsFlag, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			b, err := os.ReadFile(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			properties = append(properties, string(b))
+		}
 		run := fedRun{
 			topoPath:        *topologyFile,
 			topo:            genTopo,
 			defaultScenario: defaultScenario,
+			properties:      properties,
 			engOpts: concolic.Options{
 				MaxRuns:  *runs,
 				Strategy: strat,
@@ -382,6 +405,7 @@ type fedRun struct {
 	topoPath        string
 	topo            *core.Topology // pre-generated (-asgen); topoPath unused when set
 	defaultScenario string
+	properties      []string // -properties file contents (merged over the builtins by kind)
 	engOpts         concolic.Options
 	workers         int
 	rounds          int
@@ -459,6 +483,7 @@ func (r fedRun) options() core.FederatedOptions {
 		ReuseState:          r.rounds > 1,
 		Minimize:            r.minimize,
 		MinimizeBudget:      r.minimizeBudget,
+		Properties:          r.properties,
 	}
 }
 

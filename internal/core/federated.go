@@ -11,6 +11,7 @@ import (
 	"dice/internal/minimize"
 	"dice/internal/netaddr"
 	"dice/internal/netsim"
+	"dice/internal/prop"
 	"dice/internal/rib"
 	"dice/internal/router"
 )
@@ -68,6 +69,11 @@ type FederatedOptions struct {
 	Minimize bool
 	// MinimizeBudget bounds candidate injections per witness (0 = 256).
 	MinimizeBudget int
+	// Properties are extra cross-node invariants in the internal/prop
+	// language (beyond the topology's own `properties` section), e.g.
+	// from cmd/dice -properties files. Entries may hold several property
+	// definitions each; kinds matching built-in oracles replace them.
+	Properties []string
 }
 
 // FederatedTargetResult is one node's share of a federated round.
@@ -127,6 +133,8 @@ type FederatedExperiment struct {
 	opts     FederatedOptions
 	states   *concolic.StateMap // per-node cross-round state, keyed node/scenario/peer
 	boundary uint32
+	props    []*prop.Compiled  // merged oracle set (builtins + topology + options)
+	nodeAS   map[string]uint16 // node name → local AS, for `via` assertions
 }
 
 // NewFederatedExperiment instantiates the topology and prepares rounds.
@@ -151,9 +159,17 @@ func NewFederatedExperiment(t *Topology, opts FederatedOptions) (*FederatedExper
 	if err != nil {
 		return nil, err
 	}
+	props, err := CompileProperties(t, opts.Properties)
+	if err != nil {
+		return nil, err
+	}
 	fabric, err := t.Build()
 	if err != nil {
 		return nil, err
+	}
+	nodeAS := make(map[string]uint16, len(fabric.Routers))
+	for name, r := range fabric.Routers {
+		nodeAS[name] = r.Config().LocalAS
 	}
 	return &FederatedExperiment{
 		Topo:     t,
@@ -161,8 +177,27 @@ func NewFederatedExperiment(t *Topology, opts FederatedOptions) (*FederatedExper
 		opts:     opts,
 		states:   concolic.NewStateMap(),
 		boundary: boundary,
+		props:    props,
+		nodeAS:   nodeAS,
 	}, nil
 }
+
+// CompileProperties compiles the topology's `properties` section plus
+// extra property sources and merges them over the built-in oracles.
+// Both backends (this experiment and the distributed coordinator)
+// resolve their oracle set through here, so they cannot disagree on
+// what a round checks.
+func CompileProperties(t *Topology, extra []string) ([]*prop.Compiled, error) {
+	srcs := append(append([]string{}, t.Properties...), extra...)
+	custom, err := prop.CompileSources(srcs)
+	if err != nil {
+		return nil, fmt.Errorf("federated: %w", err)
+	}
+	return prop.Merge(custom), nil
+}
+
+// Properties exposes the experiment's merged oracle set.
+func (fe *FederatedExperiment) Properties() []*prop.Compiled { return fe.props }
 
 // State exposes the per-node cross-round state map (nil entries until a
 // ReuseState round ran for that node).
@@ -508,17 +543,13 @@ func MinimizeWitness(ck WitnessChecker, node, peer string, w *bgp.Update, vs []F
 // persistent-oscillation violation: the tail is what distinguishes
 // genuine divergence from slow convergence, so only the final waves are
 // retained.
-const WaveTailLen = 8
+const WaveTailLen = prop.WaveTailLen
 
 // WaveTail returns the final (up to WaveTailLen) entries of waves.
 // Shared by both backends so their oscillation verdicts render — and
-// compare — identically.
-func WaveTail(waves []int) []int {
-	if len(waves) > WaveTailLen {
-		waves = waves[len(waves)-WaveTailLen:]
-	}
-	return append([]int(nil), waves...)
-}
+// compare — identically. (The logic lives in internal/prop, where the
+// temporal property assertions consume the same tail.)
+func WaveTail(waves []int) []int { return prop.WaveTail(waves) }
 
 // runWaves drains the shadow network like netsim's Run(limit), but
 // groups the deliveries into virtual-time waves: consecutive deliveries
@@ -544,17 +575,40 @@ func runWaves(net *netsim.Network, limit int) (steps int, waves []int) {
 // OscillationDetail renders the bounded-propagation verdict one way for
 // both backends (the parity tests compare violation strings verbatim).
 func OscillationDetail(phase string, maxSteps, pending int, waves []int) string {
-	return fmt.Sprintf("%s after %d propagation steps (%d deliveries still pending); %d waves, tail deliveries %v",
-		phase, maxSteps, pending, len(waves), WaveTail(waves))
+	return prop.OscillationDetail(phase, maxSteps, pending, waves)
 }
 
 // CheckWitness injects one concrete witness announcement into a fresh
-// shadow fabric, propagates it along topology edges, runs the
-// cross-node oracles, then withdraws it and checks the withdraw
-// propagates cleanly too. Round calls it for every injected witness;
-// witness minimization calls it for every candidate.
+// shadow fabric, propagates it along topology edges, collects the
+// witness-attributed facts (installation, forward traces, withdraw
+// cleanup), and evaluates the experiment's property set over them —
+// the previously hard-coded cross-node oracles are now the built-in
+// properties. Round calls it for every injected witness; witness
+// minimization calls it for every candidate.
 func (fe *FederatedExperiment) CheckWitness(node, peer string, w *bgp.Update) (*WitnessOutcome, error) {
 	res := &WitnessOutcome{}
+	facts, err := fe.collectFacts(node, peer, w)
+	if err != nil {
+		return nil, err
+	}
+	res.Steps = facts.Update.Steps + facts.Withdraw.Steps
+	prefix := w.NLRI[0]
+	for _, v := range prop.Evaluate(fe.props, facts) {
+		res.Violations = append(res.Violations, FederatedViolation{
+			Kind: v.Kind, Node: v.Node, Source: node, Peer: peer, Prefix: prefix,
+			Hops: v.Hops, Detail: v.Detail, Waves: v.Waves, WaveTail: v.WaveTail,
+		})
+	}
+	return res, nil
+}
+
+// collectFacts plays the witness lifecycle over a fresh shadow fabric
+// and records what happened, without judging it: UPDATE propagation,
+// which nodes installed the witness (with forward traces), WITHDRAW
+// propagation, which installations survived. Collection stops early
+// when a phase fails to converge — the remaining facts would be
+// mid-churn noise, exactly as the original oracles returned early.
+func (fe *FederatedExperiment) collectFacts(node, peer string, w *bgp.Update) (*prop.Facts, error) {
 	shadow, err := fe.Fabric.Shadow()
 	if err != nil {
 		return nil, err
@@ -568,9 +622,18 @@ func (fe *FederatedExperiment) CheckWitness(node, peer string, w *bgp.Update) (*
 		return nil, fmt.Errorf("federated: no %s→%s session for witness injection", peer, node)
 	}
 	prefix := w.NLRI[0]
+	facts := &prop.Facts{
+		Node: node, Peer: peer, Boundary: fe.boundary,
+		MaxSteps: fe.opts.MaxPropagationSteps,
+		Witness:  prop.NewEnv(prefix, &w.Attrs, fe.boundary),
+		NodeAS: func(name string) (uint16, bool) {
+			as, ok := fe.nodeAS[name]
+			return as, ok
+		},
+	}
 
-	// Snapshot the pre-injection best route per node. The oracles must
-	// attribute violations to the *witness*, not to a pre-existing
+	// Snapshot the pre-injection best route per node. The facts must
+	// attribute installations to the *witness*, not to a pre-existing
 	// legitimate route for the same prefix (the witness often shares the
 	// seed's prefix): a node is affected only if its best route for the
 	// prefix changed when the witness propagated.
@@ -584,25 +647,14 @@ func (fe *FederatedExperiment) CheckWitness(node, peer string, w *bgp.Update) (*
 		return nil, err
 	}
 	steps, waves := runWaves(shadow.Net, fe.opts.MaxPropagationSteps)
-	res.Steps += steps
-	if pending := shadow.Net.Pending(); pending > 0 {
-		res.Violations = append(res.Violations, FederatedViolation{
-			Kind: "persistent-oscillation", Node: node, Source: node, Peer: peer, Prefix: prefix,
-			Detail: OscillationDetail("no convergence", fe.opts.MaxPropagationSteps, pending, waves),
-			Waves:  len(waves), WaveTail: WaveTail(waves),
-		})
-		return res, nil // oracle state below would be meaningless mid-churn
+	facts.Update = prop.Phase{Steps: steps, Pending: shadow.Net.Pending(), Waves: waves}
+	if facts.Update.Pending > 0 {
+		return facts, nil
 	}
 
-	noExport := false
-	for _, c := range w.Attrs.Communities {
-		if c == fe.boundary {
-			noExport = true
-		}
-	}
-
-	// Cross-node oracles over the converged shadow. installed remembers
-	// each witness-attributed best route for the withdraw check below.
+	// Per-node installation facts over the converged shadow. installed
+	// remembers each witness-attributed best route for the withdraw
+	// check below.
 	installed := make(map[string]*rib.Route)
 	for _, name := range shadow.NodeNames() {
 		if name == node || name == peer {
@@ -613,20 +665,11 @@ func (fe *FederatedExperiment) CheckWitness(node, peer string, w *bgp.Update) (*
 			continue // witness never took hold at this node
 		}
 		installed[name] = rt
-		terminal, hops, delivered := shadow.traceForward(name, prefix)
-		if noExport {
-			res.Violations = append(res.Violations, FederatedViolation{
-				Kind: "route-leak", Node: name, Source: node, Peer: peer, Prefix: prefix, Hops: hops,
-				Detail: fmt.Sprintf("advertisement carrying the no-export community (%d:%d) escaped AS boundary %s and was installed at %s",
-					fe.boundary>>16, fe.boundary&0xffff, node, name),
-			})
-		}
-		if !delivered && hops >= 2 {
-			res.Violations = append(res.Violations, FederatedViolation{
-				Kind: "multi-hop-blackhole", Node: name, Source: node, Peer: peer, Prefix: prefix, Hops: hops,
-				Detail: fmt.Sprintf("traffic from %s forward-traces %d hops and dead-ends at %s", name, hops, terminal),
-			})
-		}
+		terminal, hops, delivered, path := shadow.traceForward(name, prefix)
+		facts.Nodes = append(facts.Nodes, prop.NodeFacts{
+			Name: name, Hops: hops, Terminal: terminal, Delivered: delivered, Path: path,
+			Route: prop.NewEnv(prefix, &rt.Attrs, fe.boundary),
+		})
 	}
 
 	// WITHDRAW propagation: the retraction must clean the witness out of
@@ -636,60 +679,49 @@ func (fe *FederatedExperiment) CheckWitness(node, peer string, w *bgp.Update) (*
 		return nil, err
 	}
 	steps, waves = runWaves(shadow.Net, fe.opts.MaxPropagationSteps)
-	res.Steps += steps
-	if pending := shadow.Net.Pending(); pending > 0 {
-		// Withdraw still in flight when the bound hit: the stale check
-		// below would misread legitimately-pending cleanup as staleness.
-		res.Violations = append(res.Violations, FederatedViolation{
-			Kind: "persistent-oscillation", Node: node, Source: node, Peer: peer, Prefix: prefix,
-			Detail: OscillationDetail("WITHDRAW did not converge", fe.opts.MaxPropagationSteps, pending, waves),
-			Waves:  len(waves), WaveTail: WaveTail(waves),
-		})
-		return res, nil
+	facts.Withdraw = prop.Phase{Steps: steps, Pending: shadow.Net.Pending(), Waves: waves}
+	if facts.Withdraw.Pending > 0 {
+		return facts, nil
 	}
-	stale := []string{}
 	for name, was := range installed {
 		if cur := shadow.Routers[name].RIB().Best(prefix); cur != nil && cur == was {
-			stale = append(stale, name)
+			facts.Stale = append(facts.Stale, name)
 		}
 	}
-	if len(stale) > 0 {
-		sort.Strings(stale)
-		res.Violations = append(res.Violations, FederatedViolation{
-			Kind: "stale-route", Node: stale[0], Source: node, Peer: peer, Prefix: prefix,
-			Detail: fmt.Sprintf("witness route survived its own WITHDRAW at %v", stale),
-		})
-	}
-	return res, nil
+	sort.Strings(facts.Stale)
+	return facts, nil
 }
 
 // traceForward follows best-route provenance for p from a node toward
 // the advertising neighbor, hop by hop, until delivery (a locally
 // originated covering route), a dead end (no covering route), or a
 // forwarding loop. It models where traffic for p actually goes — the
-// multi-hop blackhole oracle's core.
-func (f *Fabric) traceForward(from string, p netaddr.Prefix) (terminal string, hops int, delivered bool) {
+// multi-hop blackhole oracle's core. path lists every node visited,
+// origin first and terminal last, feeding `never reachable via`
+// property assertions.
+func (f *Fabric) traceForward(from string, p netaddr.Prefix) (terminal string, hops int, delivered bool, path []string) {
 	cur := from
 	visited := map[string]bool{}
 	for {
+		path = append(path, cur)
 		if visited[cur] {
-			return cur, hops, false // forwarding loop
+			return cur, hops, false, path // forwarding loop
 		}
 		visited[cur] = true
 		r := f.Routers[cur]
 		if r == nil {
-			return cur, hops, false
+			return cur, hops, false, path
 		}
 		rt := r.RIB().CoveringBest(p)
 		if rt == nil {
-			return cur, hops, false // dead end: no covering route
+			return cur, hops, false, path // dead end: no covering route
 		}
 		if rt.Local {
-			return cur, hops, true // delivered to the originating AS
+			return cur, hops, true, path // delivered to the originating AS
 		}
 		next := r.PeerNameByAddr(rt.PeerRouterID)
 		if next == "" {
-			return cur, hops, false
+			return cur, hops, false, path
 		}
 		cur = next
 		hops++

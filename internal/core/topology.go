@@ -13,6 +13,7 @@ import (
 	"dice/internal/config"
 	"dice/internal/netaddr"
 	"dice/internal/netsim"
+	"dice/internal/prop"
 	"dice/internal/router"
 	"dice/internal/trace"
 )
@@ -295,6 +296,12 @@ type Topology struct {
 	Nodes             []TopoNode      `json:"nodes"`
 	Edges             []TopoEdge      `json:"edges"`
 	Explore           []ExploreTarget `json:"explore,omitempty"`
+	// Properties are operator-stated cross-node invariants in the
+	// internal/prop language; each entry holds one or more property
+	// definitions. A property whose kind matches a built-in oracle
+	// (route-leak, persistent-oscillation, multi-hop-blackhole,
+	// stale-route) replaces it; new kinds add oracles.
+	Properties []string `json:"properties,omitempty"`
 }
 
 // ParseTopology parses and validates a topology document.
@@ -336,6 +343,9 @@ func ParseTopology(data []byte) (*Topology, error) {
 	}
 	if _, err := t.BoundaryCommunity(); err != nil {
 		return nil, err
+	}
+	if _, err := prop.CompileSources(t.Properties); err != nil {
+		return nil, fmt.Errorf("topology %q: %w", t.Name, err)
 	}
 	return &t, nil
 }

@@ -14,6 +14,7 @@ import (
 	"dice/internal/core"
 	"dice/internal/netaddr"
 	"dice/internal/netsim"
+	"dice/internal/prop"
 	"dice/internal/rib"
 	"dice/internal/router"
 	"dice/internal/telemetry"
@@ -81,6 +82,11 @@ type Agent struct {
 	session     uint64
 	exploreMemo map[string]exploreMemoEntry
 	replayMemo  map[uint64]*ReplayResult
+
+	// props is the property set the coordinator shipped in its hello
+	// (compiled from HelloParams.Properties, list order preserved).
+	// queryOracle answers WantProps requests against it by index.
+	props []*prop.Compiled
 
 	mu       sync.Mutex
 	shadows  map[uint64]*shadowClone
@@ -241,7 +247,7 @@ func (a *Agent) handle(method string, params json.RawMessage) (any, error) {
 				return nil, err
 			}
 		}
-		return a.hello(p), nil
+		return a.hello(p)
 	case MethodCheckpoint:
 		return a.checkpoint()
 	case MethodExplore:
@@ -305,7 +311,7 @@ func (a *Agent) handleV2(method string, body []byte) (any, error) {
 		if err := decodeBodyV2(body, &p); err != nil {
 			return nil, err
 		}
-		return a.hello(p), nil
+		return a.hello(p)
 	case MethodCheckpoint:
 		if err := decodeBodyV2(body, nil); err != nil {
 			return nil, err
@@ -375,11 +381,22 @@ func (a *Agent) handleV2(method string, body []byte) (any, error) {
 // zero nonce (a client predating the field) leaves the memos alone.
 // Shadows are untouched — their delivery memos live and die with the
 // shadow itself.
-func (a *Agent) hello(p HelloParams) *HelloResult {
+//
+// A hello carrying Properties replaces the agent's compiled property
+// set; a malformed property fails the handshake, so the coordinator
+// learns about it before any round runs instead of mid-witness.
+func (a *Agent) hello(p HelloParams) (*HelloResult, error) {
 	if p.Session != 0 && p.Session != a.session {
 		a.session = p.Session
 		clear(a.exploreMemo)
 		clear(a.replayMemo)
+	}
+	if len(p.Properties) > 0 {
+		props, err := prop.CompileSources(p.Properties)
+		if err != nil {
+			return nil, fmt.Errorf("dist: %s: hello %w", a.node, err)
+		}
+		a.props = props
 	}
 	agentMax := a.MaxProtoVersion
 	if agentMax <= 0 || agentMax > ProtoLatest {
@@ -395,7 +412,7 @@ func (a *Agent) hello(p HelloParams) *HelloResult {
 		AS:       a.self.Config().LocalAS,
 		Prefixes: a.self.RIB().Prefixes(),
 		Version:  min(clientMax, agentMax),
-	}
+	}, nil
 }
 
 // checkpoint serializes the node's state into the page store and returns
@@ -694,7 +711,8 @@ func (a *Agent) queryOracle(p QueryOracleParams) (*QueryOracleResult, error) {
 	}
 	r := sh.r
 	out := &QueryOracleResult{}
-	if best := r.RIB().Best(prefix); best != nil {
+	best := r.RIB().Best(prefix)
+	if best != nil {
 		out.HasBest = true
 		out.BestFP = fmt.Sprintf("r%d", sh.routeToken(best))
 	}
@@ -703,6 +721,19 @@ func (a *Agent) queryOracle(p QueryOracleParams) (*QueryOracleResult, error) {
 		out.CoveringLocal = cov.Local
 		if !cov.Local {
 			out.CoveringNextPeer = r.PeerNameByAddr(cov.PeerRouterID)
+		}
+	}
+	if p.WantProps && len(a.props) > 0 {
+		// Per-property `at` verdicts over the installed best route, by
+		// hello list index. Nodes without a best route answer true — the
+		// coordinator only consults verdicts for witness-installed nodes.
+		var env *prop.Env
+		if best != nil {
+			env = prop.NewEnv(prefix, &best.Attrs, a.boundary)
+		}
+		out.PropMatch = make([]bool, len(a.props))
+		for i, c := range a.props {
+			out.PropMatch[i] = c.AtMatches(env)
 		}
 	}
 	return out, nil

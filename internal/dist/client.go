@@ -93,6 +93,12 @@ type Client struct {
 	// no nonce and leaves the agent's memos alone.
 	Session uint64
 
+	// Properties is the coordinator's property set in canonical source
+	// form, forwarded in the hello so the agent can compile it and answer
+	// query_oracle WantProps requests (see HelloParams.Properties). Set
+	// it before Handshake; empty ships nothing.
+	Properties []string
+
 	writeMu sync.Mutex // one frame write at a time
 
 	mu        sync.Mutex
@@ -149,7 +155,7 @@ func (c *Client) Handshake(maxVersion int) (HelloResult, error) {
 		maxVersion = ProtoLatest
 	}
 	var hr HelloResult
-	if err := c.Call(MethodHello, &HelloParams{MaxVersion: maxVersion, Session: c.Session}, &hr); err != nil {
+	if err := c.Call(MethodHello, &HelloParams{MaxVersion: maxVersion, Session: c.Session, Properties: c.Properties}, &hr); err != nil {
 		return HelloResult{}, err
 	}
 	ver := hr.Version

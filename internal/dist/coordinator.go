@@ -18,6 +18,7 @@ import (
 	"dice/internal/core"
 	"dice/internal/minimize"
 	"dice/internal/netaddr"
+	"dice/internal/prop"
 	"dice/internal/telemetry"
 )
 
@@ -45,6 +46,22 @@ type Coordinator struct {
 	nodes    []string // sorted node names
 	latency  map[string]time.Duration
 	boundary uint32 // no-export community, resolved once at Connect
+
+	// props is the compiled property set (builtins merged with the
+	// topology's and the options' customs, exactly as in-process) —
+	// checkWitnessIn collects prop.Facts and evaluates these over them.
+	// propSrcs is the same set in canonical source form, shipped to every
+	// agent in the hello so query_oracle WantProps answers index-align
+	// with props. needsAt marks a set containing `at` route predicates,
+	// which only ≥ ProtoV4 agents can answer — Connect refuses older
+	// negotiations rather than silently skipping the clause.
+	props    []*prop.Compiled
+	propSrcs []string
+	needsAt  bool
+	// nodeAS maps node name → AS number, from each agent's hello; it
+	// resolves `never reachable via AS` path checks. Written only during
+	// Connect, read-only afterwards.
+	nodeAS map[string]uint16
 
 	maxVersion  int  // wire protocol cap offered at handshake
 	callAndWait bool // disable pipelining, batching, shared shadow sets
@@ -281,13 +298,25 @@ func Connect(topo *core.Topology, opts core.FederatedOptions, dialers []Dialer, 
 	if err != nil {
 		return nil, err
 	}
+	props, err := core.CompileProperties(topo, opts.Properties)
+	if err != nil {
+		return nil, err
+	}
 	c := &Coordinator{
 		Topo:       topo,
 		opts:       opts,
 		conns:      make(map[string]*nodeConn, len(dialers)),
 		latency:    make(map[string]time.Duration, len(topo.Edges)),
 		boundary:   boundary,
+		props:      props,
+		nodeAS:     make(map[string]uint16, len(topo.Nodes)),
 		maxVersion: ProtoLatest,
+	}
+	for _, p := range props {
+		c.propSrcs = append(c.propSrcs, p.Source())
+		if p.HasAt() {
+			c.needsAt = true
+		}
 	}
 	for _, o := range copts {
 		o(c)
@@ -334,6 +363,14 @@ func Connect(topo *core.Topology, opts core.FederatedOptions, dialers []Dialer, 
 			c.Close()
 			return nil, fmt.Errorf("dist: two agents claim node %q", hello.Node)
 		}
+		if c.needsAt && cl.Version() < ProtoV4 {
+			ver := cl.Version()
+			cl.Close()
+			c.Close()
+			return nil, fmt.Errorf("dist: properties with `at` clauses need wire protocol ≥ %d agents; node %q negotiated %d",
+				ProtoV4, hello.Node, ver)
+		}
+		c.nodeAS[hello.Node] = hello.AS
 		c.conns[hello.Node] = &nodeConn{
 			node:   hello.Node,
 			dialer: d,
@@ -400,6 +437,7 @@ func (c *Coordinator) dialAndHello(d Dialer) (*Client, HelloResult, error) {
 	cl := NewClient(conn)
 	cl.Timeout = c.policy.RPCTimeout
 	cl.Session = c.session
+	cl.Properties = c.propSrcs
 	hello, err := cl.Handshake(c.maxVersion)
 	if err != nil {
 		cl.Close()
@@ -1139,11 +1177,14 @@ func (c *Coordinator) closeShadows(shadows *shadowSet) {
 	}
 }
 
-// query asks one node's oracle view of prefix in its shadow.
-func (c *Coordinator) query(shadows *shadowSet, node string, prefix netaddr.Prefix) (*QueryOracleResult, error) {
+// query asks one node's oracle view of prefix in its shadow. wantProps
+// additionally requests per-property `at` verdicts (PropMatch) against
+// the node's best route — only the post-installation queries need them,
+// so the flag keeps every other query's answer at its pre-property size.
+func (c *Coordinator) query(shadows *shadowSet, node string, prefix netaddr.Prefix, wantProps bool) (*QueryOracleResult, error) {
 	var out QueryOracleResult
 	err := c.call(node, MethodQueryOracle,
-		&QueryOracleParams{ShadowID: shadows.ids[node], Prefix: prefix.String()}, &out)
+		&QueryOracleParams{ShadowID: shadows.ids[node], Prefix: prefix.String(), WantProps: wantProps}, &out)
 	if err != nil {
 		return nil, err
 	}
@@ -1157,11 +1198,11 @@ func (c *Coordinator) query(shadows *shadowSet, node string, prefix netaddr.Pref
 // any order they need for deterministic violation ordering. Queries are
 // read-only and safely re-issued, so a transport fault on the pipelined
 // attempt retries through the recovery path.
-func (c *Coordinator) queryMany(shadows *shadowSet, nodes []string, prefix netaddr.Prefix) (map[string]*QueryOracleResult, error) {
+func (c *Coordinator) queryMany(shadows *shadowSet, nodes []string, prefix netaddr.Prefix, wantProps bool) (map[string]*QueryOracleResult, error) {
 	out := make(map[string]*QueryOracleResult, len(nodes))
 	if c.callAndWait {
 		for _, n := range nodes {
-			q, err := c.query(shadows, n, prefix)
+			q, err := c.query(shadows, n, prefix, wantProps)
 			if err != nil {
 				return nil, err
 			}
@@ -1173,14 +1214,14 @@ func (c *Coordinator) queryMany(shadows *shadowSet, nodes []string, prefix netad
 	pend := make([]*Pending, len(nodes))
 	for i, n := range nodes {
 		pend[i] = c.goNode(n, MethodQueryOracle,
-			&QueryOracleParams{ShadowID: shadows.ids[n], Prefix: prefix.String()}, &outs[i])
+			&QueryOracleParams{ShadowID: shadows.ids[n], Prefix: prefix.String(), WantProps: wantProps}, &outs[i])
 	}
 	var firstErr error
 	for i, p := range pend {
 		err := p.Wait()
 		if err != nil && isConnFault(err) {
 			err = c.call(nodes[i], MethodQueryOracle,
-				&QueryOracleParams{ShadowID: shadows.ids[nodes[i]], Prefix: prefix.String()}, &outs[i])
+				&QueryOracleParams{ShadowID: shadows.ids[nodes[i]], Prefix: prefix.String(), WantProps: wantProps}, &outs[i])
 		}
 		if err != nil {
 			if firstErr == nil {
@@ -1431,15 +1472,51 @@ func (c *Coordinator) CheckWitnesses(specs []WitnessSpec) ([]*core.WitnessOutcom
 }
 
 // checkWitnessIn runs one witness lifecycle inside an already-open
-// shadow set. dirty reports that the set absorbed a non-converging wave
-// and must not host further witnesses.
+// shadow set: collect the witness-attributed facts over the wire, then
+// evaluate the coordinator's property set over them — the same
+// prop.Evaluate the in-process backend calls, which is what keeps the
+// two backends' violations byte-identical. dirty reports that the set
+// absorbed a non-converging wave and must not host further witnesses.
 func (c *Coordinator) checkWitnessIn(shadows *shadowSet, node, peer string, w *bgp.Update) (_ *core.WitnessOutcome, dirty bool, _ error) {
-	res := &core.WitnessOutcome{}
+	facts, dirty, err := c.collectFactsIn(shadows, node, peer, w)
+	if err != nil {
+		return nil, false, err
+	}
+	res := &core.WitnessOutcome{Steps: facts.Update.Steps + facts.Withdraw.Steps}
+	prefix := w.NLRI[0]
+	for _, v := range prop.Evaluate(c.props, facts) {
+		res.Violations = append(res.Violations, core.FederatedViolation{
+			Kind: v.Kind, Node: v.Node, Source: node, Peer: peer, Prefix: prefix,
+			Hops: v.Hops, Detail: v.Detail, Waves: v.Waves, WaveTail: v.WaveTail,
+		})
+	}
+	return res, dirty, nil
+}
+
+// collectFactsIn is the distributed core.collectFacts: it plays the
+// witness lifecycle over the shared shadow set and records what
+// happened without judging it. Every observation crosses the wire as a
+// narrow per-node answer — pre/post best-route identity tokens, forward
+// traces, per-property `at` verdicts (PropMatch, when the property set
+// needs them) — and lands in the same prop.Facts shape the in-process
+// backend fills, collected in the same order (sorted node names).
+// Collection stops early when a phase fails to converge, exactly as the
+// original oracles returned early; dirty reports that case.
+func (c *Coordinator) collectFactsIn(shadows *shadowSet, node, peer string, w *bgp.Update) (_ *prop.Facts, dirty bool, _ error) {
 	lat, linked := c.linkLatency(peer, node)
 	if !linked {
 		return nil, false, fmt.Errorf("dist: no %s→%s link for witness injection", peer, node)
 	}
 	prefix := w.NLRI[0]
+	facts := &prop.Facts{
+		Node: node, Peer: peer, Boundary: c.boundary,
+		MaxSteps: c.opts.MaxPropagationSteps,
+		Witness:  prop.NewEnv(prefix, &w.Attrs, c.boundary),
+		NodeAS: func(name string) (uint16, bool) {
+			as, ok := c.nodeAS[name]
+			return as, ok
+		},
+	}
 
 	// Pre-injection best routes, for witness attribution. The explored
 	// node and the sending peer are excluded from every oracle below,
@@ -1451,7 +1528,7 @@ func (c *Coordinator) checkWitnessIn(shadows *shadowSet, node, peer string, w *b
 		}
 		others = append(others, n)
 	}
-	pre, err := c.queryMany(shadows, others, prefix)
+	pre, err := c.queryMany(shadows, others, prefix, false)
 	if err != nil {
 		return nil, false, err
 	}
@@ -1464,31 +1541,21 @@ func (c *Coordinator) checkWitnessIn(shadows *shadowSet, node, peer string, w *b
 	queue := &relayQueue{}
 	heap.Push(queue, &relayEvent{at: lat, seq: 1, key: shadows.nextKey(), from: peer, to: node, msg: wire})
 	steps, pending, waves, err := c.relay(shadows, queue, c.opts.MaxPropagationSteps)
-	res.Steps += steps
 	if err != nil {
 		return nil, false, err
 	}
+	facts.Update = prop.Phase{Steps: steps, Pending: pending, Waves: waves}
 	if pending > 0 {
-		res.Violations = append(res.Violations, core.FederatedViolation{
-			Kind: "persistent-oscillation", Node: node, Source: node, Peer: peer, Prefix: prefix,
-			Detail: core.OscillationDetail("no convergence", c.opts.MaxPropagationSteps, pending, waves),
-			Waves:  len(waves), WaveTail: core.WaveTail(waves),
-		})
-		return res, true, nil // oracle state below would be meaningless mid-churn
+		return facts, true, nil // oracle state below would be meaningless mid-churn
 	}
 
-	boundary := c.boundary
-	noExport := false
-	for _, cm := range w.Attrs.Communities {
-		if cm == boundary {
-			noExport = true
-		}
-	}
-
-	// Cross-node oracles over the converged shadows. The post queries
-	// fan out in one wave; evaluation stays in sorted node order so
-	// violations come out deterministically.
-	post, err := c.queryMany(shadows, others, prefix)
+	// Per-node installation facts over the converged shadows. The post
+	// queries fan out in one wave (carrying WantProps when any property
+	// has an `at` clause to answer); evaluation stays in sorted node
+	// order so the facts — and the violations derived from them — come
+	// out deterministically. installed remembers each witness-attributed
+	// best-route token for the withdraw check below.
+	post, err := c.queryMany(shadows, others, prefix, c.needsAt)
 	if err != nil {
 		return nil, false, err
 	}
@@ -1499,23 +1566,14 @@ func (c *Coordinator) checkWitnessIn(shadows *shadowSet, node, peer string, w *b
 			continue // witness never took hold at this node
 		}
 		installed[name] = q.BestFP
-		terminal, hops, delivered, err := c.traceForward(shadows, name, prefix)
+		terminal, hops, delivered, path, err := c.traceForward(shadows, name, prefix)
 		if err != nil {
 			return nil, false, err
 		}
-		if noExport {
-			res.Violations = append(res.Violations, core.FederatedViolation{
-				Kind: "route-leak", Node: name, Source: node, Peer: peer, Prefix: prefix, Hops: hops,
-				Detail: fmt.Sprintf("advertisement carrying the no-export community (%d:%d) escaped AS boundary %s and was installed at %s",
-					boundary>>16, boundary&0xffff, node, name),
-			})
-		}
-		if !delivered && hops >= 2 {
-			res.Violations = append(res.Violations, core.FederatedViolation{
-				Kind: "multi-hop-blackhole", Node: name, Source: node, Peer: peer, Prefix: prefix, Hops: hops,
-				Detail: fmt.Sprintf("traffic from %s forward-traces %d hops and dead-ends at %s", name, hops, terminal),
-			})
-		}
+		facts.Nodes = append(facts.Nodes, prop.NodeFacts{
+			Name: name, Hops: hops, Terminal: terminal, Delivered: delivered, Path: path,
+			AtMatch: q.PropMatch,
+		})
 	}
 
 	// WITHDRAW wave: the retraction must clean the witness out of every
@@ -1527,69 +1585,61 @@ func (c *Coordinator) checkWitnessIn(shadows *shadowSet, node, peer string, w *b
 	queue = &relayQueue{}
 	heap.Push(queue, &relayEvent{at: lat, seq: 1, key: shadows.nextKey(), from: peer, to: node, msg: wdWire})
 	steps, pending, waves, err = c.relay(shadows, queue, c.opts.MaxPropagationSteps)
-	res.Steps += steps
 	if err != nil {
 		return nil, false, err
 	}
+	facts.Withdraw = prop.Phase{Steps: steps, Pending: pending, Waves: waves}
 	if pending > 0 {
-		res.Violations = append(res.Violations, core.FederatedViolation{
-			Kind: "persistent-oscillation", Node: node, Source: node, Peer: peer, Prefix: prefix,
-			Detail: core.OscillationDetail("WITHDRAW did not converge", c.opts.MaxPropagationSteps, pending, waves),
-			Waves:  len(waves), WaveTail: core.WaveTail(waves),
-		})
-		return res, true, nil
+		return facts, true, nil
 	}
 	reached := make([]string, 0, len(installed))
 	for name := range installed {
 		reached = append(reached, name)
 	}
 	sort.Strings(reached)
-	after, err := c.queryMany(shadows, reached, prefix)
+	after, err := c.queryMany(shadows, reached, prefix, false)
 	if err != nil {
 		return nil, false, err
 	}
-	stale := []string{}
 	for _, name := range reached {
 		if q := after[name]; q.HasBest && q.BestFP == installed[name] {
-			stale = append(stale, name)
+			facts.Stale = append(facts.Stale, name)
 		}
 	}
-	if len(stale) > 0 {
-		res.Violations = append(res.Violations, core.FederatedViolation{
-			Kind: "stale-route", Node: stale[0], Source: node, Peer: peer, Prefix: prefix,
-			Detail: fmt.Sprintf("witness route survived its own WITHDRAW at %v", stale),
-		})
-	}
-	return res, false, nil
+	sort.Strings(facts.Stale)
+	return facts, false, nil
 }
 
 // traceForward walks best-route provenance for prefix hop by hop across
 // the agents' shadows — the distributed multi-hop blackhole core. Each
 // hop is one QueryOracle call; no node reveals more than its own
-// forwarding decision.
-func (c *Coordinator) traceForward(shadows *shadowSet, from string, prefix netaddr.Prefix) (terminal string, hops int, delivered bool, err error) {
+// forwarding decision. path lists every node visited, origin first and
+// terminal last, feeding `never reachable via` property assertions —
+// the same contract as the in-process Fabric.traceForward.
+func (c *Coordinator) traceForward(shadows *shadowSet, from string, prefix netaddr.Prefix) (terminal string, hops int, delivered bool, path []string, err error) {
 	cur := from
 	visited := map[string]bool{}
 	for {
+		path = append(path, cur)
 		if visited[cur] {
-			return cur, hops, false, nil // forwarding loop
+			return cur, hops, false, path, nil // forwarding loop
 		}
 		visited[cur] = true
 		if _, ok := c.conns[cur]; !ok {
-			return cur, hops, false, nil
+			return cur, hops, false, path, nil
 		}
-		q, err := c.query(shadows, cur, prefix)
+		q, err := c.query(shadows, cur, prefix, false)
 		if err != nil {
-			return cur, hops, false, err
+			return cur, hops, false, path, err
 		}
 		if !q.HasCovering {
-			return cur, hops, false, nil // dead end: no covering route
+			return cur, hops, false, path, nil // dead end: no covering route
 		}
 		if q.CoveringLocal {
-			return cur, hops, true, nil // delivered to the originating AS
+			return cur, hops, true, path, nil // delivered to the originating AS
 		}
 		if q.CoveringNextPeer == "" {
-			return cur, hops, false, nil
+			return cur, hops, false, path, nil
 		}
 		cur = q.CoveringNextPeer
 		hops++

@@ -1,0 +1,366 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dice/internal/core"
+	"dice/internal/prop"
+)
+
+// TestDistributedPropertyGoldenParity is the tentpole acceptance for
+// the distributed backend: loading the bundled .prop re-expressions of
+// the route-leak and stale-route oracles as external properties must
+// leave the canonical snapshot byte-identical to the hard-coded round —
+// on both committed example topologies, over both codecs. The property
+// sources cross the wire in hello and the oracle verdicts come back
+// through the same fact-collection RPCs either way, so any drift
+// between the declarative and the built-in oracle shows up here as a
+// snapshot diff.
+func TestDistributedPropertyGoldenParity(t *testing.T) {
+	bundled := []string{prop.BuiltinRouteLeakSource, prop.BuiltinStaleRouteSource}
+	for _, topoPath := range []string{
+		"../../examples/federated/topo.json",
+		"../../examples/routeleak/topo.json",
+	} {
+		topo, err := core.LoadTopology(topoPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fe, err := core.NewFederatedExperiment(topo, fedOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		inproc, err := fe.Round()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := strings.Join(inproc.Snapshot(), "\n")
+		if len(inproc.Violations) == 0 {
+			t.Fatalf("%s: parity vacuous: the hard-coded round found no violations", topo.Name)
+		}
+
+		cases := []struct {
+			name  string
+			copts []ConnOption
+		}{
+			{"binary", nil},
+			{"v1-json", []ConnOption{WithMaxVersion(ProtoV1), WithCallAndWait()}},
+		}
+		for _, tc := range cases {
+			t.Run(topo.Name+"/"+tc.name, func(t *testing.T) {
+				opts := fedOpts()
+				opts.Properties = bundled
+				coord := loopbackCoordinator(t, topo, opts, tc.copts...)
+				res, err := coord.Round()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := strings.Join(res.Snapshot(), "\n"); got != want {
+					t.Errorf("declared-property snapshot diverged from hard-coded oracles:\n--- hard-coded in-process ---\n%s\n--- declared distributed ---\n%s", want, got)
+				}
+			})
+		}
+	}
+}
+
+// atProps is a custom property set whose `at` clause the distributed
+// backend can only answer remotely (query_oracle WantProps): the leaked
+// route must still carry the boundary community where it was installed,
+// and the forward path must never traverse the upstream AS. Both fire
+// on leakTopo3's confirmed leak.
+func atProps() []string {
+	return []string{
+		`property leak_still_tagged { kind "leak-tagged"; when community boundary; at community boundary; assert never installed; }`,
+		`property avoid_upstream { kind "avoid-upstream"; when community boundary; assert never reachable via 65003; }`,
+	}
+}
+
+// TestDistributedPropertyAtParity pins the remote `at` path: a custom
+// property with an `at` route predicate must produce the same snapshot
+// distributed (agents answering per-property verdicts over the wire)
+// as in-process (the evaluator reading the installed route directly) —
+// and must actually fire, so the parity is not vacuous.
+func TestDistributedPropertyAtParity(t *testing.T) {
+	opts := fedOpts()
+	opts.Properties = atProps()
+
+	fe, err := core.NewFederatedExperiment(leakTopo3(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inproc, err := fe.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join(inproc.Snapshot(), "\n")
+	kinds := map[string]int{}
+	for _, v := range inproc.Violations {
+		kinds[v.Kind]++
+	}
+	if kinds["leak-tagged"] == 0 || kinds["avoid-upstream"] == 0 {
+		t.Fatalf("custom properties never fired in-process; violations: %v", inproc.Violations)
+	}
+
+	coord := loopbackCoordinator(t, leakTopo3(), opts)
+	for node, v := range coord.Versions() {
+		if v < ProtoV4 {
+			t.Fatalf("node %s negotiated v%d; at-clause checking needs ≥ v%d", node, v, ProtoV4)
+		}
+	}
+	res, err := coord.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(res.Snapshot(), "\n"); got != want {
+		t.Errorf("at-property snapshot diverged:\n--- in-process ---\n%s\n--- distributed ---\n%s", want, got)
+	}
+}
+
+// TestConnectAtPropertyVersionGate: a property whose `at` clause needs
+// remote verdicts cannot be checked against agents that negotiated a
+// pre-v4 protocol — Connect must fail fast instead of silently
+// evaluating the clause as a conservative match.
+func TestConnectAtPropertyVersionGate(t *testing.T) {
+	topo := leakTopo3()
+	opts := fedOpts()
+	opts.Properties = atProps()
+	var dialers []Dialer
+	for _, n := range topo.Nodes {
+		ag, err := NewAgent(topo, n.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ag.MaxProtoVersion = ProtoV3
+		dialers = append(dialers, Loopback{Agent: ag})
+	}
+	_, err := Connect(topo, opts, dialers)
+	if err == nil {
+		t.Fatal("Connect accepted at-clause properties over a v3 fleet")
+	}
+	if !strings.Contains(err.Error(), "wire protocol") {
+		t.Errorf("gate error %q does not name the wire protocol requirement", err)
+	}
+
+	// The same properties over a current fleet connect fine — the gate
+	// keys on the negotiated version, not on the properties alone.
+	coord := loopbackCoordinator(t, topo, opts)
+	if coord == nil {
+		t.Fatal("current fleet refused at-clause properties")
+	}
+
+	// And a malformed property fails Connect with the parser's line
+	// diagnostics, whichever protocol the fleet speaks.
+	bad := fedOpts()
+	bad.Properties = []string{"property broken {\n kind 42;\n}"}
+	var fresh []Dialer
+	for _, n := range topo.Nodes {
+		ag, err := NewAgent(topo, n.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh = append(fresh, Loopback{Agent: ag})
+	}
+	if _, err := Connect(topo, bad, fresh); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("Connect(malformed property) = %v, want a line-2 parse error", err)
+	}
+}
+
+// fatLeakTopo3 is leakTopo3 with the customer announcing 48 extra /24
+// networks: the provider's RIB — and so its shipped checkpoint — grows
+// to a few KiB, enough that page-versus-hash shipment differences
+// dominate protocol framing. (The committed example topologies
+// checkpoint in ~200 bytes, below one page hash's own cost.)
+func fatLeakTopo3() *core.Topology {
+	topo := leakTopo3()
+	nets := make([]string, 0, 48)
+	for i := 0; i < 48; i++ {
+		nets = append(nets, fmt.Sprintf("network 10.0.%d.0/24;", i))
+	}
+	cfg := topo.Nodes[0].Config
+	topo.Nodes[0].Config = append(append(append([]string{}, cfg[:3]...), nets...), cfg[3:]...)
+	return topo
+}
+
+// TestReplicaPageCacheWarmRounds is the paging acceptance at fleet
+// level: the same two-round ReuseState schedule runs once against a
+// paged (v4) replica and once against a v3-capped one. Both must land
+// on the unpaged fleet's snapshot, and the only wire difference between
+// the schedules is the second checkpoint shipment — full state to the
+// v3 replica, content hashes to the paged one — so the paged schedule
+// must move strictly fewer bytes.
+func TestReplicaPageCacheWarmRounds(t *testing.T) {
+	opts := fedOpts()
+	opts.ReuseState = true
+
+	ref := loopbackCoordinator(t, fatLeakTopo3(), opts)
+	if _, err := ref.Round(); err != nil {
+		t.Fatal(err)
+	}
+	refWarm, err := ref.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join(refWarm.Snapshot(), "\n")
+
+	twoRounds := func(t *testing.T, r *Replica) (snapshot string, wired int64) {
+		t.Helper()
+		var wire int64
+		pool := &ReplicaPool{Dialers: []Dialer{
+			countingDialer{inner: ReplicaLoopback{Replica: r}, bytes: &wire},
+		}}
+		coord := loopbackCoordinator(t, fatLeakTopo3(), opts, WithReplicas(pool))
+		if _, err := coord.Round(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := coord.Round()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := pool.Stats(); st.Completed != 2 {
+			t.Fatalf("pool completed %d shards over two rounds, want 2", st.Completed)
+		}
+		return strings.Join(res.Snapshot(), "\n"), atomic.LoadInt64(&wire)
+	}
+
+	paged, pagedWire := twoRounds(t, NewReplica())
+	capped := NewReplica()
+	capped.MaxProtoVersion = ProtoV3
+	unpaged, unpagedWire := twoRounds(t, capped)
+
+	if paged != want {
+		t.Errorf("paged warm round diverged:\n--- no replicas ---\n%s\n--- paged ---\n%s", want, paged)
+	}
+	if unpaged != want {
+		t.Errorf("v3-replica warm round diverged:\n--- no replicas ---\n%s\n--- v3 ---\n%s", want, unpaged)
+	}
+	if pagedWire >= unpagedWire {
+		t.Errorf("paged schedule moved %d bytes, v3 schedule %d — the page cache saved nothing", pagedWire, unpagedWire)
+	}
+}
+
+// writeCountingConn counts only the bytes written toward the replica,
+// isolating request traffic from the (identically sized) results.
+type writeCountingConn struct {
+	io.ReadWriteCloser
+	n *int64
+}
+
+func (w writeCountingConn) Write(p []byte) (int, error) {
+	n, err := w.ReadWriteCloser.Write(p)
+	atomic.AddInt64(w.n, int64(n))
+	return n, err
+}
+
+// TestReplicaPageCacheWireReduction is the counting-dialer acceptance
+// in its sharpest form: two identical exploreCalls on one connection
+// differ only in page shipment — the first carries every page of the
+// checkpoint, the second only their hashes — so the second call's
+// request bytes must drop by at least half the state size.
+func TestReplicaPageCacheWireReduction(t *testing.T) {
+	topo := leakTopo3()
+	ck, seed := checkpointAndSeed(t, topo)
+	boundary, err := topo.BoundaryCommunity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := (ReplicaLoopback{Replica: NewReplica()}).Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var written int64
+	cl := NewClient(writeCountingConn{ReadWriteCloser: conn, n: &written})
+	defer cl.Close()
+	cl.Session = 32
+	if _, err := cl.Handshake(ProtoLatest); err != nil {
+		t.Fatal(err)
+	}
+
+	params := &ReplicaExploreParams{
+		Node: "provider", Config: topo.Nodes[1].Config, State: ck,
+		Peer: "customer", Scenario: core.ScenarioRouteLeak, Explicit: true,
+		MaxRuns: 1000, Boundary: boundary, Seed: seed,
+	}
+	pool := &ReplicaPool{}
+	acked := make(map[string]struct{})
+	atomic.StoreInt64(&written, 0)
+	var out ReplicaExploreResult
+	if err := pool.exploreCall(cl, params, acked, &out); err != nil {
+		t.Fatal(err)
+	}
+	first := atomic.LoadInt64(&written)
+
+	atomic.StoreInt64(&written, 0)
+	var again ReplicaExploreResult
+	if err := pool.exploreCall(cl, params, acked, &again); err != nil {
+		t.Fatal(err)
+	}
+	second := atomic.LoadInt64(&written)
+
+	if len(out.Findings) == 0 || len(again.Findings) != len(out.Findings) {
+		t.Fatalf("explores disagree: %d then %d findings", len(out.Findings), len(again.Findings))
+	}
+	if saved := first - second; saved < int64(len(ck))/2 {
+		t.Errorf("repeat shipment saved %d bytes of a %d-byte state; first call wrote %d, second %d",
+			saved, len(ck), first, second)
+	}
+}
+
+// TestReplicaPageMissRecovery drives exploreCall against a replica
+// whose cache cannot honor the sender's ack assumptions: every page is
+// marked acked without ever being shipped. The first call must come
+// back as MissingPages (a result, not an error), and exploreCall must
+// recover with one full re-send on the same connection — the
+// self-healing path for replica cache pruning.
+func TestReplicaPageMissRecovery(t *testing.T) {
+	topo := leakTopo3()
+	ck, seed := checkpointAndSeed(t, topo)
+	boundary, err := topo.BoundaryCommunity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := (ReplicaLoopback{Replica: NewReplica()}).Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(conn)
+	defer cl.Close()
+	cl.Session = 31
+	if _, err := cl.Handshake(ProtoLatest); err != nil {
+		t.Fatal(err)
+	}
+
+	params := &ReplicaExploreParams{
+		Node: "provider", Config: topo.Nodes[1].Config, State: ck,
+		Peer: "customer", Scenario: core.ScenarioRouteLeak, Explicit: true,
+		MaxRuns: 1000, Boundary: boundary, Seed: seed,
+	}
+	// Lie: claim every page of the state is already replica-side.
+	acked := make(map[string]struct{})
+	for _, pg := range splitPages(ck, 64) {
+		acked[pageHash(pg)] = struct{}{}
+	}
+	pool := &ReplicaPool{}
+	var out ReplicaExploreResult
+	if err := pool.exploreCall(cl, params, acked, &out); err != nil {
+		t.Fatalf("exploreCall did not recover from the cache miss: %v", err)
+	}
+	if len(out.MissingPages) != 0 {
+		t.Fatalf("recovered result still reports missing pages: %v", out.MissingPages)
+	}
+	if len(out.Findings) == 0 {
+		t.Error("page-mode explore over the recovered state found nothing")
+	}
+	// After recovery the acks are truthful: a repeat call ships no page
+	// data and still explores (the replica cache now holds every page).
+	var again ReplicaExploreResult
+	if err := pool.exploreCall(cl, params, acked, &again); err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Findings) != len(out.Findings) {
+		t.Errorf("hash-only re-send found %d findings, first call %d", len(again.Findings), len(out.Findings))
+	}
+}

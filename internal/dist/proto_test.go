@@ -61,12 +61,14 @@ func TestProtoNegotiationMatrix(t *testing.T) {
 		copts    []ConnOption
 		wantVer  int
 	}{
-		{"v3-both", 0, nil, ProtoV3},
-		{"v3-coordinator-v1-agents", ProtoV1, nil, ProtoV1},
-		{"v3-coordinator-v2-agents", ProtoV2, nil, ProtoV2},
-		{"v1-coordinator-v3-agents", 0, []ConnOption{WithMaxVersion(ProtoV1)}, ProtoV1},
-		{"v2-coordinator-v3-agents", 0, []ConnOption{WithMaxVersion(ProtoV2)}, ProtoV2},
-		{"v3-call-and-wait", 0, []ConnOption{WithCallAndWait()}, ProtoV3},
+		{"v4-both", 0, nil, ProtoV4},
+		{"v4-coordinator-v1-agents", ProtoV1, nil, ProtoV1},
+		{"v4-coordinator-v2-agents", ProtoV2, nil, ProtoV2},
+		{"v4-coordinator-v3-agents", ProtoV3, nil, ProtoV3},
+		{"v1-coordinator-v4-agents", 0, []ConnOption{WithMaxVersion(ProtoV1)}, ProtoV1},
+		{"v2-coordinator-v4-agents", 0, []ConnOption{WithMaxVersion(ProtoV2)}, ProtoV2},
+		{"v3-coordinator-v4-agents", 0, []ConnOption{WithMaxVersion(ProtoV3)}, ProtoV3},
+		{"v4-call-and-wait", 0, []ConnOption{WithCallAndWait()}, ProtoV4},
 		{"v2-call-and-wait", ProtoV2, []ConnOption{WithCallAndWait()}, ProtoV2},
 		{"v1-call-and-wait", 0, []ConnOption{WithMaxVersion(ProtoV1), WithCallAndWait()}, ProtoV1},
 	}

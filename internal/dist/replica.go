@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -44,9 +46,31 @@ type Replica struct {
 	session uint64
 	memo    map[string]replicaMemoEntry
 
+	// pages is the session-scoped content-addressed page cache behind
+	// ReplicaExploreParams page mode: checkpoint state arrives as ordered
+	// content hashes plus only the pages the sender has not shipped this
+	// session, and the replica reassembles the full state from here.
+	// Hashes the cache cannot resolve come back as MissingPages (a
+	// result, not an error) so the sender re-ships them. Scoped like the
+	// memo: a new coordinator session drops it.
+	pages map[string][]byte
+
 	// Telemetry (nil unless EnableTelemetry ran).
 	rm        *replicaMetrics
 	concolicM *concolic.Metrics
+}
+
+// maxCachedPages bounds the page cache (32 MiB at the coordinator's
+// 4 KiB page size). When an assembly pushes the cache past the bound,
+// everything but the pages of the state just assembled is dropped — the
+// sender's next shard re-ships what it needs via the miss protocol.
+const maxCachedPages = 8192
+
+// pageHash is the content address of one page: hex SHA-256, matching
+// what page-mode senders put in ReplicaExploreParams.PageHash.
+func pageHash(page []byte) string {
+	sum := sha256.Sum256(page)
+	return hex.EncodeToString(sum[:])
 }
 
 // replicaMemoEntry is one memoized shard answer, valid for one round.
@@ -57,7 +81,10 @@ type replicaMemoEntry struct {
 
 // NewReplica builds an idle exploration replica.
 func NewReplica() *Replica {
-	r := &Replica{memo: make(map[string]replicaMemoEntry)}
+	r := &Replica{
+		memo:  make(map[string]replicaMemoEntry),
+		pages: make(map[string][]byte),
+	}
 	r.rpcServer = rpcServer{handler: r, name: "replica"}
 	return r
 }
@@ -126,6 +153,7 @@ func (r *Replica) hello(p HelloParams) *HelloResult {
 	if p.Session != 0 && p.Session != r.session {
 		r.session = p.Session
 		clear(r.memo)
+		clear(r.pages)
 	}
 	replicaMax := r.MaxProtoVersion
 	if replicaMax <= 0 || replicaMax > ProtoLatest {
@@ -153,6 +181,17 @@ func (r *Replica) explore(p ReplicaExploreParams) (*ReplicaExploreResult, error)
 			r.rm.noteMemoHit()
 			return e.out, nil
 		}
+	}
+	if len(p.PageHash) > 0 {
+		// Page mode: reassemble the checkpoint from the session cache
+		// plus whatever pages this request shipped. Unresolvable hashes
+		// come back as MissingPages — no exploration, no memo — and the
+		// sender retries with them included.
+		state, missing := r.assembleState(&p)
+		if len(missing) > 0 {
+			return &ReplicaExploreResult{MissingPages: missing}, nil
+		}
+		p.State = state
 	}
 	r.rm.noteExplore()
 	strat, err := parseStrategy(p.Strategy)
@@ -247,4 +286,46 @@ func (r *Replica) explore(p ReplicaExploreParams) (*ReplicaExploreResult, error)
 		r.memo[p.Shard] = replicaMemoEntry{round: p.Round, out: out}
 	}
 	return out, nil
+}
+
+// assembleState ingests a page-mode request's shipped pages into the
+// session cache and reassembles the checkpoint state named by the
+// ordered hash list. The shipped pages carry no index mapping — the
+// content hash IS the identity — so ingestion is just "hash and store".
+// Hashes still unresolved after ingestion are returned (deduplicated, in
+// hash-list order) for the sender's retry.
+func (r *Replica) assembleState(p *ReplicaExploreParams) (state []byte, missing []string) {
+	for _, pg := range p.PageData {
+		r.pages[pageHash(pg)] = pg
+	}
+	seen := make(map[string]bool)
+	size := 0
+	for _, h := range p.PageHash {
+		pg, ok := r.pages[h]
+		if !ok {
+			if !seen[h] {
+				seen[h] = true
+				missing = append(missing, h)
+			}
+			continue
+		}
+		size += len(pg)
+	}
+	if len(missing) > 0 {
+		return nil, missing
+	}
+	state = make([]byte, 0, size)
+	for _, h := range p.PageHash {
+		state = append(state, r.pages[h]...)
+	}
+	if len(r.pages) > maxCachedPages {
+		// Keep only the live set just assembled; the miss protocol
+		// restores anything else on demand.
+		live := make(map[string][]byte, len(p.PageHash))
+		for _, h := range p.PageHash {
+			live[h] = r.pages[h]
+		}
+		r.pages = live
+	}
+	return state, nil
 }

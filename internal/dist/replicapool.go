@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"dice/internal/checkpoint"
 )
 
 // ErrReplicaPoolDown reports that the pool has no live replica and can
@@ -278,6 +280,12 @@ func (p *ReplicaPool) worker(idx int) {
 			cl.Close()
 		}
 	}()
+	// acked tracks the checkpoint pages this replica has confirmed
+	// caching within the session (see exploreCall). It is per-connection
+	// state: a reconnect may mean a restarted replica with an empty
+	// cache, so the record resets with the dial and warm shipping
+	// restarts conservatively.
+	acked := make(map[string]struct{})
 	for {
 		t := p.pop()
 		if t == nil {
@@ -285,7 +293,7 @@ func (p *ReplicaPool) worker(idx int) {
 		}
 		for {
 			var out ReplicaExploreResult
-			err := cl.Call(MethodExploreCheckpoint, t.params, &out)
+			err := p.exploreCall(cl, t.params, acked, &out)
 			if err == nil {
 				p.noteCompleted()
 				t.finish(&out, nil)
@@ -306,8 +314,81 @@ func (p *ReplicaPool) worker(idx int) {
 				return
 			}
 			p.noteReconnect()
+			acked = make(map[string]struct{})
 		}
 	}
+}
+
+// exploreCall issues one shard over the worker's connection. On ≥ v4
+// connections the checkpoint travels in page mode: the full ordered
+// hash list plus only the pages this replica has not acknowledged this
+// session, so warm rounds — where most of a node's checkpoint is
+// unchanged — ship a hash list instead of megabytes of state. A
+// MissingPages answer (replica restarted, cache evicted, or an ack
+// recorded from a memo hit) triggers one full re-send; the ack record
+// is rebuilt from what the replica then confirms. v3 replicas and
+// stateless (empty-State) shards take the classic full-state path, so
+// mixed fleets degrade per connection, not pool-wide.
+func (p *ReplicaPool) exploreCall(cl *Client, params *ReplicaExploreParams, acked map[string]struct{}, out *ReplicaExploreResult) error {
+	if cl.Version() < ProtoV4 || len(params.State) == 0 {
+		return cl.Call(MethodExploreCheckpoint, params, out)
+	}
+	pages := splitPages(params.State, checkpoint.DefaultPageSize)
+	wp := *params
+	wp.State = nil
+	wp.PageSize = checkpoint.DefaultPageSize
+	wp.PageHash = make([]string, len(pages))
+	sent := make(map[string]bool)
+	for i, pg := range pages {
+		h := pageHash(pg)
+		wp.PageHash[i] = h
+		if _, ok := acked[h]; !ok && !sent[h] {
+			sent[h] = true
+			wp.PageData = append(wp.PageData, pg)
+		}
+	}
+	if err := cl.Call(MethodExploreCheckpoint, &wp, out); err != nil {
+		return err
+	}
+	if len(out.MissingPages) > 0 {
+		clear(acked)
+		wp.PageData = wp.PageData[:0]
+		clear(sent)
+		for i, pg := range pages {
+			if h := wp.PageHash[i]; !sent[h] {
+				sent[h] = true
+				wp.PageData = append(wp.PageData, pg)
+			}
+		}
+		*out = ReplicaExploreResult{}
+		if err := cl.Call(MethodExploreCheckpoint, &wp, out); err != nil {
+			return err
+		}
+		if len(out.MissingPages) > 0 {
+			// Unreachable with a conforming replica — a full send
+			// resolves every hash it names. Surface it as an application
+			// error so the shard falls back instead of looping.
+			return fmt.Errorf("dist: replica still missing %d pages after a full page send", len(out.MissingPages))
+		}
+	}
+	for _, h := range wp.PageHash {
+		acked[h] = struct{}{}
+	}
+	return nil
+}
+
+// splitPages cuts state into size-byte pages (the last one may be
+// short), matching the checkpoint store's page discipline.
+func splitPages(state []byte, size int) [][]byte {
+	pages := make([][]byte, 0, (len(state)+size-1)/size)
+	for off := 0; off < len(state); off += size {
+		end := off + size
+		if end > len(state) {
+			end = len(state)
+		}
+		pages = append(pages, state[off:end])
+	}
+	return pages
 }
 
 func (p *ReplicaPool) noteCompleted() {

@@ -43,11 +43,22 @@ import (
 // trailing bytes, so a v3 client negotiated down to v2 encodes the
 // original layouts — the tail fields simply don't travel (see
 // v2TailMessage in wirev2.go for the evolution rule).
+//
+// Version 4 adds the declarative-property and page-cache tails:
+// HelloParams.Properties, QueryOracleParams.WantProps /
+// QueryOracleResult.PropMatch, and the ReplicaExploreParams page fields
+// with ReplicaExploreResult.MissingPages. Unlike the v3 tails these are
+// appended only when the feature is in use (a false/empty field adds no
+// bytes), so a v4 client never has to down-encode for a v3 peer — it
+// simply never turns the feature on unless the negotiated version says
+// the peer understands it. ProtoV4 is therefore purely a capability
+// signal: "this side reads the conditional tails".
 const (
 	ProtoV1     = 1
 	ProtoV2     = 2
 	ProtoV3     = 3
-	ProtoLatest = ProtoV3
+	ProtoV4     = 4
+	ProtoLatest = ProtoV4
 )
 
 // maxFrame bounds a single frame; a full-table router checkpoint is a
@@ -185,6 +196,16 @@ type HelloParams struct {
 	// of the same coordinator (same nonce) still answer retries from
 	// them. 0 — a client predating the field — leaves the memos alone.
 	Session uint64 `json:"session,omitempty"`
+	// Properties is the coordinator's full property set (canonical
+	// internal/prop source, one definition per entry, in evaluation
+	// order). Agents compile it at hello — a malformed property fails the
+	// handshake, before any round runs — and answer query_oracle WantProps
+	// requests against it by list index. The hello always travels v1
+	// JSON, so an old agent simply ignores the field; the coordinator
+	// version-gates the features that need agent-side evaluation
+	// (properties with `at` clauses require ≥ ProtoV4). Empty leaves the
+	// agent's previous property set untouched.
+	Properties []string `json:"properties,omitempty"`
 }
 
 // HelloResult describes the agent.
@@ -368,6 +389,19 @@ type ReplicaExploreParams struct {
 	// instead of re-exploring. Round 0 disables the memo.
 	Round uint64 `json:"round,omitempty"`
 	Shard string `json:"shard,omitempty"`
+	// Page mode (≥ ProtoV4, feature-gated tail: none of these travel when
+	// PageSize is 0). Instead of shipping State, the sender splits it into
+	// PageSize-byte pages and sends the ordered content hashes in
+	// PageHash; PageData carries only the pages the sender believes the
+	// replica has not cached this session (each entry hashes to one of the
+	// PageHash entries — the hash IS the page identity, so no index
+	// mapping travels). The replica reassembles State from its
+	// session-scoped page cache and answers MissingPages for any hash it
+	// cannot resolve, at which point the sender re-sends with those pages
+	// included. Warm rounds re-ship only the pages that changed.
+	PageSize int      `json:"page_size,omitempty"`
+	PageHash []string `json:"page_hash,omitempty"`
+	PageData [][]byte `json:"page_data,omitempty"`
 }
 
 // ReplicaExploreResult is the replica's answer: the agent-shaped
@@ -379,6 +413,14 @@ type ReplicaExploreResult struct {
 	// round's WarmState to explore incrementally, or seed a replacement
 	// agent with it.
 	WarmState []byte `json:"warm_state,omitempty"`
+	// MissingPages, when non-empty, means a page-mode request named
+	// hashes the replica's cache could not resolve (first contact, a
+	// restarted replica, or an eviction): no exploration ran, nothing was
+	// memoized, and the sender must retry with the named pages in
+	// PageData. It is a result field, not an error, because transport
+	// errors trigger worker failover — a cache miss must stay on the same
+	// replica connection.
+	MissingPages []string `json:"missing_pages,omitempty"`
 }
 
 // ReplayParams feeds a recorded trace into the agent's live fabric.
@@ -479,6 +521,12 @@ type ShadowCloseParams struct {
 type QueryOracleParams struct {
 	ShadowID uint64 `json:"shadow_id"`
 	Prefix   string `json:"prefix"`
+	// WantProps asks the agent to also evaluate its hello-shipped
+	// property set's `at` route predicates against the best route and
+	// answer PropMatch (≥ ProtoV4, feature-gated tail: the field adds no
+	// bytes when false, which is also why a v4 coordinator can keep
+	// talking to a v3 agent — it just never sets it there).
+	WantProps bool `json:"want_props,omitempty"`
 }
 
 // QueryOracleResult is the narrow per-node oracle view: whether a best
@@ -499,4 +547,11 @@ type QueryOracleResult struct {
 	HasCovering      bool   `json:"has_covering"`
 	CoveringLocal    bool   `json:"covering_local"`
 	CoveringNextPeer string `json:"covering_next_peer,omitempty"`
+	// PropMatch answers WantProps: one verdict per property in the
+	// hello-shipped set (list order), true when the property's `at`
+	// predicate matches this node's installed best route (properties
+	// without an `at` clause are always true). Meaningful only when
+	// HasBest; empty when the request did not set WantProps, so the tail
+	// never travels to a client that would reject it.
+	PropMatch []bool `json:"prop_match,omitempty"`
 }

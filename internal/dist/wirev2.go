@@ -440,7 +440,17 @@ func decodeBodyV2(body []byte, msg v2Message) error {
 
 func (p *HelloParams) appendV2(dst []byte) []byte {
 	dst = p.appendV2Base(dst)
-	return appendUvarint(dst, p.Session)
+	dst = appendUvarint(dst, p.Session)
+	// v4 conditional tail: the property set travels only when non-empty
+	// (and in practice the hello always travels v1 JSON anyway — the
+	// binary codec exists so the message round-trips like every other).
+	if len(p.Properties) > 0 {
+		dst = appendUint(dst, len(p.Properties))
+		for _, s := range p.Properties {
+			dst = appendStringV2(dst, s)
+		}
+	}
+	return dst
 }
 
 func (p *HelloParams) appendV2Base(dst []byte) []byte {
@@ -451,6 +461,20 @@ func (p *HelloParams) decodeV2(d *v2dec) {
 	p.MaxVersion = d.uint()
 	if d.remaining() > 0 {
 		p.Session = d.uvarint() // v3 tail; absent on a v2-layout body
+	}
+	if d.remaining() > 0 { // v4 tail; present only when properties ship
+		n := d.count(1)
+		if n == 0 && d.e == nil {
+			// The encoder omits the whole tail for an empty set, so an
+			// explicit zero count is trailing garbage, not a layout.
+			d.fail("empty properties tail")
+		}
+		if n > 0 {
+			p.Properties = make([]string, n)
+			for i := range p.Properties {
+				p.Properties[i] = d.str()
+			}
+		}
 	}
 }
 
@@ -676,7 +700,23 @@ func (p *ReplicaExploreParams) appendV2(dst []byte) []byte {
 	dst = appendBytesV2(dst, p.Seed)
 	dst = appendBytesV2(dst, p.WarmState)
 	dst = appendUvarint(dst, p.Round)
-	return appendStringV2(dst, p.Shard)
+	dst = appendStringV2(dst, p.Shard)
+	// v4 conditional tail: page mode. An unused tail (full-state
+	// shipment) adds no bytes, so the encoding stays valid for v3
+	// replicas. The hash/data guards keep decode→encode canonical for
+	// frames a sender would never build (PageSize 0 with pages attached).
+	if p.PageSize > 0 || len(p.PageHash) > 0 || len(p.PageData) > 0 {
+		dst = appendUint(dst, p.PageSize)
+		dst = appendUint(dst, len(p.PageHash))
+		for _, h := range p.PageHash {
+			dst = appendStringV2(dst, h)
+		}
+		dst = appendUint(dst, len(p.PageData))
+		for _, pg := range p.PageData {
+			dst = appendBytesV2(dst, pg)
+		}
+	}
+	return dst
 }
 
 func (p *ReplicaExploreParams) decodeV2(d *v2dec) {
@@ -702,16 +742,56 @@ func (p *ReplicaExploreParams) decodeV2(d *v2dec) {
 	p.WarmState = d.bytes()
 	p.Round = d.uvarint()
 	p.Shard = d.str()
+	if d.remaining() > 0 { // v4 tail; present only in page mode
+		p.PageSize = d.uint()
+		if n := d.count(1); n > 0 {
+			p.PageHash = make([]string, n)
+			for i := range p.PageHash {
+				p.PageHash[i] = d.str()
+			}
+		}
+		if n := d.count(1); n > 0 {
+			p.PageData = make([][]byte, n)
+			for i := range p.PageData {
+				p.PageData[i] = d.bytes()
+			}
+		}
+		if p.PageSize == 0 && p.PageHash == nil && p.PageData == nil && d.e == nil {
+			// The encoder omits an all-zero tail, so one here is garbage.
+			d.fail("empty page-mode tail")
+		}
+	}
 }
 
 func (r *ReplicaExploreResult) appendV2(dst []byte) []byte {
 	dst = r.ExploreResult.appendV2(dst)
-	return appendBytesV2(dst, r.WarmState)
+	dst = appendBytesV2(dst, r.WarmState)
+	// v4 conditional tail: only cache-miss answers carry it, and only
+	// page-mode (≥ v4) senders get those.
+	if len(r.MissingPages) > 0 {
+		dst = appendUint(dst, len(r.MissingPages))
+		for _, h := range r.MissingPages {
+			dst = appendStringV2(dst, h)
+		}
+	}
+	return dst
 }
 
 func (r *ReplicaExploreResult) decodeV2(d *v2dec) {
 	r.ExploreResult.decodeV2(d)
 	r.WarmState = d.bytes()
+	if d.remaining() > 0 { // v4 tail; present only on cache-miss answers
+		n := d.count(1)
+		if n == 0 && d.e == nil {
+			d.fail("empty missing_pages tail")
+		}
+		if n > 0 {
+			r.MissingPages = make([]string, n)
+			for i := range r.MissingPages {
+				r.MissingPages[i] = d.str()
+			}
+		}
+	}
 }
 
 func (p *ReplayParams) appendV2(dst []byte) []byte {
@@ -850,12 +930,27 @@ func (p *ShadowCloseParams) decodeV2(d *v2dec) {
 
 func (p *QueryOracleParams) appendV2(dst []byte) []byte {
 	dst = appendUvarint(dst, p.ShadowID)
-	return appendStringV2(dst, p.Prefix)
+	dst = appendStringV2(dst, p.Prefix)
+	// v4 conditional tail: a false WantProps adds no bytes, so this
+	// encoding is valid for every peer that accepts the base layout — the
+	// coordinator only sets the flag on ≥ v4 connections.
+	if p.WantProps {
+		dst = appendBoolV2(dst, true)
+	}
+	return dst
 }
 
 func (p *QueryOracleParams) decodeV2(d *v2dec) {
 	p.ShadowID = d.uvarint()
 	p.Prefix = d.str()
+	if d.remaining() > 0 { // v4 tail; present only when the flag is set
+		p.WantProps = d.boolean()
+		if !p.WantProps && d.e == nil {
+			// The encoder omits the tail entirely when the flag is off, so
+			// an explicit false octet is trailing garbage, not a layout.
+			d.fail("false want_props tail")
+		}
+	}
 }
 
 func (r *QueryOracleResult) appendV2(dst []byte) []byte {
@@ -863,7 +958,16 @@ func (r *QueryOracleResult) appendV2(dst []byte) []byte {
 	dst = appendStringV2(dst, r.BestFP)
 	dst = appendBoolV2(dst, r.HasCovering)
 	dst = appendBoolV2(dst, r.CoveringLocal)
-	return appendStringV2(dst, r.CoveringNextPeer)
+	dst = appendStringV2(dst, r.CoveringNextPeer)
+	// v4 conditional tail: agents fill PropMatch only for WantProps
+	// requests, so the tail never reaches a client that would reject it.
+	if len(r.PropMatch) > 0 {
+		dst = appendUint(dst, len(r.PropMatch))
+		for _, m := range r.PropMatch {
+			dst = appendBoolV2(dst, m)
+		}
+	}
+	return dst
 }
 
 func (r *QueryOracleResult) decodeV2(d *v2dec) {
@@ -872,4 +976,16 @@ func (r *QueryOracleResult) decodeV2(d *v2dec) {
 	r.HasCovering = d.boolean()
 	r.CoveringLocal = d.boolean()
 	r.CoveringNextPeer = d.str()
+	if d.remaining() > 0 { // v4 tail; present only on WantProps answers
+		n := d.count(1)
+		if n == 0 && d.e == nil {
+			d.fail("empty prop_match tail")
+		}
+		if n > 0 {
+			r.PropMatch = make([]bool, n)
+			for i := range r.PropMatch {
+				r.PropMatch[i] = d.boolean()
+			}
+		}
+	}
 }

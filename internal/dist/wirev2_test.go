@@ -9,12 +9,16 @@ import (
 )
 
 // sampleMessages returns one fully-populated instance of every v2 wire
-// message type. Round-trip and truncation tests iterate these so a new
-// message type added without coverage trips the completeness check in
-// TestV2SampleCompleteness.
+// message type. Round-trip, truncation and fuzz-seed tests iterate
+// these, so new fields belong in the samples the moment they grow a
+// codec.
 func sampleMessages() []v2Message {
 	return []v2Message{
-		&HelloParams{MaxVersion: 2, Session: 0xfeedbeefcafe},
+		&HelloParams{MaxVersion: 2, Session: 0xfeedbeefcafe,
+			Properties: []string{
+				`property "leak" { never carries community boundary at node behind boundary }`,
+				`property "converge" { eventually converges within 64 steps }`,
+			}},
 		&HelloResult{Node: "as65002", Topology: "line-3-dense-256", AS: 65002, Prefixes: 771, Version: 2},
 		&CheckpointResult{State: []byte{0xca, 0xfe, 0x00, 0x01}, Pages: 12, UniquePages: 3},
 		&ExploreParams{
@@ -62,8 +66,24 @@ func sampleMessages() []v2Message {
 			{},
 		}},
 		&ShadowCloseParams{ShadowID: 7},
-		&QueryOracleParams{ShadowID: 7, Prefix: "10.200.0.0/24"},
-		&QueryOracleResult{HasBest: true, BestFP: "r42", HasCovering: true, CoveringLocal: false, CoveringNextPeer: "as65002"},
+		&QueryOracleParams{ShadowID: 7, Prefix: "10.200.0.0/24", WantProps: true},
+		&QueryOracleResult{HasBest: true, BestFP: "r42", HasCovering: true, CoveringLocal: false, CoveringNextPeer: "as65002",
+			PropMatch: []bool{true, false, true}},
+		&ReplicaExploreParams{
+			Node: "as65002", Config: []string{"router bgp 65002", " neighbor up"},
+			State: []byte{0x05, 0x00, 0xde}, Peer: "as65001", Scenario: "route-leak",
+			Explicit: true, MaxRuns: 120, MaxDepth: 48, Workers: 2, SolverNodes: 1,
+			Strategy: "generational", TimeBudgetNS: 2_000_000_000, Boundary: 0xFFFF_FF01,
+			Seed: []byte{0x02, 0x00, 0x17}, WarmState: []byte{0x7a}, Round: 4, Shard: "as65002/as65001#0",
+			PageSize: 4096,
+			PageHash: []string{"6cd5", "a001", "6cd5"},
+			PageData: [][]byte{{0xca, 0xfe}, {0x00}},
+		},
+		&ReplicaExploreResult{
+			ExploreResult: ExploreResult{Scenario: "route-leak", Runs: 17, ElapsedNS: 99},
+			WarmState:     []byte{0x7b, 0x7c},
+			MissingPages:  []string{"a001", "6cd5"},
+		},
 	}
 }
 
@@ -105,9 +125,14 @@ func TestV2RoundTripProperty(t *testing.T) {
 // TestV2TruncationErrors: every strict prefix of a valid body must fail
 // to decode — the codec reads a fixed field sequence, so cutting the
 // tail starves some read, and finish() catches anything shorter still.
-// The one designed exception: messages with a v3 tail decode cleanly
-// when truncated to exactly their legacy v2 base layout, because that
-// is a valid frame from a v2-negotiated peer.
+// The one designed exception: versioned-tail layouts. A message whose
+// newer fields ride in optional tails decodes cleanly when truncated to
+// an older layout boundary, because that is exactly a valid frame from
+// an older-negotiated peer — and then re-encoding the decoded value
+// must reproduce the truncated bytes verbatim (the prefix is canonical
+// for what it decoded to). Clean decodes at any other cut are bugs, as
+// are degenerate tails (explicit empty/false tails the encoders never
+// emit — the trailing-garbage probe below would accept them otherwise).
 func TestV2TruncationErrors(t *testing.T) {
 	for i, msg := range sampleMessages() {
 		body := msg.appendV2(nil)
@@ -116,14 +141,22 @@ func TestV2TruncationErrors(t *testing.T) {
 			baseLen = len(tm.appendV2Base(nil))
 		}
 		for k := 0; k < len(body); k++ {
+			got := freshLike(msg)
+			err := decodeBodyV2(body[:k], got)
 			if k == baseLen {
-				if err := decodeBodyV2(body[:k], freshLike(msg)); err != nil {
+				// The v2 base layout predates the canonical-prefix rule:
+				// its v3 tail re-encodes unconditionally, so only require
+				// the clean decode here.
+				if err != nil {
 					t.Errorf("sample %d (%T): legacy v2 base layout (%d bytes) failed to decode: %v", i, msg, k, err)
 				}
 				continue
 			}
-			if err := decodeBodyV2(body[:k], freshLike(msg)); err == nil {
-				t.Errorf("sample %d (%T): truncation to %d of %d bytes decoded cleanly", i, msg, k, len(body))
+			if err == nil {
+				if re := got.appendV2(nil); !reflect.DeepEqual(re, append([]byte(nil), body[:k]...)) {
+					t.Errorf("sample %d (%T): truncation to %d of %d bytes decoded cleanly into a non-canonical frame:\n cut: %x\n  re: %x",
+						i, msg, k, len(body), body[:k], re)
+				}
 			}
 		}
 		// And trailing garbage is rejected too.

@@ -33,6 +33,14 @@ var fieldNames = map[string]Field{
 	"med":             FieldMED,
 }
 
+// FieldByName resolves a source-level field name ("net.len", "med", ...)
+// to its Field. The property language (internal/prop) shares the filter
+// field vocabulary through this lookup.
+func FieldByName(name string) (Field, bool) {
+	f, ok := fieldNames[name]
+	return f, ok
+}
+
 func (f Field) String() string {
 	for name, v := range fieldNames {
 		if v == f {

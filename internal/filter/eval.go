@@ -1,6 +1,8 @@
 package filter
 
 import (
+	"fmt"
+
 	"dice/internal/bgp"
 	"dice/internal/concolic"
 	"dice/internal/netaddr"
@@ -95,7 +97,7 @@ func (v *Verdict) Apply(attrs *bgp.Attrs) {
 		attrs.HasMED, attrs.MED = true, *v.SetMED
 	}
 	if v.SetOrigin != nil {
-		attrs.Origin = *v.SetOrigin
+		attrs.HasOrigin, attrs.Origin = true, *v.SetOrigin
 	}
 	for _, c := range v.AddCommunities {
 		if !attrs.HasCommunity(c) {
@@ -181,6 +183,7 @@ func evalExpr(e Expr, subj *Subject) concolic.Value {
 		case CmpGe:
 			return concolic.Ge(lhs, rhs)
 		}
+		panic(fmt.Sprintf("filter: unhandled comparison operator %d in %T", int(t.Op), t))
 	case *MatchExpr:
 		// net ~ P{lo,hi}:
 		//   (addr & mask(P.bits)) == P.addr && lo <= len && len <= hi
@@ -206,7 +209,19 @@ func evalExpr(e Expr, subj *Subject) concolic.Value {
 		}
 		return concolic.Bool(false)
 	}
-	return concolic.Bool(false)
+	// An expression node the evaluator does not know is AST drift: a new
+	// node type was added without a case here. Evaluating it as `false`
+	// would silently miscompile every policy using it, so fail loudly.
+	panic(fmt.Sprintf("filter: unhandled expression node %T", e))
+}
+
+// EvalConcrete evaluates one filter expression over a fully concrete
+// subject with no constraint recording. The property language
+// (internal/prop) evaluates its witness and route predicates through
+// here, so both languages share a single evaluator — and its
+// unknown-node drift guards.
+func EvalConcrete(e Expr, subj *Subject) bool {
+	return evalExpr(e, subj).NonZero()
 }
 
 func fieldValue(f Field, subj *Subject) concolic.Value {
@@ -228,5 +243,8 @@ func fieldValue(f Field, subj *Subject) concolic.Value {
 	case FieldNet:
 		return subj.NetAddr
 	}
-	return concolic.Concrete(0, 32)
+	// Same drift guard as evalExpr: an unknown field must never read as
+	// Concrete(0, 32), or comparisons against it silently hold/fail on a
+	// value the route does not carry.
+	panic(fmt.Sprintf("filter: unhandled field %v", f))
 }

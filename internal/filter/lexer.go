@@ -9,6 +9,11 @@
 // compiled-in code — mirroring how the paper's CIL instrumentation of
 // BIRD's config interpreter lets Oasis record constraints for the
 // interpreted configuration (§3.2).
+//
+// The token machinery (TokenKind, Token, Lex, ParseError) is exported:
+// internal/prop parses the property language over the same tokens, so
+// both languages share comments, CIDR literals, operators and
+// line-numbered errors.
 package filter
 
 import (
@@ -16,60 +21,72 @@ import (
 	"strings"
 )
 
-// tokKind enumerates token kinds.
-type tokKind int
+// TokenKind enumerates token kinds.
+type TokenKind int
 
+// Token kinds produced by Lex.
 const (
-	tokEOF tokKind = iota
-	tokIdent
-	tokNumber
-	tokCIDR   // 10.0.0.0/8
-	tokLBrace // {
-	tokRBrace // }
-	tokLParen // (
-	tokRParen // )
-	tokSemi   // ;
-	tokComma  // ,
-	tokEq     // =
-	tokNe     // !=
-	tokLt     // <
-	tokLe     // <=
-	tokGt     // >
-	tokGe     // >=
-	tokTilde  // ~
-	tokNot    // !
-	tokAnd    // &&
-	tokOr     // ||
-	tokDot    // .
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString // "..." (property language only; filters never emit one)
+	TokCIDR   // 10.0.0.0/8
+	TokLBrace // {
+	TokRBrace // }
+	TokLParen // (
+	TokRParen // )
+	TokSemi   // ;
+	TokComma  // ,
+	TokEq     // =
+	TokNe     // !=
+	TokLt     // <
+	TokLe     // <=
+	TokGt     // >
+	TokGe     // >=
+	TokTilde  // ~
+	TokNot    // !
+	TokAnd    // &&
+	TokOr     // ||
+	TokDot    // .
 )
 
-type token struct {
-	kind tokKind
-	text string
-	line int
+// Token is one lexed token. Text of a TokString is the unquoted string
+// content.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
 }
 
-func (t token) String() string {
-	if t.kind == tokEOF {
+func (t Token) String() string {
+	if t.Kind == TokEOF {
 		return "end of input"
 	}
-	return fmt.Sprintf("%q", t.text)
+	return fmt.Sprintf("%q", t.Text)
 }
 
-// ParseError reports a syntax error with its line.
+// ParseError reports a syntax error with its line. Lang names the
+// language for the error prefix; empty reads as "filter" (internal/prop
+// sets "property").
 type ParseError struct {
 	Line int
 	Msg  string
+	Lang string
 }
 
 func (e *ParseError) Error() string {
-	return fmt.Sprintf("filter: line %d: %s", e.Line, e.Msg)
+	lang := e.Lang
+	if lang == "" {
+		lang = "filter"
+	}
+	return fmt.Sprintf("%s: line %d: %s", lang, e.Line, e.Msg)
 }
 
-// lex tokenizes src. CIDR literals (addr/len) are recognized as single
-// tokens so the parser stays simple.
-func lex(src string) ([]token, error) {
-	var toks []token
+// Lex tokenizes src. CIDR literals (addr/len) are recognized as single
+// tokens so parsers stay simple; double-quoted strings become TokString
+// tokens (used by the property language).
+func Lex(src string) ([]Token, error) {
+	var toks []Token
 	line := 1
 	i := 0
 	n := len(src)
@@ -86,66 +103,76 @@ func lex(src string) ([]token, error) {
 				i++
 			}
 		case c == '{':
-			toks = append(toks, token{tokLBrace, "{", line})
+			toks = append(toks, Token{TokLBrace, "{", line})
 			i++
 		case c == '}':
-			toks = append(toks, token{tokRBrace, "}", line})
+			toks = append(toks, Token{TokRBrace, "}", line})
 			i++
 		case c == '(':
-			toks = append(toks, token{tokLParen, "(", line})
+			toks = append(toks, Token{TokLParen, "(", line})
 			i++
 		case c == ')':
-			toks = append(toks, token{tokRParen, ")", line})
+			toks = append(toks, Token{TokRParen, ")", line})
 			i++
 		case c == ';':
-			toks = append(toks, token{tokSemi, ";", line})
+			toks = append(toks, Token{TokSemi, ";", line})
 			i++
 		case c == ',':
-			toks = append(toks, token{tokComma, ",", line})
+			toks = append(toks, Token{TokComma, ",", line})
 			i++
 		case c == '~':
-			toks = append(toks, token{tokTilde, "~", line})
+			toks = append(toks, Token{TokTilde, "~", line})
 			i++
 		case c == '=':
-			toks = append(toks, token{tokEq, "=", line})
+			toks = append(toks, Token{TokEq, "=", line})
 			i++
+		case c == '"':
+			j := i + 1
+			for j < n && src[j] != '"' && src[j] != '\n' {
+				j++
+			}
+			if j >= n || src[j] != '"' {
+				return nil, &ParseError{Line: line, Msg: "unterminated string"}
+			}
+			toks = append(toks, Token{TokString, src[i+1 : j], line})
+			i = j + 1
 		case c == '!':
 			if i+1 < n && src[i+1] == '=' {
-				toks = append(toks, token{tokNe, "!=", line})
+				toks = append(toks, Token{TokNe, "!=", line})
 				i += 2
 			} else {
-				toks = append(toks, token{tokNot, "!", line})
+				toks = append(toks, Token{TokNot, "!", line})
 				i++
 			}
 		case c == '<':
 			if i+1 < n && src[i+1] == '=' {
-				toks = append(toks, token{tokLe, "<=", line})
+				toks = append(toks, Token{TokLe, "<=", line})
 				i += 2
 			} else {
-				toks = append(toks, token{tokLt, "<", line})
+				toks = append(toks, Token{TokLt, "<", line})
 				i++
 			}
 		case c == '>':
 			if i+1 < n && src[i+1] == '=' {
-				toks = append(toks, token{tokGe, ">=", line})
+				toks = append(toks, Token{TokGe, ">=", line})
 				i += 2
 			} else {
-				toks = append(toks, token{tokGt, ">", line})
+				toks = append(toks, Token{TokGt, ">", line})
 				i++
 			}
 		case c == '&':
 			if i+1 < n && src[i+1] == '&' {
-				toks = append(toks, token{tokAnd, "&&", line})
+				toks = append(toks, Token{TokAnd, "&&", line})
 				i += 2
 			} else {
-				return nil, &ParseError{line, "single '&'"}
+				return nil, &ParseError{Line: line, Msg: "single '&'"}
 			}
 		case c == '|':
 			if i+1 < n && src[i+1] == '|' {
-				toks = append(toks, token{tokOr, "||", line})
+				toks = append(toks, Token{TokOr, "||", line})
 				i += 2
 			} else {
-				return nil, &ParseError{line, "single '|'"}
+				return nil, &ParseError{Line: line, Msg: "single '|'"}
 			}
 		case c >= '0' && c <= '9':
 			j := i
@@ -163,14 +190,14 @@ func lex(src string) ([]token, error) {
 				for k < n && src[k] >= '0' && src[k] <= '9' {
 					k++
 				}
-				toks = append(toks, token{tokCIDR, src[i:k], line})
+				toks = append(toks, Token{TokCIDR, src[i:k], line})
 				i = k
 				break
 			}
 			if dots > 0 {
-				return nil, &ParseError{line, fmt.Sprintf("bad numeric token %q", text)}
+				return nil, &ParseError{Line: line, Msg: fmt.Sprintf("bad numeric token %q", text)}
 			}
-			toks = append(toks, token{tokNumber, text, line})
+			toks = append(toks, Token{TokNumber, text, line})
 			i = j
 		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
 			j := i
@@ -182,14 +209,14 @@ func lex(src string) ([]token, error) {
 			// Trim a trailing dot (e.g. "net." would be malformed anyway).
 			text := src[i:j]
 			if strings.HasSuffix(text, ".") {
-				return nil, &ParseError{line, fmt.Sprintf("identifier %q ends with dot", text)}
+				return nil, &ParseError{Line: line, Msg: fmt.Sprintf("identifier %q ends with dot", text)}
 			}
-			toks = append(toks, token{tokIdent, text, line})
+			toks = append(toks, Token{TokIdent, text, line})
 			i = j
 		default:
-			return nil, &ParseError{line, fmt.Sprintf("unexpected character %q", c)}
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("unexpected character %q", c)}
 		}
 	}
-	toks = append(toks, token{tokEOF, "", line})
+	toks = append(toks, Token{TokEOF, "", line})
 	return toks, nil
 }

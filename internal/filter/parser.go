@@ -14,20 +14,20 @@ func Parse(src string) (*Filter, error) {
 		return nil, err
 	}
 	if len(fs) != 1 {
-		return nil, &ParseError{1, fmt.Sprintf("expected exactly one filter, found %d", len(fs))}
+		return nil, &ParseError{Line: 1, Msg: fmt.Sprintf("expected exactly one filter, found %d", len(fs))}
 	}
 	return fs[0], nil
 }
 
 // ParseAll parses a sequence of filter definitions.
 func ParseAll(src string) ([]*Filter, error) {
-	toks, err := lex(src)
+	toks, err := Lex(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
 	var out []*Filter
-	for p.peek().kind != tokEOF {
+	for p.peek().Kind != TokEOF {
 		f, err := p.filter()
 		if err != nil {
 			return nil, err
@@ -38,27 +38,27 @@ func ParseAll(src string) ([]*Filter, error) {
 }
 
 type parser struct {
-	toks []token
+	toks []Token
 	pos  int
 }
 
-func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[p.pos] }
 
-func (p *parser) next() token {
+func (p *parser) next() Token {
 	t := p.toks[p.pos]
-	if t.kind != tokEOF {
+	if t.Kind != TokEOF {
 		p.pos++
 	}
 	return t
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return &ParseError{p.peek().line, fmt.Sprintf(format, args...)}
+	return &ParseError{Line: p.peek().Line, Msg: fmt.Sprintf(format, args...)}
 }
 
-func (p *parser) expect(k tokKind, what string) (token, error) {
+func (p *parser) expect(k TokenKind, what string) (Token, error) {
 	t := p.peek()
-	if t.kind != k {
+	if t.Kind != k {
 		return t, p.errf("expected %s, found %s", what, t)
 	}
 	return p.next(), nil
@@ -66,7 +66,7 @@ func (p *parser) expect(k tokKind, what string) (token, error) {
 
 func (p *parser) expectKeyword(kw string) error {
 	t := p.peek()
-	if t.kind != tokIdent || t.text != kw {
+	if t.Kind != TokIdent || t.Text != kw {
 		return p.errf("expected %q, found %s", kw, t)
 	}
 	p.next()
@@ -78,7 +78,7 @@ func (p *parser) filter() (*Filter, error) {
 	if err := p.expectKeyword("filter"); err != nil {
 		return nil, err
 	}
-	name, err := p.expect(tokIdent, "filter name")
+	name, err := p.expect(TokIdent, "filter name")
 	if err != nil {
 		return nil, err
 	}
@@ -86,17 +86,17 @@ func (p *parser) filter() (*Filter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Filter{Name: name.text, Stmts: stmts}, nil
+	return &Filter{Name: name.Text, Stmts: stmts}, nil
 }
 
 // block := "{" stmt* "}"
 func (p *parser) block() ([]Stmt, error) {
-	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
 		return nil, err
 	}
 	var stmts []Stmt
-	for p.peek().kind != tokRBrace {
-		if p.peek().kind == tokEOF {
+	for p.peek().Kind != TokRBrace {
+		if p.peek().Kind == TokEOF {
 			return nil, p.errf("unterminated block")
 		}
 		s, err := p.stmt()
@@ -112,19 +112,19 @@ func (p *parser) block() ([]Stmt, error) {
 // stmt := "accept" ";" | "reject" ";" | "if" ... | "set" ... | "add" ...
 func (p *parser) stmt() (Stmt, error) {
 	t := p.peek()
-	if t.kind != tokIdent {
+	if t.Kind != TokIdent {
 		return nil, p.errf("expected statement, found %s", t)
 	}
-	switch t.text {
+	switch t.Text {
 	case "accept":
 		p.next()
-		if _, err := p.expect(tokSemi, "';'"); err != nil {
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
 			return nil, err
 		}
 		return &ActionStmt{Disposition: Accept}, nil
 	case "reject":
 		p.next()
-		if _, err := p.expect(tokSemi, "';'"); err != nil {
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
 			return nil, err
 		}
 		return &ActionStmt{Disposition: Reject}, nil
@@ -135,7 +135,7 @@ func (p *parser) stmt() (Stmt, error) {
 	case "add":
 		return p.addStmt()
 	}
-	return nil, p.errf("unknown statement %q", t.text)
+	return nil, p.errf("unknown statement %q", t.Text)
 }
 
 // ifStmt := "if" expr "then" (block | stmt) ("else" (block | stmt))?
@@ -153,7 +153,7 @@ func (p *parser) ifStmt() (Stmt, error) {
 		return nil, err
 	}
 	var elseStmts []Stmt
-	if p.peek().kind == tokIdent && p.peek().text == "else" {
+	if p.peek().Kind == TokIdent && p.peek().Text == "else" {
 		p.next()
 		elseStmts, err = p.blockOrStmt()
 		if err != nil {
@@ -164,7 +164,7 @@ func (p *parser) ifStmt() (Stmt, error) {
 }
 
 func (p *parser) blockOrStmt() ([]Stmt, error) {
-	if p.peek().kind == tokLBrace {
+	if p.peek().Kind == TokLBrace {
 		return p.block()
 	}
 	s, err := p.stmt()
@@ -177,13 +177,13 @@ func (p *parser) blockOrStmt() ([]Stmt, error) {
 // setStmt := "set" field (number | originName) ";"
 func (p *parser) setStmt() (Stmt, error) {
 	p.next() // set
-	ft, err := p.expect(tokIdent, "field name")
+	ft, err := p.expect(TokIdent, "field name")
 	if err != nil {
 		return nil, err
 	}
-	field, ok := fieldNames[ft.text]
+	field, ok := fieldNames[ft.Text]
 	if !ok {
-		return nil, p.errf("unknown field %q", ft.text)
+		return nil, p.errf("unknown field %q", ft.Text)
 	}
 	switch field {
 	case FieldLocalPref, FieldMED:
@@ -191,7 +191,7 @@ func (p *parser) setStmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := p.expect(tokSemi, "';'"); err != nil {
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
 			return nil, err
 		}
 		return &SetStmt{Field: field, Value: v}, nil
@@ -199,13 +199,13 @@ func (p *parser) setStmt() (Stmt, error) {
 		t := p.peek()
 		var v uint64
 		switch {
-		case t.kind == tokIdent && t.text == "igp":
+		case t.Kind == TokIdent && t.Text == "igp":
 			v = 0
-		case t.kind == tokIdent && t.text == "egp":
+		case t.Kind == TokIdent && t.Text == "egp":
 			v = 1
-		case t.kind == tokIdent && t.text == "incomplete":
+		case t.Kind == TokIdent && t.Text == "incomplete":
 			v = 2
-		case t.kind == tokNumber:
+		case t.Kind == TokNumber:
 			n, err := p.number(8)
 			if err != nil {
 				return nil, err
@@ -214,7 +214,7 @@ func (p *parser) setStmt() (Stmt, error) {
 				return nil, p.errf("origin value %d out of range", n)
 			}
 			v = n
-			if _, err := p.expect(tokSemi, "';'"); err != nil {
+			if _, err := p.expect(TokSemi, "';'"); err != nil {
 				return nil, err
 			}
 			return &SetStmt{Field: field, Value: v}, nil
@@ -222,12 +222,12 @@ func (p *parser) setStmt() (Stmt, error) {
 			return nil, p.errf("expected origin value, found %s", t)
 		}
 		p.next()
-		if _, err := p.expect(tokSemi, "';'"); err != nil {
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
 			return nil, err
 		}
 		return &SetStmt{Field: field, Value: v}, nil
 	default:
-		return nil, p.errf("field %q cannot be set", ft.text)
+		return nil, p.errf("field %q cannot be set", ft.Text)
 	}
 }
 
@@ -241,41 +241,41 @@ func (p *parser) addStmt() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := p.expect(tokSemi, "';'"); err != nil {
+	if _, err := p.expect(TokSemi, "';'"); err != nil {
 		return nil, err
 	}
 	return &AddCommunityStmt{AS: as, Value: val}, nil
 }
 
 func (p *parser) communityPair() (uint16, uint16, error) {
-	if _, err := p.expect(tokLParen, "'('"); err != nil {
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
 		return 0, 0, err
 	}
 	as, err := p.number(16)
 	if err != nil {
 		return 0, 0, err
 	}
-	if _, err := p.expect(tokComma, "','"); err != nil {
+	if _, err := p.expect(TokComma, "','"); err != nil {
 		return 0, 0, err
 	}
 	val, err := p.number(16)
 	if err != nil {
 		return 0, 0, err
 	}
-	if _, err := p.expect(tokRParen, "')'"); err != nil {
+	if _, err := p.expect(TokRParen, "')'"); err != nil {
 		return 0, 0, err
 	}
 	return uint16(as), uint16(val), nil
 }
 
 func (p *parser) number(bits int) (uint64, error) {
-	t, err := p.expect(tokNumber, "number")
+	t, err := p.expect(TokNumber, "number")
 	if err != nil {
 		return 0, err
 	}
-	v, err := strconv.ParseUint(t.text, 10, bits)
+	v, err := strconv.ParseUint(t.Text, 10, bits)
 	if err != nil {
-		return 0, &ParseError{t.line, fmt.Sprintf("bad number %q: %v", t.text, err)}
+		return 0, &ParseError{Line: t.Line, Msg: fmt.Sprintf("bad number %q: %v", t.Text, err)}
 	}
 	return v, nil
 }
@@ -286,7 +286,7 @@ func (p *parser) expr() (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	for p.peek().kind == tokOr {
+	for p.peek().Kind == TokOr {
 		p.next()
 		y, err := p.andExpr()
 		if err != nil {
@@ -303,7 +303,7 @@ func (p *parser) andExpr() (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	for p.peek().kind == tokAnd {
+	for p.peek().Kind == TokAnd {
 		p.next()
 		y, err := p.unary()
 		if err != nil {
@@ -316,7 +316,7 @@ func (p *parser) andExpr() (Expr, error) {
 
 // unary := "!" unary | primary
 func (p *parser) unary() (Expr, error) {
-	if p.peek().kind == tokNot {
+	if p.peek().Kind == TokNot {
 		p.next()
 		x, err := p.unary()
 		if err != nil {
@@ -335,64 +335,64 @@ func (p *parser) unary() (Expr, error) {
 func (p *parser) primary() (Expr, error) {
 	t := p.peek()
 	switch {
-	case t.kind == tokLParen:
+	case t.Kind == TokLParen:
 		p.next()
 		x, err := p.expr()
 		if err != nil {
 			return nil, err
 		}
-		if _, err := p.expect(tokRParen, "')'"); err != nil {
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
 			return nil, err
 		}
 		return x, nil
-	case t.kind == tokIdent && t.text == "true":
+	case t.Kind == TokIdent && t.Text == "true":
 		p.next()
 		return BoolLit(true), nil
-	case t.kind == tokIdent && t.text == "false":
+	case t.Kind == TokIdent && t.Text == "false":
 		p.next()
 		return BoolLit(false), nil
-	case t.kind == tokIdent && t.text == "community":
+	case t.Kind == TokIdent && t.Text == "community":
 		p.next()
 		as, val, err := p.communityPair()
 		if err != nil {
 			return nil, err
 		}
 		return &CommunityExpr{AS: as, Value: val}, nil
-	case t.kind == tokIdent:
-		field, ok := fieldNames[t.text]
+	case t.Kind == TokIdent:
+		field, ok := fieldNames[t.Text]
 		if !ok {
-			return nil, p.errf("unknown field %q", t.text)
+			return nil, p.errf("unknown field %q", t.Text)
 		}
 		p.next()
 		op := p.peek()
 		if field == FieldNet {
-			if op.kind != tokTilde {
+			if op.Kind != TokTilde {
 				return nil, p.errf("net supports only '~', found %s", op)
 			}
 			p.next()
 			return p.matchExpr()
 		}
 		var cmp CmpKind
-		switch op.kind {
-		case tokEq:
+		switch op.Kind {
+		case TokEq:
 			cmp = CmpEq
-		case tokNe:
+		case TokNe:
 			cmp = CmpNe
-		case tokLt:
+		case TokLt:
 			cmp = CmpLt
-		case tokLe:
+		case TokLe:
 			cmp = CmpLe
-		case tokGt:
+		case TokGt:
 			cmp = CmpGt
-		case tokGe:
+		case TokGe:
 			cmp = CmpGe
 		default:
 			return nil, p.errf("expected comparison operator, found %s", op)
 		}
 		p.next()
 		// Origin comparisons accept symbolic names.
-		if field == FieldOrigin && p.peek().kind == tokIdent {
-			name := p.next().text
+		if field == FieldOrigin && p.peek().Kind == TokIdent {
+			name := p.next().Text
 			var v uint64
 			switch name {
 			case "igp":
@@ -417,29 +417,29 @@ func (p *parser) primary() (Expr, error) {
 
 // matchExpr parses the right side of `net ~`: CIDR with optional {lo,hi}.
 func (p *parser) matchExpr() (Expr, error) {
-	t, err := p.expect(tokCIDR, "prefix literal")
+	t, err := p.expect(TokCIDR, "prefix literal")
 	if err != nil {
 		return nil, err
 	}
-	pref, perr := netaddr.ParsePrefix(t.text)
+	pref, perr := netaddr.ParsePrefix(t.Text)
 	if perr != nil {
-		return nil, &ParseError{t.line, perr.Error()}
+		return nil, &ParseError{Line: t.Line, Msg: perr.Error()}
 	}
 	lo, hi := pref.Bits(), 32
-	if p.peek().kind == tokLBrace {
+	if p.peek().Kind == TokLBrace {
 		p.next()
 		loV, err := p.number(8)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := p.expect(tokComma, "','"); err != nil {
+		if _, err := p.expect(TokComma, "','"); err != nil {
 			return nil, err
 		}
 		hiV, err := p.number(8)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := p.expect(tokRBrace, "'}'"); err != nil {
+		if _, err := p.expect(TokRBrace, "'}'"); err != nil {
 			return nil, err
 		}
 		lo, hi = int(loV), int(hiV)

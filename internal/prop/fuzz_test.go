@@ -1,0 +1,52 @@
+package prop
+
+import (
+	"testing"
+)
+
+// FuzzParseProperty mirrors FuzzParseTopology for the property
+// language: malformed source must produce a line-numbered *ParseError
+// (never a panic), and anything that parses must print to canonical
+// source that reparses to the same canonical form (parse → print is a
+// fixpoint after one round).
+func FuzzParseProperty(f *testing.F) {
+	for _, seed := range builtinSources {
+		f.Add(seed)
+	}
+	f.Add(`property p { kind "k"; when (net ~ 10.0.0.0/8{8,24} && ! community (65000,1)); at via 65002; assert never reachable via 65003; }`)
+	f.Add(`property p { kind "k"; assert eventually converges within 7 steps; }`)
+	f.Add(`property p { kind "k"; assert always quiet after wave 2; }`)
+	f.Add(`property p { kind "k"; when origin = igp; assert never installed; }`)
+	f.Add("property p {\n\tkind \"k\";\n\tassert never stale;\n}\nproperty q { kind \"q\"; assert never stale; }")
+	f.Add(`property broken {`)
+	f.Add(`not a property`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		ps, err := ParseAll(src)
+		if err != nil {
+			pe, ok := err.(*ParseError)
+			if !ok {
+				t.Fatalf("error %T is not *ParseError: %v", err, err)
+			}
+			if pe.Line < 1 {
+				t.Fatalf("error without a line number: %v", err)
+			}
+			return
+		}
+		for _, p := range ps {
+			printed := p.String()
+			again, err := Parse(printed)
+			if err != nil {
+				t.Fatalf("canonical print %q rejected: %v", printed, err)
+			}
+			if again.String() != printed {
+				t.Fatalf("print not a fixpoint:\n first: %s\nsecond: %s", printed, again.String())
+			}
+			// Compilation must never panic either; errors are fine
+			// (e.g. an `at` clause on a phase-scoped assertion).
+			if c, err := Compile(p); err == nil && c.Source() != printed {
+				t.Fatalf("compiled source %q differs from print %q", c.Source(), printed)
+			}
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 
 	"dice/internal/concolic"
 	"dice/internal/core"
+	"dice/internal/prop"
 	"dice/internal/regress"
 	"dice/internal/trace"
 )
@@ -69,6 +70,35 @@ func checkGolden(t *testing.T, dir string, lines []string) {
 func TestGoldenFederated(t *testing.T) {
 	dir := "../../examples/federated"
 	checkGolden(t, dir, goldenRound(t, dir))
+}
+
+// TestGoldenPropertyParity is the declarative-oracle acceptance: the
+// bundled .prop re-expressions of the route-leak and stale-route
+// oracles, loaded as external properties, must reproduce the committed
+// goldens byte for byte on both example topologies. Merge slots a
+// same-kind property into the builtin's evaluation position, so this
+// pins that the declared and hard-coded oracles are one and the same —
+// never `go test -update` this by way of fixing a diff here.
+func TestGoldenPropertyParity(t *testing.T) {
+	for _, dir := range []string{"../../examples/federated", "../../examples/routeleak"} {
+		topo, err := core.LoadTopology(dir + "/topo.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := exampleOpts()
+		opts.Properties = []string{prop.BuiltinRouteLeakSource, prop.BuiltinStaleRouteSource}
+		fe, err := core.NewFederatedExperiment(topo, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fe.Round()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := regress.Check(dir+"/findings.golden", res.Snapshot(), false); err != nil {
+			t.Errorf("%s with declared properties: %v", dir, err)
+		}
+	}
 }
 
 func TestGoldenRouteleak(t *testing.T) {
